@@ -1,0 +1,166 @@
+package fixedpsnr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fixedpsnr/internal/parallel"
+	"fixedpsnr/internal/sz"
+)
+
+// Archive container: many compressed field streams in one blob, so a whole
+// simulation snapshot (e.g. the 79 fields of a CESM-ATM dump) travels as
+// one object while each field keeps its own header, bound, and codec.
+//
+// Layout:
+//
+//	magic "FPSA"      4 bytes
+//	version           1 byte
+//	count             uvarint
+//	per entry:        uvarint stream length | stream bytes
+//
+// Entries are self-describing fixedpsnr streams; ArchiveInfo reads their
+// headers without decompressing payloads, and ExtractField decompresses a
+// single entry.
+
+// archiveMagic identifies an archive blob.
+var archiveMagic = [4]byte{'F', 'P', 'S', 'A'}
+
+const archiveVersion = 1
+
+// CompressFields compresses every field with the same options into one
+// archive, parallelizing across fields (each field is compressed
+// single-threaded so the speedup comes from field-level parallelism,
+// which matches the multi-field snapshot workload). In ModePSNR every
+// field gets its own Eq. 8 bound from its own value range — the paper's
+// batch use case.
+func CompressFields(fields []*Field, opt Options) ([]byte, []*Result, error) {
+	if len(fields) == 0 {
+		return nil, nil, fmt.Errorf("fixedpsnr: no fields to archive")
+	}
+	perField := opt
+	perField.Workers = 1
+	streams := make([][]byte, len(fields))
+	results := make([]*Result, len(fields))
+	err := parallel.ForEach(len(fields), opt.Workers, func(i int) error {
+		blob, res, err := Compress(fields[i], perField)
+		if err != nil {
+			return fmt.Errorf("fixedpsnr: field %q: %w", fields[i].Name, err)
+		}
+		streams[i] = blob
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	total := 8
+	for _, s := range streams {
+		total += len(s) + binary.MaxVarintLen64
+	}
+	out := make([]byte, 0, total)
+	out = append(out, archiveMagic[:]...)
+	out = append(out, archiveVersion)
+	out = binary.AppendUvarint(out, uint64(len(streams)))
+	for _, s := range streams {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out, results, nil
+}
+
+// archiveEntries splits an archive into its per-field streams (no
+// decompression).
+func archiveEntries(data []byte) ([][]byte, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("fixedpsnr: archive too short")
+	}
+	if [4]byte(data[:4]) != archiveMagic {
+		return nil, fmt.Errorf("fixedpsnr: bad archive magic %q", data[:4])
+	}
+	if data[4] != archiveVersion {
+		return nil, fmt.Errorf("fixedpsnr: unsupported archive version %d", data[4])
+	}
+	b := data[5:]
+	count, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, fmt.Errorf("fixedpsnr: truncated archive count")
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("fixedpsnr: unreasonable archive count %d", count)
+	}
+	b = b[k:]
+	entries := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, fmt.Errorf("fixedpsnr: truncated entry %d length", i)
+		}
+		b = b[k:]
+		if uint64(len(b)) < l {
+			return nil, fmt.Errorf("fixedpsnr: entry %d truncated (%d < %d)", i, len(b), l)
+		}
+		entries = append(entries, b[:l])
+		b = b[l:]
+	}
+	return entries, nil
+}
+
+// DecompressArchive reconstructs every field in the archive, in order,
+// parallelizing across entries.
+func DecompressArchive(data []byte) ([]*Field, error) {
+	entries, err := archiveEntries(data)
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]*Field, len(entries))
+	err = parallel.ForEach(len(entries), 0, func(i int) error {
+		f, _, err := Decompress(entries[i])
+		if err != nil {
+			return fmt.Errorf("fixedpsnr: entry %d: %w", i, err)
+		}
+		fields[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// ArchiveInfo returns the stream headers of every entry without
+// decompressing any payload.
+func ArchiveInfo(data []byte) ([]*StreamInfo, error) {
+	entries, err := archiveEntries(data)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]*StreamInfo, len(entries))
+	for i, e := range entries {
+		h, err := sz.ParseHeader(e)
+		if err != nil {
+			return nil, fmt.Errorf("fixedpsnr: entry %d: %w", i, err)
+		}
+		infos[i] = h
+	}
+	return infos, nil
+}
+
+// ExtractField decompresses only the named field from an archive.
+func ExtractField(data []byte, name string) (*Field, *StreamInfo, error) {
+	entries, err := archiveEntries(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		h, err := sz.ParseHeader(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if h.Name == name {
+			return Decompress(e)
+		}
+	}
+	return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
+}

@@ -1,0 +1,131 @@
+package fixedpsnr_test
+
+import (
+	"math"
+	"testing"
+
+	"fixedpsnr"
+	"fixedpsnr/datasets"
+)
+
+func archiveFields(t *testing.T) []*fixedpsnr.Field {
+	t.Helper()
+	hur := datasets.Hurricane([]int{6, 24, 24})
+	fields, err := hur.Fields(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fields
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	fields := archiveFields(t)
+	blob, results, err := fixedpsnr.CompressFields(fields, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(fields) {
+		t.Fatalf("got %d results", len(results))
+	}
+	out, err := fixedpsnr.DecompressArchive(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(fields) {
+		t.Fatalf("got %d fields", len(out))
+	}
+	for i, f := range fields {
+		if out[i].Name != f.Name {
+			t.Fatalf("entry %d: name %q != %q (order must be preserved)", i, out[i].Name, f.Name)
+		}
+		d := fixedpsnr.CompareFields(f, out[i])
+		// Eq. 6's worst case is 10·log10(3) ≈ 4.77 dB below target
+		// (errors piled at bin edges); tiny rough fields can use ~2 dB
+		// of that slack.
+		if d.PSNR < 58 {
+			t.Fatalf("%s: PSNR %g below target band", f.Name, d.PSNR)
+		}
+	}
+}
+
+func TestArchiveInfoWithoutDecompression(t *testing.T) {
+	fields := archiveFields(t)
+	blob, _, err := fixedpsnr.CompressFields(fields, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: 70,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fixedpsnr.ArchiveInfo(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(fields) {
+		t.Fatalf("got %d infos", len(infos))
+	}
+	for i, h := range infos {
+		if h.Name != fields[i].Name {
+			t.Fatalf("entry %d: %q != %q", i, h.Name, fields[i].Name)
+		}
+		if h.TargetPSNR != 70 && !math.IsNaN(h.TargetPSNR) {
+			// Constant fields have no target recorded; all Hurricane
+			// fields are non-constant at this scale.
+			t.Fatalf("entry %d: target %g", i, h.TargetPSNR)
+		}
+	}
+}
+
+func TestExtractSingleField(t *testing.T) {
+	fields := archiveFields(t)
+	blob, _, err := fixedpsnr.CompressFields(fields, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, h, err := fixedpsnr.ExtractField(blob, "U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "U" || h.Name != "U" {
+		t.Fatalf("extracted %q", f.Name)
+	}
+	if _, _, err := fixedpsnr.ExtractField(blob, "NOPE"); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestArchiveRejectsGarbage(t *testing.T) {
+	if _, err := fixedpsnr.DecompressArchive([]byte("nope")); err == nil {
+		t.Fatal("expected error for garbage")
+	}
+	if _, err := fixedpsnr.ArchiveInfo(nil); err == nil {
+		t.Fatal("expected error for nil")
+	}
+	// Valid magic, truncated body.
+	blob, _, err := fixedpsnr.CompressFields(archiveFields(t), fixedpsnr.Options{
+		Mode: fixedpsnr.ModeAbs, ErrorBound: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fixedpsnr.DecompressArchive(blob[:len(blob)/2]); err == nil {
+		t.Fatal("expected error for truncated archive")
+	}
+}
+
+func TestCompressFieldsValidates(t *testing.T) {
+	if _, _, err := fixedpsnr.CompressFields(nil, fixedpsnr.Options{}); err == nil {
+		t.Fatal("expected error for empty field list")
+	}
+	bad := []*fixedpsnr.Field{fixedpsnr.NewField("x", fixedpsnr.Float32, 4)}
+	bad[0].Dims = []int{5} // corrupt
+	if _, _, err := fixedpsnr.CompressFields(bad, fixedpsnr.Options{Mode: fixedpsnr.ModeAbs, ErrorBound: 1}); err == nil {
+		t.Fatal("expected error for invalid field")
+	}
+}

@@ -1,0 +1,297 @@
+package fixedpsnr_test
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the experiment at a reduced scale suitable for testing.B iteration),
+// plus compressor throughput and parallel-scaling benches.
+//
+// The full-scale experiment outputs come from cmd/fpsz-bench; these
+// benchmarks measure the cost of regenerating each artifact and the
+// steady-state performance of the pipelines.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fixedpsnr"
+	"fixedpsnr/datasets"
+	"fixedpsnr/internal/core"
+	"fixedpsnr/internal/experiment"
+)
+
+// benchCfg keeps benchmark iterations affordable while preserving the
+// experiment structure (all fields, all targets).
+func benchCfg() experiment.Config {
+	return experiment.Config{
+		NYXDims:       []int{32, 32, 32},
+		ATMDims:       []int{90, 180},
+		HurricaneDims: []int{13, 64, 64},
+	}
+}
+
+// --- Table I -------------------------------------------------------------
+
+func BenchmarkTableI_DatasetGen(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		for _, ds := range cfg.Datasets() {
+			if _, err := ds.Field(0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 1 ------------------------------------------------------------
+
+func BenchmarkFigure1_PredictionErrorHistogram(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2 ------------------------------------------------------------
+
+func benchmarkFigure2Panel(b *testing.B, target float64) {
+	cfg := benchCfg()
+	ds, err := cfg.Dataset("ATM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fields, err := ds.Fields(cfg.Workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunDataset(ds, fields, target, cfg.Workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2_ATM40(b *testing.B)  { benchmarkFigure2Panel(b, 40) }
+func BenchmarkFigure2_ATM80(b *testing.B)  { benchmarkFigure2Panel(b, 80) }
+func BenchmarkFigure2_ATM120(b *testing.B) { benchmarkFigure2Panel(b, 120) }
+
+// --- Table II ------------------------------------------------------------
+
+func benchmarkTableIIDataset(b *testing.B, name string) {
+	cfg := benchCfg()
+	ds, err := cfg.Dataset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fields, err := ds.Fields(cfg.Workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, target := range experiment.Table2Targets {
+			if _, err := experiment.RunDataset(ds, fields, target, cfg.Workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableII_NYX(b *testing.B)       { benchmarkTableIIDataset(b, "NYX") }
+func BenchmarkTableII_ATM(b *testing.B)       { benchmarkTableIIDataset(b, "ATM") }
+func BenchmarkTableII_Hurricane(b *testing.B) { benchmarkTableIIDataset(b, "Hurricane") }
+
+// --- Overhead (paper §IV: "negligible") -----------------------------------
+
+func BenchmarkOverhead_Eq8Derivation(b *testing.B) {
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += core.RelBoundForPSNR(80 + float64(i%5))
+	}
+	if sink == 0 {
+		b.Fatal("unexpected zero")
+	}
+}
+
+func BenchmarkOverhead_PlanIncludingRangeScan(b *testing.B) {
+	f := benchField2D()
+	b.SetBytes(int64(f.Len() * 8))
+	for i := 0; i < b.N; i++ {
+		_, _, vr := f.ValueRange()
+		if _, err := core.PlanFixedPSNR(80, vr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Baseline (intro claim: multi-run tuning vs one-shot) ------------------
+
+func BenchmarkIterativeBaseline(b *testing.B) {
+	f := benchField2D()
+	_, _, vr := f.ValueRange()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe := func(ebRel float64) (float64, error) {
+			stream, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{Mode: fixedpsnr.ModeAbs, ErrorBound: ebRel * vr, Workers: 1})
+			if err != nil {
+				return 0, err
+			}
+			g, _, err := fixedpsnr.Decompress(stream)
+			if err != nil {
+				return 0, err
+			}
+			return fixedpsnr.CompareFields(f, g).PSNR, nil
+		}
+		if _, err := core.IterativeSearch(80, 0.5, 40, probe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedPSNROneShot(b *testing.B) {
+	f := benchField2D()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Throughput ------------------------------------------------------------
+
+var (
+	benchFieldOnce sync.Once
+	benchFields    map[string]*fixedpsnr.Field
+)
+
+func benchField(name string) *fixedpsnr.Field {
+	benchFieldOnce.Do(func() {
+		benchFields = map[string]*fixedpsnr.Field{}
+		atm := datasets.ATM([]int{360, 720})
+		f2, err := atm.FieldByName("TS", 0)
+		if err != nil {
+			panic(err)
+		}
+		benchFields["2d"] = f2
+		hur := datasets.Hurricane([]int{25, 125, 125})
+		f3, err := hur.FieldByName("U", 0)
+		if err != nil {
+			panic(err)
+		}
+		benchFields["3d"] = f3
+	})
+	return benchFields[name]
+}
+
+func benchField2D() *fixedpsnr.Field { return benchField("2d") }
+func benchField3D() *fixedpsnr.Field { return benchField("3d") }
+
+func benchmarkCompress(b *testing.B, f *fixedpsnr.Field, opt fixedpsnr.Options) {
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixedpsnr.Compress(f, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompress2D_SZ(b *testing.B) {
+	benchmarkCompress(b, benchField2D(), fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: 1})
+}
+
+func BenchmarkCompress3D_SZ(b *testing.B) {
+	benchmarkCompress(b, benchField3D(), fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: 1})
+}
+
+func BenchmarkCompress2D_Transform(b *testing.B) {
+	benchmarkCompress(b, benchField2D(), fixedpsnr.Options{
+		Mode: fixedpsnr.ModePSNR, TargetPSNR: 80,
+		Compressor: fixedpsnr.CompressorTransform, Workers: 1,
+	})
+}
+
+func BenchmarkCompress2D_PWRel(b *testing.B) {
+	f := benchField2D()
+	// Shift positive so the log transform sees no zeros.
+	g := f.Clone()
+	_, _, vr := g.ValueRange()
+	min, _, _ := g.ValueRange()
+	for i := range g.Data {
+		g.Data[i] = g.Data[i] - min + 0.01*vr
+	}
+	benchmarkCompress(b, g, fixedpsnr.Options{Mode: fixedpsnr.ModePWRel, PWRelBound: 1e-3, Workers: 1})
+}
+
+func BenchmarkDecompress2D_SZ(b *testing.B) {
+	f := benchField2D()
+	stream, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixedpsnr.Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel scaling -------------------------------------------------------
+
+func benchmarkParallel(b *testing.B, workers int) {
+	f := benchField3D()
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+			Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelCompress_1Worker(b *testing.B)  { benchmarkParallel(b, 1) }
+func BenchmarkParallelCompress_2Workers(b *testing.B) { benchmarkParallel(b, 2) }
+func BenchmarkParallelCompress_4Workers(b *testing.B) { benchmarkParallel(b, 4) }
+
+// --- Ablation: capacity sweep (design choice in DESIGN.md) ------------------
+
+func benchmarkCapacity(b *testing.B, capacity int) {
+	f := benchField2D()
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+			Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Capacity: capacity, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCapacity_256(b *testing.B)   { benchmarkCapacity(b, 256) }
+func BenchmarkCapacity_4096(b *testing.B)  { benchmarkCapacity(b, 4096) }
+func BenchmarkCapacity_65536(b *testing.B) { benchmarkCapacity(b, 65536) }
+
+// Sanity: the benchmark field must actually hit its target, so that the
+// throughput numbers describe a working configuration.
+func TestBenchFieldSanity(t *testing.T) {
+	f := benchField2D()
+	stream, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := fixedpsnr.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fixedpsnr.CompareFields(f, g); math.Abs(d.PSNR-80) > 1 {
+		t.Fatalf("bench field missed target: %g", d.PSNR)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"fixedpsnr/internal/experiment"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		rank int
+		want []int
+		ok   bool
+	}{
+		{"", 3, nil, true},
+		{"64x64x64", 3, []int{64, 64, 64}, true},
+		{"180x360", 2, []int{180, 360}, true},
+		{"64X32", 2, []int{64, 32}, true}, // case-insensitive separator
+		{"64x64", 3, nil, false},          // wrong rank
+		{"ax2", 2, nil, false},            // non-numeric
+		{"0x4", 2, nil, false},            // non-positive
+		{"-3x4", 2, nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseDims(c.in, c.rank)
+		if c.ok && err != nil {
+			t.Fatalf("parseDims(%q, %d): unexpected error %v", c.in, c.rank, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Fatalf("parseDims(%q, %d): expected error", c.in, c.rank)
+			}
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("parseDims(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("parseDims(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run(io.Discard, "nope", cfgForTest(), "", false); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run(io.Discard, "table1", cfgForTest(), "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cfgForTest keeps CLI tests fast.
+func cfgForTest() experiment.Config {
+	return experiment.Config{
+		NYXDims:       []int{8, 8, 8},
+		ATMDims:       []int{16, 32},
+		HurricaneDims: []int{4, 16, 16},
+	}
+}

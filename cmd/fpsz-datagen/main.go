@@ -1,0 +1,91 @@
+// Command fpsz-datagen writes the synthetic stand-in data sets to disk as
+// SDF1 field files, one file per field, so the fpsz CLI (and external
+// tooling) can operate on them.
+//
+// Usage:
+//
+//	fpsz-datagen -dataset ATM -dir ./data/atm
+//	fpsz-datagen -dataset NYX -dims 128x128x128 -dir ./data/nyx
+//	fpsz-datagen -dataset Hurricane -field U -dir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fixedpsnr/internal/datagen"
+	"fixedpsnr/internal/fieldio"
+	"fixedpsnr/internal/parallel"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "data set: NYX, ATM, or Hurricane")
+		dir     = flag.String("dir", ".", "output directory")
+		dims    = flag.String("dims", "", "override grid, e.g. 128x128x128")
+		fieldN  = flag.String("field", "", "generate only this field")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *dir, *dims, *fieldN, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "fpsz-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, dir, dimsStr, fieldName string, workers int) error {
+	if dataset == "" {
+		return fmt.Errorf("-dataset is required (NYX, ATM, or Hurricane)")
+	}
+	ds, err := datagen.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	if dimsStr != "" {
+		parts := strings.Split(strings.ToLower(dimsStr), "x")
+		if len(parts) != len(ds.Dims) {
+			return fmt.Errorf("dims %q: %s needs %d dimensions", dimsStr, ds.Name, len(ds.Dims))
+		}
+		dims := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("dims %q: bad dimension %q", dimsStr, p)
+			}
+			dims[i] = v
+		}
+		ds.Dims = dims
+	}
+
+	if fieldName != "" {
+		f, err := ds.FieldByName(fieldName, workers)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, f.Name+".sdf")
+		if err := fieldio.WriteFile(path, f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%v, %d bytes)\n", path, f.Dims, f.SizeBytes())
+		return nil
+	}
+
+	fmt.Printf("generating %s: %d fields on %v\n", ds.Name, ds.NumFields(), ds.Dims)
+	err = parallel.ForEach(ds.NumFields(), workers, func(i int) error {
+		f, err := ds.Field(i, 1)
+		if err != nil {
+			return err
+		}
+		return fieldio.WriteFile(filepath.Join(dir, f.Name+".sdf"), f)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d fields to %s\n", ds.NumFields(), dir)
+	return nil
+}

@@ -1,0 +1,334 @@
+// Command fpsz is the compressor CLI: it compresses and decompresses
+// field files (the SDF1 format of internal/fieldio) with any of the four
+// error-control modes, and inspects compressed streams.
+//
+// Usage:
+//
+//	fpsz compress   -in field.sdf -out field.fpsz -mode psnr -psnr 80
+//	fpsz compress   -in field.sdf -out field.fpsz -mode abs -eb 1e-3
+//	fpsz compress   -in field.sdf -out field.fpsz -mode rel -eb 1e-4
+//	fpsz compress   -in field.sdf -out field.fpsz -mode pwrel -eb 1e-3
+//	fpsz decompress -in field.fpsz -out recon.sdf
+//	fpsz inspect    -in field.fpsz
+//	fpsz verify     -in field.fpsz -orig field.sdf
+//
+// The verify subcommand decompresses and reports distortion metrics
+// against the original.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fixedpsnr"
+	"fixedpsnr/internal/fieldio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = compress(os.Args[2:])
+	case "decompress":
+		err = decompress(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	case "archive":
+		err = archive(os.Args[2:])
+	case "list":
+		err = list(os.Args[2:])
+	case "extract":
+		err = extract(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fpsz: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpsz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fpsz compress   -in <field.sdf> -out <stream.fpsz> -mode abs|rel|psnr|pwrel [-eb <bound>] [-psnr <dB>] [flags]
+  fpsz decompress -in <stream.fpsz> -out <field.sdf>
+  fpsz inspect    -in <stream.fpsz>
+  fpsz verify     -in <stream.fpsz> -orig <field.sdf>
+  fpsz archive    -dir <dir-of-sdf> -out <snapshot.fpsa> [-psnr <dB>]
+  fpsz list       -in <snapshot.fpsa>
+  fpsz extract    -in <snapshot.fpsa> -field <name> -out <field.sdf>`)
+	os.Exit(2)
+}
+
+func compress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	var (
+		in         = fs.String("in", "", "input field file (SDF1)")
+		out        = fs.String("out", "", "output compressed stream")
+		mode       = fs.String("mode", "psnr", "error-control mode: abs, rel, psnr, pwrel")
+		eb         = fs.Float64("eb", 0, "error bound (abs: absolute; rel/pwrel: relative)")
+		psnr       = fs.Float64("psnr", 80, "target PSNR in dB (psnr mode)")
+		compressor = fs.String("compressor", "sz", "pipeline: sz, transform, or wavelet")
+		capacity   = fs.Int("capacity", 0, "quantization intervals (0 = 65536)")
+		autoCap    = fs.Bool("autocap", false, "estimate capacity from the data")
+		workers    = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		level      = fs.Int("level", 0, "DEFLATE level (0 = fastest)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compress: -in and -out are required")
+	}
+
+	f, err := fieldio.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+
+	opt := fixedpsnr.Options{
+		Capacity:     *capacity,
+		AutoCapacity: *autoCap,
+		Workers:      *workers,
+		Level:        *level,
+	}
+	switch *compressor {
+	case "sz":
+		opt.Compressor = fixedpsnr.CompressorSZ
+	case "transform":
+		opt.Compressor = fixedpsnr.CompressorTransform
+	case "wavelet":
+		opt.Compressor = fixedpsnr.CompressorWavelet
+	default:
+		return fmt.Errorf("compress: unknown compressor %q", *compressor)
+	}
+	switch *mode {
+	case "abs":
+		opt.Mode, opt.ErrorBound = fixedpsnr.ModeAbs, *eb
+	case "rel":
+		opt.Mode, opt.RelBound = fixedpsnr.ModeRel, *eb
+	case "psnr":
+		opt.Mode, opt.TargetPSNR = fixedpsnr.ModePSNR, *psnr
+	case "pwrel":
+		opt.Mode, opt.PWRelBound = fixedpsnr.ModePWRel, *eb
+	default:
+		return fmt.Errorf("compress: unknown mode %q", *mode)
+	}
+
+	blob, res, err := fixedpsnr.Compress(f, opt)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %v %s\n", f.Name, f.Dims, f.Precision)
+	fmt.Printf("  mode=%s compressor=%s ebAbs=%.6g ebRel=%.6g\n", *mode, *compressor, res.EbAbs, res.EbRel)
+	fmt.Printf("  %d -> %d bytes  ratio=%.2f  bitrate=%.3f bits/value  unpredictable=%d\n",
+		res.OriginalBytes, res.CompressedBytes, res.Ratio, res.BitRate, res.Unpredictable)
+	if *mode == "psnr" {
+		fmt.Printf("  target PSNR=%.2f dB (estimated actual: %.2f dB)\n", *psnr, res.EstimatedPSNR)
+	}
+	return nil
+}
+
+func decompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	var (
+		in  = fs.String("in", "", "input compressed stream")
+		out = fs.String("out", "", "output field file (SDF1)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decompress: -in and -out are required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	f, info, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		return err
+	}
+	if err := fieldio.WriteFile(*out, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %v %s (codec %v) -> %s\n", f.Name, f.Dims, f.Precision, info.Codec, *out)
+	return nil
+}
+
+func inspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "compressed stream")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	h, err := fixedpsnr.Inspect(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name:        %s\n", h.Name)
+	fmt.Printf("codec:       %v\n", h.Codec)
+	fmt.Printf("mode:        %v\n", h.Mode)
+	fmt.Printf("precision:   %v\n", h.Precision)
+	fmt.Printf("dims:        %v (%d points)\n", h.Dims, h.NPoints())
+	fmt.Printf("ebAbs:       %g\n", h.EbAbs)
+	fmt.Printf("target PSNR: %g dB\n", h.TargetPSNR)
+	fmt.Printf("value range: %g\n", h.ValueRange)
+	fmt.Printf("capacity:    %d\n", h.Capacity)
+	fmt.Printf("chunks:      %d\n", len(h.ChunkLens))
+	fmt.Printf("stream size: %d bytes\n", len(blob))
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	var (
+		in   = fs.String("in", "", "compressed stream")
+		orig = fs.String("orig", "", "original field file (SDF1)")
+	)
+	fs.Parse(args)
+	if *in == "" || *orig == "" {
+		return fmt.Errorf("verify: -in and -orig are required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	recon, h, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		return err
+	}
+	f, err := fieldio.ReadFile(*orig)
+	if err != nil {
+		return err
+	}
+	if !f.SameShape(recon) {
+		return fmt.Errorf("verify: shape mismatch %v vs %v", f.Dims, recon.Dims)
+	}
+	d := fixedpsnr.CompareFields(f, recon)
+	fmt.Printf("%s (codec %v)\n", h.Name, h.Codec)
+	fmt.Printf("  PSNR:    %.4f dB", d.PSNR)
+	if h.Mode == 2 { // ModePSNR in the stream header
+		fmt.Printf("  (target %.4g dB)", h.TargetPSNR)
+	}
+	fmt.Println()
+	fmt.Printf("  MSE:     %.6g\n", d.MSE)
+	fmt.Printf("  NRMSE:   %.6g\n", d.NRMSE)
+	fmt.Printf("  max err: %.6g\n", d.MaxErr)
+	return nil
+}
+
+// archive compresses every .sdf file in a directory into one archive at a
+// fixed PSNR — the batch snapshot workflow of the paper's introduction.
+func archive(args []string) error {
+	fs := flag.NewFlagSet("archive", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "", "directory of .sdf field files")
+		out     = fs.String("out", "", "output archive (.fpsa)")
+		psnr    = fs.Float64("psnr", 80, "target PSNR in dB")
+		workers = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	)
+	fs.Parse(args)
+	if *dir == "" || *out == "" {
+		return fmt.Errorf("archive: -dir and -out are required")
+	}
+	paths, err := filepath.Glob(filepath.Join(*dir, "*.sdf"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("archive: no .sdf files in %s", *dir)
+	}
+	sort.Strings(paths)
+	fields := make([]*fixedpsnr.Field, 0, len(paths))
+	var inBytes int
+	for _, p := range paths {
+		f, err := fieldio.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("archive: %s: %w", p, err)
+		}
+		fields = append(fields, f)
+		inBytes += f.SizeBytes()
+	}
+	blob, _, err := fixedpsnr.CompressFields(fields, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: *psnr,
+		Workers:    *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("archived %d fields at %g dB: %.1f MB -> %.1f MB (%.1fx)\n",
+		len(fields), *psnr, float64(inBytes)/(1<<20), float64(len(blob))/(1<<20),
+		float64(inBytes)/float64(len(blob)))
+	return nil
+}
+
+// list prints the archive index.
+func list(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	in := fs.String("in", "", "archive file (.fpsa)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("list: -in is required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	infos, err := fixedpsnr.ArchiveInfo(blob)
+	if err != nil {
+		return err
+	}
+	for _, h := range infos {
+		fmt.Printf("%-16s %v %s codec=%v mode=%v target=%g dB\n",
+			h.Name, h.Dims, h.Precision, h.Codec, h.Mode, h.TargetPSNR)
+	}
+	fmt.Printf("%d fields\n", len(infos))
+	return nil
+}
+
+// extract pulls one field out of an archive.
+func extract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "", "archive file (.fpsa)")
+		fieldArg = fs.String("field", "", "field name")
+		out      = fs.String("out", "", "output field file (.sdf)")
+	)
+	fs.Parse(args)
+	if *in == "" || *fieldArg == "" || *out == "" {
+		return fmt.Errorf("extract: -in, -field, and -out are required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	f, _, err := fixedpsnr.ExtractField(blob, *fieldArg)
+	if err != nil {
+		return err
+	}
+	if err := fieldio.WriteFile(*out, f); err != nil {
+		return err
+	}
+	fmt.Printf("extracted %s %v -> %s\n", f.Name, f.Dims, *out)
+	return nil
+}

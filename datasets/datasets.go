@@ -1,0 +1,33 @@
+// Package datasets exposes the synthetic HPC data sets used by the
+// experiments — laptop-scale stand-ins for the paper's Table I (NYX
+// cosmology, CESM-ATM climate, Hurricane ISABEL). The fields are
+// spectrally synthesized Gaussian random fields with per-variable domain
+// transforms; see internal/datagen for the synthesis details and DESIGN.md
+// for why the substitution preserves the paper's behaviour.
+package datasets
+
+import "fixedpsnr/internal/datagen"
+
+// Dataset is a registry of synthetic fields (see datagen.Dataset).
+type Dataset = datagen.Dataset
+
+// Spec describes one synthetic field.
+type Spec = datagen.Spec
+
+// NYX returns the 6-field 3-D cosmology set. nil dims selects the default
+// 64³ grid (the paper used 2048³).
+func NYX(dims []int) *Dataset { return datagen.NYX(dims) }
+
+// ATM returns the 79-field 2-D climate set. nil dims selects the default
+// 180×360 grid (the paper used 1800×3600).
+func ATM(dims []int) *Dataset { return datagen.ATM(dims) }
+
+// Hurricane returns the 13-field 3-D hurricane set. nil dims selects the
+// default 25×125×125 grid (the paper used 100×500×500).
+func Hurricane(dims []int) *Dataset { return datagen.Hurricane(dims) }
+
+// Registry returns all three data sets at default scale.
+func Registry() []*Dataset { return datagen.Registry() }
+
+// ByName returns a data set by name ("NYX", "ATM", "Hurricane").
+func ByName(name string) (*Dataset, error) { return datagen.ByName(name) }

@@ -1,0 +1,67 @@
+package fixedpsnr_test
+
+import (
+	"fmt"
+	"math"
+
+	"fixedpsnr"
+)
+
+// Compress a field to a fixed 80 dB PSNR target in one pass.
+func ExampleCompressFixedPSNR() {
+	f := fixedpsnr.NewField("demo", fixedpsnr.Float32, 64, 64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			f.Set2(i, j, float64(float32(math.Sin(float64(i)/9)*math.Cos(float64(j)/7))))
+		}
+	}
+
+	stream, res, err := fixedpsnr.CompressFixedPSNR(f, 80)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	g, _, err := fixedpsnr.Decompress(stream)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d := fixedpsnr.CompareFields(f, g)
+	fmt.Printf("target 80 dB, actual within 1 dB: %v\n", math.Abs(d.PSNR-80) < 1)
+	fmt.Printf("derived ebrel = sqrt(3)*10^(-80/20): %v\n",
+		math.Abs(res.EbRel-math.Sqrt(3)*1e-4) < 1e-15)
+	// Output:
+	// target 80 dB, actual within 1 dB: true
+	// derived ebrel = sqrt(3)*10^(-80/20): true
+}
+
+// Derive the error bound for a PSNR target without compressing (Eq. 8).
+func ExampleRelBoundForPSNR() {
+	ebRel := fixedpsnr.RelBoundForPSNR(60)
+	fmt.Printf("ebrel for 60 dB: %.6f\n", ebRel)
+	fmt.Printf("Eq. 7 round trip: %.1f dB\n", fixedpsnr.EstimatePSNR(1, ebRel))
+	// Output:
+	// ebrel for 60 dB: 0.001732
+	// Eq. 7 round trip: 60.0 dB
+}
+
+// Bound the absolute pointwise error instead of the PSNR.
+func ExampleCompress_absoluteBound() {
+	f := fixedpsnr.NewField("abs-demo", fixedpsnr.Float64, 500)
+	for i := range f.Data {
+		f.Data[i] = math.Sin(float64(i) / 20)
+	}
+	stream, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModeAbs,
+		ErrorBound: 1e-4,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	g, _, _ := fixedpsnr.Decompress(stream)
+	d := fixedpsnr.CompareFields(f, g)
+	fmt.Printf("max error within bound: %v\n", d.MaxErr <= 1e-4)
+	// Output:
+	// max error within bound: true
+}

@@ -1,0 +1,104 @@
+// Cosmology: fixed-PSNR in one shot versus the traditional trial-and-error
+// workflow, on an NYX-like baryon-density field.
+//
+// Before fixed-PSNR mode, reaching a target quality meant compressing,
+// measuring the PSNR, adjusting the bound, and repeating — each iteration
+// a full compression of the (in production, multi-GB) field. This example
+// runs both workflows and reports what each costs.
+//
+// Run with: go run ./examples/cosmology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"fixedpsnr"
+	"fixedpsnr/datasets"
+)
+
+const target = 70.0 // dB
+
+func main() {
+	nyx := datasets.NYX(nil)
+	f, err := nyx.FieldByName("baryon_density", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field %s %v, %d points\n\n", f.Name, f.Dims, f.Len())
+
+	// --- Traditional workflow: iterate on the relative bound. ---------
+	start := time.Now()
+	ebRel := 1e-3 // a typical first guess
+	var iterations int
+	var actual float64
+	lo, hi := 0.0, 0.0
+	for {
+		iterations++
+		actual = compressAt(f, ebRel)
+		if math.Abs(actual-target) <= 0.5 || iterations >= 20 {
+			break
+		}
+		// Bracket, then bisect in log space — what a careful user
+		// scripts after the first few manual attempts.
+		if actual < target {
+			hi = ebRel
+			if lo == 0 {
+				ebRel /= 10
+			} else {
+				ebRel = math.Sqrt(lo * hi)
+			}
+		} else {
+			lo = ebRel
+			if hi == 0 {
+				ebRel *= 10
+			} else {
+				ebRel = math.Sqrt(lo * hi)
+			}
+		}
+	}
+	searchTime := time.Since(start)
+	fmt.Printf("traditional search: %d full compressions, %.0f ms, landed at %.2f dB (ebRel=%.3g)\n",
+		iterations, float64(searchTime.Microseconds())/1000, actual, ebRel)
+
+	// --- Fixed-PSNR workflow: derive the bound, compress once. --------
+	start = time.Now()
+	stream, res, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: target,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, _, err := fixedpsnr.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedTime := time.Since(start)
+	d := fixedpsnr.CompareFields(f, g)
+	fmt.Printf("fixed-PSNR mode:    1 compression,  %.0f ms, landed at %.2f dB (ebRel=%.3g from Eq. 8)\n",
+		float64(fixedTime.Microseconds())/1000, d.PSNR, res.EbRel)
+
+	fmt.Printf("\nspeedup: %.1fx fewer compressions (%d -> 1)\n", float64(iterations), iterations)
+	fmt.Printf("compression ratio at %g dB: %.1fx (%.2f bits/value)\n", target, res.Ratio, res.BitRate)
+}
+
+// compressAt performs one compress+decompress cycle at a value-range
+// relative bound and returns the measured PSNR — the unit of work the
+// traditional workflow repeats.
+func compressAt(f *fixedpsnr.Field, ebRel float64) float64 {
+	stream, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode:     fixedpsnr.ModeRel,
+		RelBound: ebRel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, _, err := fixedpsnr.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fixedpsnr.CompareFields(f, g).PSNR
+}

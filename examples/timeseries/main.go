@@ -1,0 +1,104 @@
+// Timeseries: replace temporal decimation with fixed-PSNR compression.
+//
+// The paper's introduction describes the status quo for storage-limited
+// simulations (HACC): dump only every k-th snapshot, losing temporal
+// continuity. This example generates an evolving field, archives it both
+// ways at similar storage, and compares what an analyst can reconstruct.
+//
+// Run with: go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fixedpsnr"
+	"fixedpsnr/internal/datagen"
+)
+
+const (
+	steps  = 24
+	target = 60.0 // dB per snapshot
+	k      = 4    // decimation factor to compare against
+)
+
+func main() {
+	series, err := datagen.TimeSeries([]int{96, 128}, steps, datagen.TimeSeriesOptions{
+		Beta: 3.4,
+		Rho:  0.9,
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := series[0].Len()
+
+	// --- Strategy A: keep every k-th snapshot, interpolate the rest. ---
+	var decErr float64
+	kept := 0
+	for t := 0; t < steps; t++ {
+		if t%k == 0 {
+			kept++
+			continue
+		}
+		t0 := (t / k) * k
+		t1 := t0 + k
+		if t1 >= steps {
+			t1 = t0
+		}
+		w := float64(t-t0) / float64(k)
+		if t1 == t0 {
+			w = 0
+		}
+		for i := 0; i < n; i++ {
+			approx := (1-w)*series[t0].Data[i] + w*series[t1].Data[i]
+			d := series[t].Data[i] - approx
+			decErr += d * d
+		}
+	}
+	decBits := 32.0 * float64(kept) / float64(steps)
+
+	// --- Strategy B: fixed-PSNR compress every snapshot. ---------------
+	var cmpErr, totalBits float64
+	for _, f := range series {
+		stream, res, err := fixedpsnr.CompressFixedPSNR(f, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, _, err := fixedpsnr.Decompress(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			d := f.Data[i] - g.Data[i]
+			cmpErr += d * d
+		}
+		totalBits += res.BitRate
+	}
+	cmpBits := totalBits / float64(steps)
+
+	// Pooled PSNR over the full series for both strategies.
+	vrLo, vrHi := math.Inf(1), math.Inf(-1)
+	for _, f := range series {
+		lo, hi, _ := f.ValueRange()
+		vrLo = math.Min(vrLo, lo)
+		vrHi = math.Max(vrHi, hi)
+	}
+	vr := vrHi - vrLo
+	psnr := func(sumSq float64) float64 {
+		mse := sumSq / float64(steps*n)
+		if mse == 0 {
+			return math.Inf(1)
+		}
+		return -10*math.Log10(mse) + 20*math.Log10(vr)
+	}
+
+	fmt.Printf("archiving %d snapshots of a %v field:\n\n", steps, series[0].Dims)
+	fmt.Printf("  decimate k=%d + interpolate: %5.2f bits/value  pooled PSNR %6.2f dB  (%d of %d steps kept)\n",
+		k, decBits, psnr(decErr), kept, steps)
+	fmt.Printf("  fixed-PSNR %g dB, all steps: %5.2f bits/value  pooled PSNR %6.2f dB  (%d of %d steps kept)\n",
+		target, cmpBits, psnr(cmpErr), steps, steps)
+	fmt.Println("\nsame storage class, every time step preserved, and tens of dB better fidelity —")
+	fmt.Println("the motivation the paper opens with.")
+}

@@ -1,0 +1,118 @@
+// Package bitstream implements MSB-first bit-level writers and readers.
+// The Huffman stage of the compressors uses it to pack variable-length
+// codes densely; it is also reused by the transform compressor's
+// sign/significance planes.
+package bitstream
+
+import (
+	"errors"
+)
+
+// ErrOutOfBits is returned by Reader methods when the stream is exhausted.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Writer accumulates bits most-significant-first into a byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits staged, left-aligned in the low `n` bits
+	n    uint   // number of staged bits (< 8 after flushCur)
+	bits int    // total bits written
+}
+
+// NewWriter returns a Writer with capacity hint of n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// WriteBit appends a single bit (any non-zero b writes 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.n++
+	w.bits++
+	if w.n == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.n = 0, 0
+	}
+}
+
+// WriteBits appends the low `width` bits of v, most significant first.
+// width must be ≤ 56 so the staging word cannot overflow.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 56 {
+		// split: high part then low 32
+		w.WriteBits(v>>32, width-32)
+		w.WriteBits(v&0xffffffff, 32)
+		return
+	}
+	w.cur = w.cur<<width | (v & (1<<width - 1))
+	w.n += width
+	w.bits += int(width)
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.n))
+	}
+	w.cur &= 1<<w.n - 1
+}
+
+// Bits returns the total number of bits written so far.
+func (w *Writer) Bits() int { return w.bits }
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// underlying buffer. The Writer remains usable only for reading the result;
+// further writes after Bytes are a programming error.
+func (w *Writer) Bytes() []byte {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.n)))
+		w.cur, w.n = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	cur uint // bit position within buf[pos] (0 = MSB)
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	b := (r.buf[r.pos] >> (7 - r.cur)) & 1
+	r.cur++
+	if r.cur == 8 {
+		r.cur = 0
+		r.pos++
+	}
+	return uint(b), nil
+}
+
+// ReadBits reads `width` bits MSB-first and returns them in the low bits of
+// the result. width must be ≤ 64.
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.cur)
+}

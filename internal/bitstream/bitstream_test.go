@@ -1,0 +1,164 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := &Writer{}
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1} // 10 bits
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Bits() != 10 {
+		t.Fatalf("Bits = %d, want 10", w.Bits())
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11110000, 8)
+	buf := w.Bytes()
+	// Expect 101 1111 0000 padded: 1011 1110 000xxxxx
+	if buf[0] != 0b10111110 {
+		t.Fatalf("first byte = %08b", buf[0])
+	}
+	if buf[1]&0b11100000 != 0 {
+		t.Fatalf("second byte = %08b", buf[1])
+	}
+}
+
+func TestWideWrites(t *testing.T) {
+	w := NewWriter(16)
+	v := uint64(0xDEADBEEFCAFE) // 48 bits
+	w.WriteBits(v, 48)
+	w.WriteBits(0x1FFFFFFFFFFFFFF, 57) // > 56 takes the split path
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("48-bit value = %x, want %x", got, v)
+	}
+	got2, err := r.ReadBits(57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 0x1FFFFFFFFFFFFFF {
+		t.Fatalf("57-bit value = %x", got2)
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(123, 0)
+	if w.Bits() != 0 {
+		t.Fatal("zero-width write should write nothing")
+	}
+}
+
+func TestReaderExhaustion(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining = %d, want 11", r.Remaining())
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	type op struct {
+		V uint64
+		W uint8
+	}
+	if err := quick.Check(func(ops []op) bool {
+		w := &Writer{}
+		var widths []uint
+		var values []uint64
+		for _, o := range ops {
+			width := uint(o.W%56) + 1
+			v := o.V & (1<<width - 1)
+			w.WriteBits(v, width)
+			widths = append(widths, width)
+			values = append(values, v)
+		}
+		r := NewReader(w.Bytes())
+		for i, width := range widths {
+			got, err := r.ReadBits(width)
+			if err != nil || got != values[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedBitAndBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := &Writer{}
+	var log []uint64
+	var kinds []int
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(2) == 0 {
+			b := uint(rng.Intn(2))
+			w.WriteBit(b)
+			log = append(log, uint64(b))
+			kinds = append(kinds, 0)
+		} else {
+			v := rng.Uint64() & 0xFFFF
+			w.WriteBits(v, 16)
+			log = append(log, v)
+			kinds = append(kinds, 1)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range log {
+		var got uint64
+		var err error
+		if kinds[i] == 0 {
+			var b uint
+			b, err = r.ReadBit()
+			got = uint64(b)
+		} else {
+			got, err = r.ReadBits(16)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("op %d = %x, want %x", i, got, want)
+		}
+	}
+}

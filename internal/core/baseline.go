@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompressProbe runs one error-bounded compression at the given relative
+// bound and reports the actual PSNR of the reconstruction. The iterative
+// baseline calls it repeatedly; the fixed-PSNR mode calls an equivalent
+// once.
+type CompressProbe func(ebRel float64) (actualPSNR float64, err error)
+
+// SearchResult records the outcome of the iterative tuning baseline.
+type SearchResult struct {
+	EbRel      float64 // final relative bound
+	ActualPSNR float64 // PSNR at the final bound
+	Iterations int     // number of full compressions executed
+	Converged  bool    // |actual − target| ≤ tol
+}
+
+// IterativeSearch emulates the paper's motivating workflow: a user without
+// fixed-PSNR support who re-runs the compressor with different
+// error-bound settings until the measured PSNR is within tolDB of the
+// target. The search brackets the target by decade steps on the relative
+// bound and then bisects in log space. Every probe is a full
+// compress+decompress cycle, which is exactly the cost the fixed-PSNR mode
+// eliminates.
+//
+// The search stops after maxIter probes; Converged reports whether the
+// tolerance was met. PSNR is monotonically non-increasing in ebRel for
+// the compressors in this module, which bisection relies on.
+func IterativeSearch(targetPSNR, tolDB float64, maxIter int, probe CompressProbe) (SearchResult, error) {
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tolDB <= 0 {
+		tolDB = 0.5
+	}
+	var res SearchResult
+
+	try := func(ebRel float64) (float64, error) {
+		res.Iterations++
+		psnr, err := probe(ebRel)
+		if err != nil {
+			return 0, fmt.Errorf("core: probe at ebrel=%g: %w", ebRel, err)
+		}
+		res.EbRel, res.ActualPSNR = ebRel, psnr
+		return psnr, nil
+	}
+
+	// A user's customary starting point: 1e-3 value-range-based bound.
+	eb := 1e-3
+	psnr, err := try(eb)
+	if err != nil {
+		return res, err
+	}
+	if math.Abs(psnr-targetPSNR) <= tolDB {
+		res.Converged = true
+		return res, nil
+	}
+
+	// Bracket the target with decade steps: smaller bound → higher PSNR.
+	lo, hi := eb, eb // lo: bound giving PSNR ≥ target; hi: PSNR ≤ target
+	if psnr < targetPSNR {
+		for res.Iterations < maxIter {
+			hi = eb
+			eb /= 10
+			if psnr, err = try(eb); err != nil {
+				return res, err
+			}
+			if math.Abs(psnr-targetPSNR) <= tolDB {
+				res.Converged = true
+				return res, nil
+			}
+			if psnr >= targetPSNR {
+				lo = eb
+				break
+			}
+			if eb < 1e-16 {
+				return res, fmt.Errorf("core: target PSNR %g dB unreachable (bound underflow)", targetPSNR)
+			}
+		}
+	} else {
+		for res.Iterations < maxIter {
+			lo = eb
+			eb *= 10
+			if psnr, err = try(eb); err != nil {
+				return res, err
+			}
+			if math.Abs(psnr-targetPSNR) <= tolDB {
+				res.Converged = true
+				return res, nil
+			}
+			if psnr <= targetPSNR {
+				hi = eb
+				break
+			}
+			if eb > 1 {
+				// Bound above the full value range: accept the
+				// coarsest setting as the bracket edge.
+				hi = eb
+				break
+			}
+		}
+	}
+
+	// Bisect in log space.
+	for res.Iterations < maxIter {
+		eb = math.Sqrt(lo * hi) // geometric midpoint
+		if psnr, err = try(eb); err != nil {
+			return res, err
+		}
+		if math.Abs(psnr-targetPSNR) <= tolDB {
+			res.Converged = true
+			return res, nil
+		}
+		if psnr > targetPSNR {
+			lo = eb
+		} else {
+			hi = eb
+		}
+	}
+	return res, nil
+}

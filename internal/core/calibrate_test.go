@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSEForPSNRInvertsPSNR(t *testing.T) {
+	for _, psnr := range []float64{20, 60, 100} {
+		for _, vr := range []float64{1.0, 42.0, 1e6} {
+			mse := MSEForPSNR(psnr, vr)
+			back := -10*math.Log10(mse) + 20*math.Log10(vr)
+			if math.Abs(back-psnr) > 1e-9 {
+				t.Fatalf("psnr %g vr %g: round trip %g", psnr, vr, back)
+			}
+		}
+	}
+}
+
+func TestNextDeltaSinglePointQuadraticLaw(t *testing.T) {
+	// With one point and the δ²∝MSE law, doubling the target MSE scales
+	// δ by √2.
+	next, err := NextDelta(1.0, 1e-4, 0, 0, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(next-math.Sqrt2) > 1e-12 {
+		t.Fatalf("next = %g, want √2", next)
+	}
+}
+
+func TestNextDeltaSecantRecoversPowerLaw(t *testing.T) {
+	// If MSE = c·δ^a exactly, the secant step lands on the exact
+	// solution for any a > 0.1.
+	for _, a := range []float64{0.5, 1, 2, 3} {
+		c := 7.5
+		mseAt := func(d float64) float64 { return c * math.Pow(d, a) }
+		d0, d1 := 1.0, 2.0
+		target := mseAt(3.3)
+		next, err := NextDelta(d0, mseAt(d0), d1, mseAt(d1), target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(next-3.3) > 1e-9 {
+			t.Fatalf("a=%g: next = %g, want 3.3", a, next)
+		}
+	}
+}
+
+func TestNextDeltaFlatCurveFallsBack(t *testing.T) {
+	// A nearly flat MSE(δ) (saturation) must not explode: the step is
+	// clamped to 16× the newest point.
+	next, err := NextDelta(1.0, 1e-4, 2.0, 1.0000001e-4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next > 32 {
+		t.Fatalf("flat-curve step not clamped: %g", next)
+	}
+}
+
+func TestNextDeltaClamps(t *testing.T) {
+	// Huge target jumps stay within [d/16, 16d].
+	next, err := NextDelta(1.0, 1e-8, 0, 0, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 16 {
+		t.Fatalf("upper clamp: %g", next)
+	}
+	next, err = NextDelta(1.0, 1e8, 0, 0, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 1.0/16 {
+		t.Fatalf("lower clamp: %g", next)
+	}
+}
+
+func TestNextDeltaValidates(t *testing.T) {
+	if _, err := NextDelta(0, 1, 0, 0, 1); err == nil {
+		t.Fatal("expected error for d0=0")
+	}
+	if _, err := NextDelta(1, 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error for mse0=0")
+	}
+	if _, err := NextDelta(1, 1, 0, 0, 0); err == nil {
+		t.Fatal("expected error for target=0")
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	vr := 10.0
+	mseAt := func(psnr float64) float64 { return MSEForPSNR(psnr, vr) }
+	if !WithinTolerance(mseAt(80.3), 80, vr, 0.5) {
+		t.Fatal("80.3 dB should be within 0.5 of 80")
+	}
+	if WithinTolerance(mseAt(81), 80, vr, 0.5) {
+		t.Fatal("81 dB should be outside 0.5 of 80")
+	}
+	if WithinTolerance(mseAt(79), 80, vr, 0.5) {
+		t.Fatal("79 dB should be outside 0.5 of 80")
+	}
+	if WithinTolerance(0, 80, vr, 0.5) {
+		t.Fatal("lossless should not count as within tolerance")
+	}
+}

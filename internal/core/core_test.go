@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Eq. 7 and Eq. 8 must be exact inverses.
+func TestEq7Eq8Inverse(t *testing.T) {
+	if err := quick.Check(func(raw float64) bool {
+		psnr := math.Mod(math.Abs(raw), 200)
+		if psnr == 0 {
+			return true
+		}
+		ebRel := RelBoundForPSNR(psnr)
+		back := EstimatePSNRFromRelBound(ebRel)
+		return almostEqual(back, psnr, 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEq8KnownValue(t *testing.T) {
+	// PSNR = 60 dB → ebrel = √3·10⁻³.
+	got := RelBoundForPSNR(60)
+	want := math.Sqrt(3) * 1e-3
+	if !almostEqual(got, want, 1e-15) {
+		t.Fatalf("RelBoundForPSNR(60) = %g, want %g", got, want)
+	}
+}
+
+func TestEq7MatchesEq6WithSZDelta(t *testing.T) {
+	// SZ sets δ = 2·ebabs; Eq. 7 must equal Eq. 6 at that δ.
+	vr, eb := 12.5, 3e-4
+	if got, want := EstimatePSNRFromAbsBound(vr, eb), EstimatePSNRUniform(vr, 2*eb); !almostEqual(got, want, 1e-9) {
+		t.Fatalf("Eq.7 %g != Eq.6 %g", got, want)
+	}
+}
+
+func TestAbsBoundForPSNRScalesWithRange(t *testing.T) {
+	if got := AbsBoundForPSNR(60, 10); !almostEqual(got, 10*RelBoundForPSNR(60), 1e-15) {
+		t.Fatalf("AbsBoundForPSNR = %g", got)
+	}
+}
+
+func TestDeltaForPSNRInvertsEq6(t *testing.T) {
+	vr := 7.25
+	for _, psnr := range []float64{20, 60, 100, 140} {
+		delta := DeltaForPSNR(psnr, vr)
+		if got := EstimatePSNRUniform(vr, delta); !almostEqual(got, psnr, 1e-9) {
+			t.Fatalf("Eq.6(DeltaForPSNR(%g)) = %g", psnr, got)
+		}
+	}
+}
+
+func TestEstimatorEdgeCases(t *testing.T) {
+	if !math.IsInf(EstimatePSNRUniform(0, 1), 1) {
+		t.Fatal("zero range should be +Inf")
+	}
+	if !math.IsInf(EstimatePSNRUniform(1, 0), 1) {
+		t.Fatal("zero delta should be +Inf (lossless)")
+	}
+	if !math.IsInf(EstimatePSNRFromAbsBound(1, 0), 1) {
+		t.Fatal("zero bound should be +Inf")
+	}
+	if !math.IsInf(EstimatePSNRFromRelBound(0), 1) {
+		t.Fatal("zero rel bound should be +Inf")
+	}
+}
+
+// Eq. 3 with uniform bins and total one-sided probability 1/2 must reduce
+// to the Eq. 6 closed form.
+func TestLayoutEstimatorReducesToUniform(t *testing.T) {
+	vr := 42.0
+	delta := 1e-3 * vr
+	n := 1000
+	widths := make([]float64, n)
+	density := make([]float64, n)
+	for i := range widths {
+		widths[i] = delta
+		// Σ P(mi)·δ = 1/2 → P(mi) = 1/(2nδ) distributed arbitrarily;
+		// uniform here.
+		density[i] = 1 / (2 * float64(n) * delta)
+	}
+	mse, err := EstimateMSEFromLayout(widths, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := delta * delta / 12; !almostEqual(mse, want, 1e-12*want) {
+		t.Fatalf("layout MSE = %g, want %g", mse, want)
+	}
+	psnr, err := EstimatePSNRFromLayout(widths, density, vr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := EstimatePSNRUniform(vr, delta); !almostEqual(psnr, want, 1e-9) {
+		t.Fatalf("layout PSNR = %g, want %g", psnr, want)
+	}
+}
+
+func TestLayoutEstimatorValidates(t *testing.T) {
+	if _, err := EstimateMSEFromLayout([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+	if _, err := EstimateMSEFromLayout([]float64{-1}, []float64{1}); err == nil {
+		t.Fatal("expected error for negative width")
+	}
+	if p, err := EstimatePSNRFromLayout(nil, nil, 1); err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("empty layout should be lossless: %g, %v", p, err)
+	}
+	if p, err := EstimatePSNRFromLayout([]float64{1}, []float64{0.5}, 0); err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("zero range should be +Inf: %g, %v", p, err)
+	}
+}
+
+func TestQuantizationMSEUniformErrors(t *testing.T) {
+	// Errors uniform in [−δ/2, δ/2) land in the center bin; their exact
+	// quantization MSE approaches δ²/12.
+	rng := rand.New(rand.NewSource(5))
+	delta := 0.02
+	errs := make([]float64, 200000)
+	for i := range errs {
+		errs[i] = (rng.Float64() - 0.5) * delta
+	}
+	mse, inRange := QuantizationMSE(errs, delta, 100)
+	want := UniformAssumptionMSE(delta)
+	if !almostEqual(mse, want, 0.02*want) {
+		t.Fatalf("uniform-error MSE = %g, want ≈ %g", mse, want)
+	}
+	if inRange != 1 {
+		t.Fatalf("inRange = %g, want 1", inRange)
+	}
+}
+
+func TestQuantizationMSEPeakedErrorsBeatAssumption(t *testing.T) {
+	// Sharply peaked errors (tiny compared to δ) have much lower true
+	// quantization MSE than δ²/12 — the paper's explanation for the
+	// overshoot at low PSNR targets.
+	rng := rand.New(rand.NewSource(6))
+	delta := 1.0
+	errs := make([]float64, 50000)
+	for i := range errs {
+		errs[i] = rng.NormFloat64() * 0.01
+	}
+	mse, _ := QuantizationMSE(errs, delta, 100)
+	if mse >= UniformAssumptionMSE(delta)/100 {
+		t.Fatalf("peaked-error MSE %g not ≪ uniform assumption %g", mse, UniformAssumptionMSE(delta))
+	}
+}
+
+func TestQuantizationMSEOutOfRange(t *testing.T) {
+	// Errors beyond the radius are literals: zero contribution.
+	errs := []float64{1000, -1000}
+	mse, inRange := QuantizationMSE(errs, 1, 4)
+	if mse != 0 || inRange != 0 {
+		t.Fatalf("out-of-range: mse=%g inRange=%g", mse, inRange)
+	}
+	if m, r := QuantizationMSE(nil, 1, 4); m != 0 || r != 0 {
+		t.Fatal("empty input should be zeros")
+	}
+	if m, r := QuantizationMSE([]float64{1}, 0, 4); m != 0 || r != 0 {
+		t.Fatal("zero delta should be zeros")
+	}
+}
+
+func TestPlanFixedPSNR(t *testing.T) {
+	p, err := PlanFixedPSNR(80, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p.EbRel, math.Sqrt(3)*1e-4, 1e-18) {
+		t.Fatalf("EbRel = %g", p.EbRel)
+	}
+	if !almostEqual(p.EbAbs, p.EbRel*100, 1e-15) {
+		t.Fatalf("EbAbs = %g", p.EbAbs)
+	}
+	if p.Constant {
+		t.Fatal("non-constant plan flagged constant")
+	}
+}
+
+func TestPlanFixedPSNRConstantField(t *testing.T) {
+	p, err := PlanFixedPSNR(80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Constant {
+		t.Fatal("zero-range plan should be constant")
+	}
+}
+
+func TestPlanFixedPSNRValidates(t *testing.T) {
+	for _, psnr := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := PlanFixedPSNR(psnr, 1); err == nil {
+			t.Fatalf("expected error for target %g", psnr)
+		}
+	}
+	for _, vr := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := PlanFixedPSNR(60, vr); err == nil {
+			t.Fatalf("expected error for range %g", vr)
+		}
+	}
+}
+
+// The planned bound, pushed back through the estimator, reproduces the
+// target exactly for any positive range.
+func TestPlanRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(rawPSNR, rawVR float64) bool {
+		psnr := 1 + math.Mod(math.Abs(rawPSNR), 180)
+		vr := math.Abs(rawVR)
+		if vr == 0 || math.IsInf(vr, 0) || math.IsNaN(vr) || vr > 1e30 {
+			return true
+		}
+		p, err := PlanFixedPSNR(psnr, vr)
+		if err != nil {
+			return false
+		}
+		back := EstimatePSNRFromAbsBound(vr, p.EbAbs)
+		return almostEqual(back, psnr, 1e-6)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package datagen
+
+import "testing"
+
+func BenchmarkGRF2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GRF([]int{180, 360}, GRFOptions{Beta: 3.2, Seed: int64(i), Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGRF3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GRF([]int{64, 64, 64}, GRFOptions{Beta: 3.2, Seed: int64(i), Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeATMField(b *testing.B) {
+	ds := ATM(nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Field(i%ds.NumFields(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimeSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TimeSeries([]int{64, 64}, 8, TimeSeriesOptions{Beta: 3.2, Seed: int64(i), Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package datagen
+
+import (
+	"fmt"
+
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/parallel"
+)
+
+// Dataset is a registry of synthetic fields standing in for one of the
+// paper's Table I data sets.
+type Dataset struct {
+	// Name is the data-set identifier ("NYX", "ATM", "Hurricane").
+	Name string
+	// Dims is the synthesis grid (configurable, defaults are
+	// laptop-scale reductions of the paper's grids).
+	Dims []int
+	// PaperDims and PaperSizeGB record the original data set for
+	// Table I rendering.
+	PaperDims   []int
+	PaperSizeGB float64
+	// Specs lists the fields; len(Specs) matches the paper's field
+	// counts (6 / 79 / 13).
+	Specs []Spec
+}
+
+// Default grid sizes: reductions of the paper's grids that keep every
+// experiment runnable on a laptop while preserving multi-dimensional
+// structure. Override via the constructors' dims argument.
+var (
+	DefaultNYXDims       = []int{64, 64, 64}   // paper: 2048³
+	DefaultATMDims       = []int{180, 360}     // paper: 1800×3600
+	DefaultHurricaneDims = []int{25, 125, 125} // paper: 100×500×500
+)
+
+// NumFields returns the number of fields in the set.
+func (d *Dataset) NumFields() int { return len(d.Specs) }
+
+// SizeBytes returns the nominal single-precision footprint of the whole
+// synthetic data set.
+func (d *Dataset) SizeBytes() int64 {
+	n := int64(1)
+	for _, dim := range d.Dims {
+		n *= int64(dim)
+	}
+	return n * 4 * int64(len(d.Specs))
+}
+
+// Field synthesizes field i.
+func (d *Dataset) Field(i, workers int) (*field.Field, error) {
+	if i < 0 || i >= len(d.Specs) {
+		return nil, fmt.Errorf("datagen: %s has no field %d", d.Name, i)
+	}
+	return Synthesize(d.Name, d.Specs[i], d.Dims, workers)
+}
+
+// FieldByName synthesizes the named field.
+func (d *Dataset) FieldByName(name string, workers int) (*field.Field, error) {
+	for i, s := range d.Specs {
+		if s.Name == name {
+			return d.Field(i, workers)
+		}
+	}
+	return nil, fmt.Errorf("datagen: %s has no field %q", d.Name, name)
+}
+
+// Fields synthesizes every field, parallelizing across fields.
+func (d *Dataset) Fields(workers int) ([]*field.Field, error) {
+	out := make([]*field.Field, len(d.Specs))
+	err := parallel.ForEach(len(d.Specs), workers, func(i int) error {
+		f, err := d.Field(i, 1)
+		if err != nil {
+			return err
+		}
+		out[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NYX builds the cosmology data-set registry (6 fields, 3-D). Passing nil
+// dims selects DefaultNYXDims. Baryon and dark-matter densities are
+// lognormal with several decades of dynamic range; temperature is a
+// positive lognormal; velocities are smooth signed fields, all following
+// the qualitative structure of Nyx outputs.
+func NYX(dims []int) *Dataset {
+	if dims == nil {
+		dims = DefaultNYXDims
+	}
+	return &Dataset{
+		Name:        "NYX",
+		Dims:        dims,
+		PaperDims:   []int{2048, 2048, 2048},
+		PaperSizeGB: 206,
+		Specs: []Spec{
+			{Name: "baryon_density", Kind: KindLognormal, Beta: 3.0, Sigma: 0.7, Scale: 1, Offset: 0},
+			{Name: "dark_matter_density", Kind: KindLognormal, Beta: 2.7, Sigma: 0.85, Scale: 1, Offset: 0},
+			{Name: "temperature", Kind: KindLognormal, Beta: 3.2, Sigma: 0.6, Scale: 1.2e4, Offset: 2e3},
+			{Name: "velocity_x", Kind: KindSmooth, Beta: 3.6, Scale: 8.5e6},
+			{Name: "velocity_y", Kind: KindSmooth, Beta: 3.6, Scale: 8.5e6},
+			{Name: "velocity_z", Kind: KindSmooth, Beta: 3.6, Scale: 8.5e6},
+		},
+	}
+}
+
+// Hurricane builds the Hurricane-ISABEL registry (13 fields, 3-D): the 13
+// variables of the IEEE Visualization 2004 contest data. Hydrometeor
+// mixing ratios are sparse, the wind components form a Rankine vortex with
+// turbulence, pressure and temperature are smooth.
+func Hurricane(dims []int) *Dataset {
+	if dims == nil {
+		dims = DefaultHurricaneDims
+	}
+	return &Dataset{
+		Name:        "Hurricane",
+		Dims:        dims,
+		PaperDims:   []int{100, 500, 500},
+		PaperSizeGB: 62.4,
+		Specs: []Spec{
+			{Name: "QCLOUD", Kind: KindSparse, Beta: 2.8, Scale: 1.5e-3, Thresh: 0.8},
+			{Name: "QGRAUP", Kind: KindSparse, Beta: 2.5, Scale: 2.0e-3, Thresh: 1.3},
+			{Name: "QICE", Kind: KindSparse, Beta: 2.6, Scale: 1.0e-3, Thresh: 1.1},
+			{Name: "QRAIN", Kind: KindSparse, Beta: 2.7, Scale: 2.5e-3, Thresh: 1.0},
+			{Name: "QSNOW", Kind: KindSparse, Beta: 2.6, Scale: 1.2e-3, Thresh: 1.2},
+			{Name: "QVAPOR", Kind: KindLognormal, Beta: 3.3, Sigma: 0.9, Scale: 8e-3},
+			{Name: "CLOUD", Kind: KindClipped, Beta: 2.9, Sigma: 0.45, Thresh: 0.35},
+			{Name: "PRECIP", Kind: KindSparse, Beta: 2.4, Scale: 3.0e-3, Thresh: 0.9},
+			{Name: "P", Kind: KindSmooth, Beta: 4.0, Offset: 500, Scale: 1200},
+			{Name: "TC", Kind: KindSmooth, Beta: 3.7, Offset: 10, Scale: 18},
+			{Name: "U", Kind: KindVortexU, Beta: 3.0, Sigma: 4.5, Scale: 65},
+			{Name: "V", Kind: KindVortexV, Beta: 3.0, Sigma: 4.5, Scale: 65},
+			{Name: "W", Kind: KindVortexW, Beta: 2.8, Sigma: 2.5, Scale: 55},
+		},
+	}
+}
+
+// ATM builds the CESM-ATM climate registry: 79 two-dimensional fields
+// named after CESM Large Ensemble atmosphere output. Recipes follow the
+// variable class: cloud fractions are clipped to [0,1], precipitation and
+// snow fields are sparse, temperatures/pressures/geopotentials are smooth
+// with physical offsets, humidities and number concentrations are
+// lognormal, winds are signed and rougher. Spectral exponents spread over
+// [2.2, 4.6] to give the estimator a diverse population, which is what
+// produces the non-trivial STDEV columns in Table II.
+func ATM(dims []int) *Dataset {
+	if dims == nil {
+		dims = DefaultATMDims
+	}
+	return &Dataset{
+		Name:        "ATM",
+		Dims:        dims,
+		PaperDims:   []int{1800, 3600},
+		PaperSizeGB: 1536,
+		Specs:       atmSpecs(),
+	}
+}
+
+func atmSpecs() []Spec {
+	return []Spec{
+		// Cloud fraction family — hard saturation at 0 and 1.
+		{Name: "CLDHGH", Kind: KindClipped, Beta: 2.8, Sigma: 0.42, Thresh: 0.35},
+		{Name: "CLDLOW", Kind: KindClipped, Beta: 2.6, Sigma: 0.45, Thresh: 0.45},
+		{Name: "CLDMED", Kind: KindClipped, Beta: 2.7, Sigma: 0.40, Thresh: 0.40},
+		{Name: "CLDTOT", Kind: KindClipped, Beta: 2.9, Sigma: 0.38, Thresh: 0.60},
+		{Name: "CLOUD", Kind: KindClipped, Beta: 2.8, Sigma: 0.35, Thresh: 0.30},
+		{Name: "FICE", Kind: KindClipped, Beta: 2.5, Sigma: 0.50, Thresh: 0.50},
+		{Name: "ICEFRAC", Kind: KindClipped, Beta: 3.4, Sigma: 0.55, Thresh: 0.15},
+		{Name: "LANDFRAC", Kind: KindClipped, Beta: 3.8, Sigma: 0.70, Thresh: 0.30},
+		{Name: "OCNFRAC", Kind: KindClipped, Beta: 3.8, Sigma: 0.70, Thresh: 0.70},
+		{Name: "RELHUM", Kind: KindClipped, Beta: 3.0, Sigma: 0.30, Thresh: 0.65},
+
+		// Precipitation / snow — sparse positive bursts.
+		{Name: "PRECC", Kind: KindSparse, Beta: 2.3, Scale: 2.5e-7, Thresh: 1.1},
+		{Name: "PRECL", Kind: KindSparse, Beta: 2.5, Scale: 1.8e-7, Thresh: 0.9},
+		{Name: "PRECSC", Kind: KindSparse, Beta: 2.3, Scale: 6.0e-8, Thresh: 1.5},
+		{Name: "PRECSL", Kind: KindSparse, Beta: 2.4, Scale: 5.0e-8, Thresh: 1.4},
+		{Name: "SNOWHICE", Kind: KindSparse, Beta: 2.9, Scale: 0.4, Thresh: 1.0},
+		{Name: "SNOWHLND", Kind: KindSparse, Beta: 2.8, Scale: 0.5, Thresh: 1.1},
+
+		// Surface/TOA radiative fluxes — smooth, positive, moderate range.
+		{Name: "FLDS", Kind: KindSmooth, Beta: 3.5, Offset: 340, Scale: 60},
+		{Name: "FLNS", Kind: KindSmooth, Beta: 3.2, Offset: 65, Scale: 30},
+		{Name: "FLNSC", Kind: KindSmooth, Beta: 3.4, Offset: 80, Scale: 30},
+		{Name: "FLNT", Kind: KindSmooth, Beta: 3.6, Offset: 235, Scale: 45},
+		{Name: "FLNTC", Kind: KindSmooth, Beta: 3.7, Offset: 260, Scale: 40},
+		{Name: "FLUT", Kind: KindSmooth, Beta: 3.5, Offset: 240, Scale: 50},
+		{Name: "FLUTC", Kind: KindSmooth, Beta: 3.7, Offset: 265, Scale: 40},
+		{Name: "FSDS", Kind: KindSmooth, Beta: 3.3, Offset: 190, Scale: 80},
+		{Name: "FSDSC", Kind: KindSmooth, Beta: 4.0, Offset: 230, Scale: 70},
+		{Name: "FSNS", Kind: KindSmooth, Beta: 3.2, Offset: 160, Scale: 70},
+		{Name: "FSNSC", Kind: KindSmooth, Beta: 3.9, Offset: 200, Scale: 65},
+		{Name: "FSNT", Kind: KindSmooth, Beta: 3.4, Offset: 240, Scale: 70},
+		{Name: "FSNTC", Kind: KindSmooth, Beta: 3.9, Offset: 270, Scale: 60},
+		{Name: "FSNTOA", Kind: KindSmooth, Beta: 3.4, Offset: 245, Scale: 70},
+		{Name: "FSNTOAC", Kind: KindSmooth, Beta: 3.9, Offset: 275, Scale: 60},
+		{Name: "SOLIN", Kind: KindSmooth, Beta: 4.6, Offset: 1180, Scale: 180},
+		{Name: "LWCF", Kind: KindSmooth, Beta: 3.1, Offset: 25, Scale: 18},
+		{Name: "SWCF", Kind: KindSmooth, Beta: 3.0, Offset: -45, Scale: 30},
+		{Name: "QRL", Kind: KindSmooth, Beta: 2.9, Offset: -1.5e-5, Scale: 1.0e-5},
+		{Name: "QRS", Kind: KindSmooth, Beta: 3.0, Offset: 1.2e-5, Scale: 0.8e-5},
+
+		// Turbulent fluxes.
+		{Name: "LHFLX", Kind: KindLognormal, Beta: 2.8, Sigma: 0.8, Scale: 60, Offset: 2},
+		{Name: "SHFLX", Kind: KindSmooth, Beta: 2.7, Offset: 20, Scale: 35},
+		{Name: "QFLX", Kind: KindLognormal, Beta: 2.7, Sigma: 0.8, Scale: 2.5e-5},
+		{Name: "TAUX", Kind: KindSmooth, Beta: 2.9, Offset: 0, Scale: 0.12},
+		{Name: "TAUY", Kind: KindSmooth, Beta: 2.9, Offset: 0, Scale: 0.10},
+
+		// Temperatures — very smooth with offsets.
+		{Name: "T010", Kind: KindSmooth, Beta: 4.3, Offset: 232, Scale: 9},
+		{Name: "T200", Kind: KindSmooth, Beta: 4.2, Offset: 218, Scale: 7},
+		{Name: "T500", Kind: KindSmooth, Beta: 4.1, Offset: 253, Scale: 10},
+		{Name: "T850", Kind: KindSmooth, Beta: 4.0, Offset: 275, Scale: 12},
+		{Name: "TREFHT", Kind: KindSmooth, Beta: 3.8, Offset: 288, Scale: 15},
+		{Name: "TS", Kind: KindSmooth, Beta: 3.7, Offset: 289, Scale: 16},
+
+		// Pressures and geopotential heights — smoothest fields.
+		{Name: "PS", Kind: KindSmooth, Beta: 4.4, Offset: 98500, Scale: 1400},
+		{Name: "PSL", Kind: KindSmooth, Beta: 4.5, Offset: 101100, Scale: 900},
+		{Name: "PHIS", Kind: KindLognormal, Beta: 2.6, Sigma: 1.0, Scale: 2500},
+		{Name: "Z050", Kind: KindSmooth, Beta: 4.5, Offset: 20500, Scale: 320},
+		{Name: "Z500", Kind: KindSmooth, Beta: 4.4, Offset: 5650, Scale: 160},
+		{Name: "PBLH", Kind: KindLognormal, Beta: 2.7, Sigma: 0.7, Scale: 520, Offset: 40},
+
+		// Humidity family — lognormal, small magnitudes.
+		{Name: "Q200", Kind: KindLognormal, Beta: 3.1, Sigma: 0.9, Scale: 4e-5},
+		{Name: "Q500", Kind: KindLognormal, Beta: 3.0, Sigma: 1.0, Scale: 9e-4},
+		{Name: "Q850", Kind: KindLognormal, Beta: 2.9, Sigma: 0.9, Scale: 6e-3},
+		{Name: "QREFHT", Kind: KindLognormal, Beta: 2.9, Sigma: 0.8, Scale: 9e-3},
+		{Name: "TMQ", Kind: KindLognormal, Beta: 3.2, Sigma: 0.7, Scale: 18, Offset: 1},
+		{Name: "TGCLDIWP", Kind: KindSparse, Beta: 2.6, Scale: 0.08, Thresh: 0.7},
+		{Name: "TGCLDLWP", Kind: KindSparse, Beta: 2.6, Scale: 0.12, Thresh: 0.6},
+
+		// Winds — signed, rougher spectra.
+		{Name: "U010", Kind: KindSmooth, Beta: 3.3, Offset: 5, Scale: 16},
+		{Name: "U200", Kind: KindSmooth, Beta: 3.4, Offset: 12, Scale: 18},
+		{Name: "U500", Kind: KindSmooth, Beta: 3.3, Offset: 6, Scale: 14},
+		{Name: "U850", Kind: KindSmooth, Beta: 3.2, Offset: 1, Scale: 10},
+		{Name: "U10", Kind: KindLognormal, Beta: 2.8, Sigma: 0.6, Scale: 6, Offset: 0.5},
+		{Name: "V200", Kind: KindSmooth, Beta: 3.3, Offset: 0, Scale: 12},
+		{Name: "V500", Kind: KindSmooth, Beta: 3.2, Offset: 0, Scale: 10},
+		{Name: "V850", Kind: KindSmooth, Beta: 3.1, Offset: 0, Scale: 8},
+		{Name: "OMEGA500", Kind: KindSmooth, Beta: 2.6, Offset: 0, Scale: 0.12},
+		{Name: "WSPDSRFMX", Kind: KindLognormal, Beta: 2.7, Sigma: 0.5, Scale: 8, Offset: 1},
+
+		// Dynamical products — roughest spectra (products of fields).
+		{Name: "OMEGAT", Kind: KindSmooth, Beta: 2.4, Offset: 0, Scale: 30},
+		{Name: "UU", Kind: KindLognormal, Beta: 2.3, Sigma: 0.8, Scale: 250},
+		{Name: "VV", Kind: KindLognormal, Beta: 2.3, Sigma: 0.8, Scale: 150},
+		{Name: "VQ", Kind: KindSmooth, Beta: 2.4, Offset: 0, Scale: 0.05},
+		{Name: "VT", Kind: KindSmooth, Beta: 2.5, Offset: 0, Scale: 900},
+		{Name: "VU", Kind: KindSmooth, Beta: 2.4, Offset: 0, Scale: 120},
+
+		// Aerosol / microphysics diagnostics — wide dynamic range.
+		{Name: "AEROD_v", Kind: KindLognormal, Beta: 2.8, Sigma: 0.9, Scale: 0.12},
+		{Name: "CCN3", Kind: KindLognormal, Beta: 2.5, Sigma: 1.0, Scale: 90},
+		{Name: "CDNUMC", Kind: KindLognormal, Beta: 2.5, Sigma: 1.0, Scale: 2.5e10},
+	}
+}
+
+// Registry returns the three paper data sets at their default scales.
+func Registry() []*Dataset {
+	return []*Dataset{NYX(nil), ATM(nil), Hurricane(nil)}
+}
+
+// ByName returns the named data set at default scale.
+func ByName(name string) (*Dataset, error) {
+	for _, d := range Registry() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("datagen: unknown data set %q (want NYX, ATM, or Hurricane)", name)
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fixedpsnr/internal/field"
+)
+
+// Kind selects the domain transform applied to the base Gaussian random
+// field to mimic a physical variable class.
+type Kind uint8
+
+// Field kinds.
+const (
+	// KindSmooth: offset + scale·g. Temperatures, pressures, geopotential.
+	KindSmooth Kind = iota
+	// KindLognormal: offset + scale·exp(sigma·g). Densities, humidities —
+	// high dynamic range, strictly positive.
+	KindLognormal
+	// KindClipped: sigmoid((sigma·g + thresh − 0.5)/0.12) — cloud
+	// fractions: values crowd 0 and 1 but never flatten exactly, the
+	// way time-averaged fraction fields do.
+	KindClipped
+	// KindSparse: scale·(max(0, g − thresh)² + background). Strong
+	// positive bursts over a weak smooth background, like precipitation
+	// or hydrometeor fields in time-averaged output.
+	KindSparse
+	// KindVortexU / KindVortexV: horizontal wind components of a Rankine
+	// vortex plus spectral turbulence (3-D fields only; the slowest
+	// dimension is treated as height).
+	KindVortexU
+	KindVortexV
+	// KindVortexW: vertical velocity — updraft ring around the eyewall
+	// plus turbulence.
+	KindVortexW
+)
+
+// Spec describes one synthetic field.
+type Spec struct {
+	Name string
+	Kind Kind
+	// Beta is the spectral exponent of the underlying GRF.
+	Beta float64
+	// Sigma scales the GRF inside the transform (lognormal width, clip
+	// amplitude, turbulence amplitude, …).
+	Sigma float64
+	// Offset and Scale place the final field in a physical-looking range.
+	Offset, Scale float64
+	// Thresh is the sparsity threshold for KindSparse (in GRF sigmas)
+	// and the saturation level for KindClipped.
+	Thresh float64
+	// Background is the relative amplitude of the smooth floor under
+	// KindSparse bursts (0 selects the default 0.01).
+	Background float64
+}
+
+// Synthesize builds the field described by spec on the given grid. The
+// result is rounded to float32, matching the single-precision data sets
+// used in the paper.
+func Synthesize(dataset string, spec Spec, dims []int, workers int) (*field.Field, error) {
+	g, err := GRF(dims, GRFOptions{
+		Beta:    spec.Beta,
+		Seed:    seedFor(dataset, spec.Name),
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %s/%s: %w", dataset, spec.Name, err)
+	}
+	out := field.New(spec.Name, field.Float32, dims...)
+	switch spec.Kind {
+	case KindSmooth:
+		for i, v := range g {
+			out.Data[i] = spec.Offset + spec.Scale*v
+		}
+	case KindLognormal:
+		for i, v := range g {
+			out.Data[i] = spec.Offset + spec.Scale*math.Exp(spec.Sigma*v)
+		}
+	case KindClipped:
+		for i, v := range g {
+			z := (spec.Sigma*v + spec.Thresh - 0.5) / 0.12
+			out.Data[i] = 1 / (1 + math.Exp(-z))
+		}
+	case KindSparse:
+		bg := spec.Background
+		if bg == 0 {
+			bg = 0.01
+		}
+		for i, v := range g {
+			x := v - spec.Thresh
+			if x < 0 {
+				x = 0
+			}
+			out.Data[i] = spec.Scale * (x*x + bg*(1+math.Tanh(0.7*v)))
+		}
+	case KindVortexU, KindVortexV, KindVortexW:
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("datagen: %s/%s: vortex kinds need a 3-D grid", dataset, spec.Name)
+		}
+		synthVortex(out, g, spec)
+	default:
+		return nil, fmt.Errorf("datagen: %s/%s: unknown kind %d", dataset, spec.Name, spec.Kind)
+	}
+	out.RoundToFloat32()
+	return out, nil
+}
+
+// synthVortex writes a Rankine-vortex wind component plus turbulence. The
+// eye drifts with height to avoid a perfectly axisymmetric (and therefore
+// unrealistically predictable) field.
+func synthVortex(out *field.Field, g []float64, spec Spec) {
+	nz, ny, nx := out.Dims[0], out.Dims[1], out.Dims[2]
+	vmax := spec.Scale
+	rc := 0.15 // eyewall radius in normalized units
+	rng := rand.New(rand.NewSource(seedFor("vortex-track", spec.Name)))
+	phase := rng.Float64() * 2 * math.Pi
+	idx := 0
+	for iz := 0; iz < nz; iz++ {
+		z := 0.0
+		if nz > 1 {
+			z = float64(iz) / float64(nz-1)
+		}
+		// Eye center drifts on a slow helix with height.
+		xc := 0.15 * math.Sin(2*math.Pi*z+phase)
+		yc := 0.15 * math.Cos(2*math.Pi*z+phase)
+		decay := 1 - 0.6*z // winds weaken aloft
+		for iy := 0; iy < ny; iy++ {
+			y := -1 + 2*float64(iy)/float64(ny-1)
+			for ix := 0; ix < nx; ix++ {
+				x := -1 + 2*float64(ix)/float64(nx-1)
+				dx, dy := x-xc, y-yc
+				r := math.Hypot(dx, dy)
+				var vt float64
+				if r < rc {
+					vt = vmax * r / rc
+				} else {
+					vt = vmax * rc / r * math.Exp(-(r-rc)/0.8)
+				}
+				var base float64
+				switch spec.Kind {
+				case KindVortexU:
+					if r > 0 {
+						base = -vt * dy / r
+					}
+				case KindVortexV:
+					if r > 0 {
+						base = vt * dx / r
+					}
+				case KindVortexW:
+					// Updraft ring at the eyewall, strongest mid-column.
+					ring := math.Exp(-((r - rc) / 0.08) * ((r - rc) / 0.08))
+					base = 0.15 * vmax * ring * math.Sin(math.Pi*z)
+				}
+				out.Data[idx] = decay*base + spec.Sigma*g[idx]
+				idx++
+			}
+		}
+	}
+}

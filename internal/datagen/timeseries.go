@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"fixedpsnr/internal/fft"
+	"fixedpsnr/internal/field"
+)
+
+// TimeSeriesOptions parameterizes the evolving-field generator.
+type TimeSeriesOptions struct {
+	// Beta is the spatial spectral exponent (as in GRFOptions).
+	Beta float64
+	// Rho is the per-step spectral correlation in (0, 1]; higher means
+	// slower evolution (default 0.95).
+	Rho float64
+	// OmegaScale sets the phase-advection rate per wavenumber per step
+	// (default 0.05 rad per unit wavenumber) — the "weather moves"
+	// term.
+	OmegaScale float64
+	// Seed makes the series reproducible.
+	Seed int64
+	// Workers bounds FFT parallelism.
+	Workers int
+}
+
+// TimeSeries generates `steps` temporally correlated snapshots of a smooth
+// field: the spectral coefficients evolve by phase advection plus an
+// Ornstein–Uhlenbeck refresh, so consecutive snapshots look like
+// consecutive dumps of a simulation. It backs the temporal-decimation
+// experiment (the paper's introduction describes HACC keeping only every
+// k-th snapshot to fit storage, "degrading the consecutiveness of
+// simulation in time").
+//
+// All snapshots share one normalization so temporal differences are
+// meaningful; each is rounded to float32 like a real dump.
+func TimeSeries(dims []int, steps int, opt TimeSeriesOptions) ([]*field.Field, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("datagen: need a positive number of steps, got %d", steps)
+	}
+	if len(dims) == 0 || len(dims) > 3 {
+		return nil, fmt.Errorf("datagen: time series supports 1–3 dims, got %d", len(dims))
+	}
+	if opt.Rho == 0 {
+		opt.Rho = 0.95
+	}
+	if opt.Rho <= 0 || opt.Rho > 1 {
+		return nil, fmt.Errorf("datagen: rho must be in (0, 1], got %g", opt.Rho)
+	}
+	if opt.OmegaScale == 0 {
+		opt.OmegaScale = 0.05
+	}
+
+	pdims := make([]int, len(dims))
+	ptotal := 1
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("datagen: non-positive dimension %d", d)
+		}
+		pdims[i] = fft.NextPow2(d)
+		ptotal *= pdims[i]
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Initial spectrum and the per-coefficient amplitude/phase-rate
+	// tables.
+	state := make([]complex128, ptotal)
+	amp := make([]float64, ptotal)
+	omega := make([]float64, ptotal)
+	fillSpectrum(state, pdims, opt.Beta, 1, rng)
+	rank := len(pdims)
+	idx := make([]int, rank)
+	for i := range state {
+		rem := i
+		for a := rank - 1; a >= 0; a-- {
+			idx[a] = rem % pdims[a]
+			rem /= pdims[a]
+		}
+		var kap2 float64
+		for a := 0; a < rank; a++ {
+			f := idx[a]
+			if f > pdims[a]/2 {
+				f = pdims[a] - f
+			}
+			kap2 += float64(f) * float64(f)
+		}
+		if kap2 == 0 {
+			amp[i] = 0
+			continue
+		}
+		amp[i] = math.Pow(kap2+1, -opt.Beta/4)
+		omega[i] = opt.OmegaScale * math.Sqrt(kap2)
+	}
+
+	refresh := math.Sqrt(1 - opt.Rho*opt.Rho)
+	var norm float64 // set from the first snapshot
+
+	out := make([]*field.Field, steps)
+	work := make([]complex128, ptotal)
+	for t := 0; t < steps; t++ {
+		if t > 0 {
+			for i := range state {
+				if amp[i] == 0 {
+					continue
+				}
+				rot := cmplx.Exp(complex(0, omega[i]))
+				fresh := complex(amp[i]*rng.NormFloat64(), amp[i]*rng.NormFloat64())
+				state[i] = complex(opt.Rho, 0)*state[i]*rot + complex(refresh, 0)*fresh
+			}
+		}
+		copy(work, state)
+		if err := fft.InverseND(work, pdims, opt.Workers); err != nil {
+			return nil, err
+		}
+		f := field.New(fmt.Sprintf("t%03d", t), field.Float32, dims...)
+		crop(f.Data, work, dims, pdims)
+		if t == 0 {
+			var sum, sumSq float64
+			for _, v := range f.Data {
+				sum += v
+			}
+			mean := sum / float64(len(f.Data))
+			for _, v := range f.Data {
+				sumSq += (v - mean) * (v - mean)
+			}
+			sd := math.Sqrt(sumSq / float64(len(f.Data)))
+			if sd == 0 {
+				sd = 1
+			}
+			norm = 1 / sd
+		}
+		for i := range f.Data {
+			f.Data[i] *= norm
+		}
+		f.RoundToFloat32()
+		out[t] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Table I, Figure 1, Figure 2, Table II) plus the extension
+// studies listed in DESIGN.md, on the synthetic stand-in data sets of
+// internal/datagen. Each experiment returns plain data and renders to a
+// writer, so the same code backs the CLI (cmd/fpsz-bench), the integration
+// tests, and the benchmark harness.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fixedpsnr"
+	"fixedpsnr/internal/datagen"
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/parallel"
+	"fixedpsnr/internal/stats"
+)
+
+// Config scales and parallelizes the experiments.
+type Config struct {
+	// NYXDims, ATMDims, HurricaneDims override the default synthesis
+	// grids (nil keeps the laptop-scale defaults).
+	NYXDims, ATMDims, HurricaneDims []int
+	// Workers bounds concurrency (0 = all CPUs).
+	Workers int
+}
+
+// Datasets instantiates the three registries at the configured scale.
+func (c Config) Datasets() []*datagen.Dataset {
+	return []*datagen.Dataset{
+		datagen.NYX(c.NYXDims),
+		datagen.ATM(c.ATMDims),
+		datagen.Hurricane(c.HurricaneDims),
+	}
+}
+
+// Dataset returns one registry by name at the configured scale.
+func (c Config) Dataset(name string) (*datagen.Dataset, error) {
+	for _, d := range c.Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown data set %q", name)
+}
+
+// FieldRun is the outcome of one fixed-PSNR compression of one field.
+type FieldRun struct {
+	Field      string
+	Target     float64 // requested PSNR (dB)
+	Actual     float64 // measured PSNR after decompression (dB)
+	Ratio      float64 // compression ratio
+	BitRate    float64 // bits per value
+	CompressMS float64 // wall time of the compression call
+}
+
+// RunFixedPSNR compresses one field at the target PSNR with the public
+// API, decompresses, and measures the actual PSNR.
+func RunFixedPSNR(f *field.Field, target float64, workers int) (FieldRun, error) {
+	start := time.Now()
+	blob, res, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: target,
+		Workers:    workers,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return FieldRun{}, fmt.Errorf("experiment: %s @ %g dB: %w", f.Name, target, err)
+	}
+	g, _, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		return FieldRun{}, fmt.Errorf("experiment: %s @ %g dB: %w", f.Name, target, err)
+	}
+	d := stats.Compare(f.Data, g.Data)
+	return FieldRun{
+		Field:      f.Name,
+		Target:     target,
+		Actual:     d.PSNR,
+		Ratio:      res.Ratio,
+		BitRate:    res.BitRate,
+		CompressMS: float64(elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+// RunDataset compresses every field of a data set at one target PSNR,
+// parallelizing across fields.
+func RunDataset(ds *datagen.Dataset, fields []*field.Field, target float64, workers int) ([]FieldRun, error) {
+	runs := make([]FieldRun, len(fields))
+	err := parallel.ForEach(len(fields), workers, func(i int) error {
+		r, err := RunFixedPSNR(fields[i], target, 1)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", ds.Name, err)
+	}
+	return runs, nil
+}
+
+// writeTable renders a simple space-padded table.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtF renders a float with the given decimals, using "inf" for
+// infinities.
+func fmtF(v float64, decimals int) string {
+	return strings.TrimSpace(fmt.Sprintf("%*.*f", 0, decimals, v))
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fixedpsnr/internal/core"
+	"fixedpsnr/internal/predictor"
+	"fixedpsnr/internal/stats"
+)
+
+// Figure1Bin is one quantization bin of the prediction-error histogram.
+type Figure1Bin struct {
+	// Index is the signed bin index q (0 = center bin around zero).
+	Index int
+	// Center is the bin's midpoint q·δ in data units.
+	Center float64
+	// Percent is the share of prediction errors landing in the bin.
+	Percent float64
+}
+
+// Figure1Result is the distribution of first-phase SZ prediction errors
+// on one ATM field, overlaid with the uniform quantization bins — the
+// paper's Figure 1.
+type Figure1Result struct {
+	Field      string
+	TargetPSNR float64
+	Delta      float64 // quantization bin width δ = 2·ebabs
+	Bins       []Figure1Bin
+	// InRange is the fraction of errors covered by the plotted bins.
+	InRange float64
+}
+
+// Figure1 regenerates the paper's Figure 1: it synthesizes a smooth ATM
+// field (surface temperature), computes the Lorenzo prediction errors, and
+// bins them into the uniform quantization bins of a mid-quality target.
+// At 60 dB the bin width is comparable to the prediction-error scale,
+// which reproduces the paper's plot: a symmetric peaked distribution that
+// tapers to zero within a few bins of the center.
+func Figure1(cfg Config) (*Figure1Result, error) {
+	const fieldName = "TS"
+	const target = 60.0
+	const halfBins = 8 // plot q ∈ [−8, 8] like the paper's ±n window
+
+	ds, err := cfg.Dataset("ATM")
+	if err != nil {
+		return nil, err
+	}
+	f, err := ds.FieldByName(fieldName, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	_, _, vr := f.ValueRange()
+	plan, err := core.PlanFixedPSNR(target, vr)
+	if err != nil {
+		return nil, err
+	}
+	delta := 2 * plan.EbAbs
+
+	errs := predictor.Errors(predictor.ForDims(f.Dims), f.Data)
+	lo := -(float64(halfBins) + 0.5) * delta
+	hi := (float64(halfBins) + 0.5) * delta
+	h, err := stats.NewHistogram(lo, hi, 2*halfBins+1)
+	if err != nil {
+		return nil, err
+	}
+	h.AddAll(errs)
+
+	res := &Figure1Result{
+		Field:      f.Name,
+		TargetPSNR: target,
+		Delta:      delta,
+		InRange:    h.InRangeFraction(),
+	}
+	for i := 0; i < 2*halfBins+1; i++ {
+		q := i - halfBins
+		res.Bins = append(res.Bins, Figure1Bin{
+			Index:   q,
+			Center:  float64(q) * delta,
+			Percent: 100 * h.Fraction(i),
+		})
+	}
+	return res, nil
+}
+
+// RenderFigure1 prints the histogram as an ASCII bar chart in the shape
+// of the paper's Figure 1.
+func RenderFigure1(w io.Writer, r *Figure1Result) {
+	fmt.Fprintf(w, "FIGURE 1 — distribution of SZ prediction errors on ATM field %s\n", r.Field)
+	fmt.Fprintf(w, "uniform quantization bins of width delta=%.3g (target %g dB); %.2f%% of errors in plotted window\n",
+		r.Delta, r.TargetPSNR, 100*r.InRange)
+	maxPct := 0.0
+	for _, b := range r.Bins {
+		if b.Percent > maxPct {
+			maxPct = b.Percent
+		}
+	}
+	for _, b := range r.Bins {
+		barLen := 0
+		if maxPct > 0 {
+			barLen = int(math.Round(50 * b.Percent / maxPct))
+		}
+		fmt.Fprintf(w, "q=%+3d  %6.2f%%  %s\n", b.Index, b.Percent, strings.Repeat("#", barLen))
+	}
+}
+
+// CSVFigure1 writes the histogram as CSV (bin index, center, percent).
+func CSVFigure1(w io.Writer, r *Figure1Result) error {
+	if _, err := fmt.Fprintln(w, "bin_index,bin_center,percent"); err != nil {
+		return err
+	}
+	for _, b := range r.Bins {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g\n", b.Index, b.Center, b.Percent); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Figure2Targets are the user-set PSNRs of the paper's Figure 2 panels.
+var Figure2Targets = []float64{40, 80, 120}
+
+// Figure2Series holds one panel of Figure 2: the actual PSNR of every ATM
+// field at one user-set PSNR.
+type Figure2Series struct {
+	Target float64
+	Runs   []FieldRun
+	// MeetFraction is the share of fields whose actual PSNR is at least
+	// the user-set PSNR (the paper's strict "meet" criterion).
+	MeetFraction float64
+	// MeetWithinHalfDB relaxes the criterion to actual ≥ target − 0.5 dB
+	// (the resolution visible in the paper's plots). Synthetic GRF
+	// fields have near-uniform within-bin error distributions, so about
+	// half land a few hundredths of a dB below target where the paper's
+	// real fields land just above; this metric makes the comparison
+	// meaningful.
+	MeetWithinHalfDB float64
+	// MaxBelow is the largest shortfall (target − actual) over fields
+	// that missed, 0 if none missed.
+	MaxBelow float64
+}
+
+// Figure2Result aggregates the three panels.
+type Figure2Result struct {
+	Series []Figure2Series
+}
+
+// Figure2 regenerates the paper's Figure 2: fixed-PSNR compression of all
+// 79 ATM fields at user-set PSNRs of 40, 80, and 120 dB.
+func Figure2(cfg Config) (*Figure2Result, error) {
+	ds, err := cfg.Dataset("ATM")
+	if err != nil {
+		return nil, err
+	}
+	fields, err := ds.Fields(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure2Result{}
+	for _, target := range Figure2Targets {
+		runs, err := RunDataset(ds, fields, target, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		s := Figure2Series{Target: target, Runs: runs}
+		met, metTol := 0, 0
+		for _, r := range runs {
+			if r.Actual >= target {
+				met++
+			} else if miss := target - r.Actual; miss > s.MaxBelow {
+				s.MaxBelow = miss
+			}
+			if r.Actual >= target-0.5 {
+				metTol++
+			}
+		}
+		s.MeetFraction = float64(met) / float64(len(runs))
+		s.MeetWithinHalfDB = float64(metTol) / float64(len(runs))
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// RenderFigure2 prints per-panel summaries and a compact per-field strip
+// for each user-set PSNR.
+func RenderFigure2(w io.Writer, r *Figure2Result) {
+	fmt.Fprintln(w, "FIGURE 2 — fixed-PSNR mode on all ATM data fields")
+	for _, s := range r.Series {
+		min, max := math.Inf(1), math.Inf(-1)
+		var sum float64
+		for _, run := range s.Runs {
+			if run.Actual < min {
+				min = run.Actual
+			}
+			if run.Actual > max {
+				max = run.Actual
+			}
+			sum += run.Actual
+		}
+		fmt.Fprintf(w, "\n(user-set PSNR = %g dB)  fields=%d  actual: min=%.1f avg=%.1f max=%.1f  meet=%0.1f%%  meet±0.5dB=%0.1f%%  worst shortfall=%.2f dB\n",
+			s.Target, len(s.Runs), min, sum/float64(len(s.Runs)), max, 100*s.MeetFraction, 100*s.MeetWithinHalfDB, s.MaxBelow)
+		// Strip chart: one character per field ('*' ≥ target, '.' below).
+		fmt.Fprint(w, "  ")
+		for _, run := range s.Runs {
+			if run.Actual >= s.Target {
+				fmt.Fprint(w, "*")
+			} else {
+				fmt.Fprint(w, ".")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\n(paper: actual PSNRs track the user-set line with >90% of ATM fields meeting the target)")
+}
+
+// RenderFigure2Fields prints the full per-field table (the raw points of
+// the paper's scatter plots).
+func RenderFigure2Fields(w io.Writer, r *Figure2Result) {
+	header := []string{"Field"}
+	for _, s := range r.Series {
+		header = append(header, fmt.Sprintf("actual@%gdB", s.Target))
+	}
+	if len(r.Series) == 0 || len(r.Series[0].Runs) == 0 {
+		return
+	}
+	rows := make([][]string, len(r.Series[0].Runs))
+	for i := range rows {
+		row := []string{r.Series[0].Runs[i].Field}
+		for _, s := range r.Series {
+			row = append(row, fmtF(s.Runs[i].Actual, 2))
+		}
+		rows[i] = row
+	}
+	writeTable(w, header, rows)
+}
+
+// CSVFigure2 writes all panels as CSV (field, target, actual, ratio).
+func CSVFigure2(w io.Writer, r *Figure2Result) error {
+	if _, err := fmt.Fprintln(w, "field,target_psnr,actual_psnr,ratio"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, run := range s.Runs {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g,%g\n", run.Field, run.Target, run.Actual, run.Ratio); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package fft
+
+import "testing"
+
+func BenchmarkForward1K(b *testing.B)   { benchmarkForward(b, 1<<10) }
+func BenchmarkForward64K(b *testing.B)  { benchmarkForward(b, 1<<16) }
+func BenchmarkForward256K(b *testing.B) { benchmarkForward(b, 1<<18) }
+
+func benchmarkForward(b *testing.B, n int) {
+	x := randComplex(n, 1)
+	work := make([]complex128, n)
+	b.SetBytes(int64(n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		if err := Forward(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInverseND3D(b *testing.B) {
+	dims := []int{32, 64, 64}
+	n := 32 * 64 * 64
+	x := randComplex(n, 2)
+	work := make([]complex128, n)
+	b.SetBytes(int64(n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		if err := InverseND(work, dims, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

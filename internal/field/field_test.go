@@ -1,0 +1,189 @@
+package field
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAllocatesZeroed(t *testing.T) {
+	f := New("t", Float32, 3, 4)
+	if f.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", f.Len())
+	}
+	if f.NDims() != 2 {
+		t.Fatalf("NDims = %d, want 2", f.NDims())
+	}
+	for i, v := range f.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	New("t", Float32, 3, 0)
+}
+
+func TestFromDataChecksLength(t *testing.T) {
+	if _, err := FromData("t", Float64, make([]float64, 5), 2, 3); err == nil {
+		t.Fatal("expected error for mismatched length")
+	}
+	f, err := FromData("t", Float64, make([]float64, 6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 6 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFromDataRejectsBadDims(t *testing.T) {
+	if _, err := FromData("t", Float64, nil, -1); err == nil {
+		t.Fatal("expected error for negative dimension")
+	}
+}
+
+func TestIndexing2D(t *testing.T) {
+	f := New("t", Float64, 3, 5)
+	f.Set2(2, 4, 7.5)
+	if got := f.At2(2, 4); got != 7.5 {
+		t.Fatalf("At2 = %g, want 7.5", got)
+	}
+	if f.Data[2*5+4] != 7.5 {
+		t.Fatal("Set2 wrote to the wrong flat index")
+	}
+}
+
+func TestIndexing3D(t *testing.T) {
+	f := New("t", Float64, 2, 3, 4)
+	f.Set3(1, 2, 3, -2.25)
+	if got := f.At3(1, 2, 3); got != -2.25 {
+		t.Fatalf("At3 = %g, want -2.25", got)
+	}
+	if f.Data[(1*3+2)*4+3] != -2.25 {
+		t.Fatal("Set3 wrote to the wrong flat index")
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	f := New("t", Float64, 4)
+	copy(f.Data, []float64{-2, 7, 0, 3})
+	min, max, vr := f.ValueRange()
+	if min != -2 || max != 7 || vr != 9 {
+		t.Fatalf("ValueRange = (%g, %g, %g), want (-2, 7, 9)", min, max, vr)
+	}
+}
+
+func TestValueRangeSkipsNaN(t *testing.T) {
+	f := New("t", Float64, 3)
+	copy(f.Data, []float64{math.NaN(), 1, 5})
+	min, max, vr := f.ValueRange()
+	if min != 1 || max != 5 || vr != 4 {
+		t.Fatalf("ValueRange = (%g, %g, %g), want (1, 5, 4)", min, max, vr)
+	}
+}
+
+func TestValueRangeAllNaN(t *testing.T) {
+	f := New("t", Float64, 2)
+	f.Data[0], f.Data[1] = math.NaN(), math.NaN()
+	min, max, vr := f.ValueRange()
+	if min != 0 || max != 0 || vr != 0 {
+		t.Fatalf("ValueRange = (%g, %g, %g), want zeros", min, max, vr)
+	}
+}
+
+func TestValueRangeConstant(t *testing.T) {
+	f := New("t", Float64, 3)
+	for i := range f.Data {
+		f.Data[i] = 4.5
+	}
+	_, _, vr := f.ValueRange()
+	if vr != 0 {
+		t.Fatalf("vr = %g, want 0", vr)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := New("t", Float32, 2, 2)
+	f.Data[3] = 9
+	g := f.Clone()
+	g.Data[3] = -1
+	g.Dims[0] = 99
+	if f.Data[3] != 9 || f.Dims[0] != 2 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	a := New("a", Float32, 2, 3)
+	b := New("b", Float64, 2, 3)
+	c := New("c", Float32, 3, 2)
+	d := New("d", Float32, 6)
+	if !a.SameShape(b) {
+		t.Fatal("a and b should have the same shape")
+	}
+	if a.SameShape(c) || a.SameShape(d) {
+		t.Fatal("mismatched shapes reported as equal")
+	}
+}
+
+func TestRoundToFloat32(t *testing.T) {
+	f := New("t", Float64, 1)
+	f.Data[0] = 1.0000000001 // not representable in float32
+	f.RoundToFloat32()
+	if f.Precision != Float32 {
+		t.Fatal("precision not updated")
+	}
+	if f.Data[0] != float64(float32(1.0000000001)) {
+		t.Fatal("value not rounded to float32")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New("t", Float32, 10).SizeBytes(); got != 40 {
+		t.Fatalf("float32 SizeBytes = %d, want 40", got)
+	}
+	if got := New("t", Float64, 10).SizeBytes(); got != 80 {
+		t.Fatalf("float64 SizeBytes = %d, want 80", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := New("t", Float32, 2, 2)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("valid field rejected: %v", err)
+	}
+	f.Dims = []int{2, 3}
+	if err := f.Validate(); err == nil {
+		t.Fatal("expected error for dims/data mismatch")
+	}
+	g := &Field{Name: "r4", Dims: []int{1, 1, 1, 1}, Data: []float64{0}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for rank 4")
+	}
+	var nilField *Field
+	if err := nilField.Validate(); err == nil {
+		t.Fatal("expected error for nil field")
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if Float32.String() != "float32" || Float64.String() != "float64" {
+		t.Fatal("unexpected precision names")
+	}
+	if Precision(9).String() == "" {
+		t.Fatal("unknown precision should still render")
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	f := New("density", Float32, 4, 5)
+	if f.String() == "" {
+		t.Fatal("String should describe the field")
+	}
+}

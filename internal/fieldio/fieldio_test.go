@@ -1,0 +1,144 @@
+package fieldio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"fixedpsnr/internal/field"
+)
+
+func testField(prec field.Precision, dims ...int) *field.Field {
+	f := field.New("test/field-1", prec, dims...)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.Data {
+		v := rng.NormFloat64() * 1e3
+		if prec == field.Float32 {
+			v = float64(float32(v))
+		}
+		f.Data[i] = v
+	}
+	return f
+}
+
+func TestRoundTripFloat32(t *testing.T) {
+	f := testField(field.Float32, 7, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != f.Name || !f.SameShape(g) || g.Precision != field.Float32 {
+		t.Fatalf("metadata mismatch: %v", g)
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatalf("value %d: %g != %g", i, f.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestRoundTripFloat64(t *testing.T) {
+	f := testField(field.Float64, 3, 4, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestSpecialValuesSurvive(t *testing.T) {
+	f := field.New("special", field.Float64, 4)
+	f.Data[0] = math.NaN()
+	f.Data[1] = math.Inf(1)
+	f.Data[2] = math.Inf(-1)
+	f.Data[3] = math.Copysign(0, -1)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(g.Data[0]) || !math.IsInf(g.Data[1], 1) || !math.IsInf(g.Data[2], -1) {
+		t.Fatal("special values lost")
+	}
+	if math.Signbit(g.Data[3]) != true {
+		t.Fatal("negative zero lost")
+	}
+}
+
+func TestWriteRejectsInvalidField(t *testing.T) {
+	bad := &field.Field{Name: "bad", Dims: []int{2}, Data: make([]float64, 3)}
+	if err := Write(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX rest"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	f := testField(field.Float32, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 5, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("expected error at cut %d", cut)
+		}
+	}
+}
+
+func TestReadRejectsBadPrecision(t *testing.T) {
+	f := testField(field.Float32, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 7 // precision byte
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected precision error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "field.sdf")
+	f := testField(field.Float32, 12, 8)
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatal("file round trip mismatch")
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.sdf")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

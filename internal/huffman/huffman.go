@@ -1,0 +1,277 @@
+// Package huffman implements the customized Huffman coding stage of the SZ
+// pipeline: a canonical Huffman coder over integer symbols (quantization
+// codes). The encoder builds the code from symbol frequencies, emits a
+// compact table (code lengths only) followed by the packed bit stream, and
+// the decoder reconstructs the canonical code from the lengths.
+//
+// Symbols are non-negative ints smaller than the alphabet size passed to
+// Encode. Typical alphabets are the 2n quantization codes of the SZ
+// quantizer (tens of thousands of possible symbols of which a few hundred
+// occur).
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fixedpsnr/internal/bitstream"
+)
+
+// maxCodeLen bounds canonical code lengths. A Huffman tree over n symbols
+// with total count N has depth ≤ log_φ(N)+O(1); 62 accommodates any input
+// this module can produce while keeping codes in a uint64.
+const maxCodeLen = 62
+
+// node is a Huffman tree node used only during construction.
+type node struct {
+	weight      int64
+	symbol      int // valid for leaves
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	// Tie-break on symbol to make construction deterministic.
+	return h[i].symbol < h[j].symbol
+}
+func (h nodeHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)       { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any         { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h nodeHeap) Peek() *node       { return h[0] }
+func (h *nodeHeap) PushNode(n *node) { heap.Push(h, n) }
+func (h *nodeHeap) PopNode() *node   { return heap.Pop(h).(*node) }
+func (h *nodeHeap) Init()            { heap.Init((*nodeHeap)(h)) }
+
+// codeLengths computes the canonical code length for every symbol with a
+// non-zero frequency.
+func codeLengths(freq map[int]int64) map[int]int {
+	lengths := make(map[int]int, len(freq))
+	switch len(freq) {
+	case 0:
+		return lengths
+	case 1:
+		for s := range freq {
+			lengths[s] = 1
+		}
+		return lengths
+	}
+	h := make(nodeHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &node{weight: f, symbol: s})
+	}
+	h.Init()
+	for h.Len() > 1 {
+		a := h.PopNode()
+		b := h.PopNode()
+		h.PushNode(&node{weight: a.weight + b.weight, symbol: min(a.symbol, b.symbol), left: a, right: b})
+	}
+	root := h.Peek()
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.left == nil && n.right == nil {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonical holds a canonical code: symbols sorted by (length, symbol) and
+// the assigned code words.
+type canonical struct {
+	symbols []int          // sorted by (length, symbol)
+	lengths []int          // parallel to symbols
+	codes   map[int]uint64 // symbol → code word
+	lenOf   map[int]int    // symbol → length
+}
+
+func buildCanonical(lengths map[int]int) (*canonical, error) {
+	c := &canonical{
+		codes: make(map[int]uint64, len(lengths)),
+		lenOf: make(map[int]int, len(lengths)),
+	}
+	for s, l := range lengths {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: code length %d exceeds maximum %d", l, maxCodeLen)
+		}
+		c.symbols = append(c.symbols, s)
+		c.lenOf[s] = l
+	}
+	sort.Slice(c.symbols, func(i, j int) bool {
+		li, lj := c.lenOf[c.symbols[i]], c.lenOf[c.symbols[j]]
+		if li != lj {
+			return li < lj
+		}
+		return c.symbols[i] < c.symbols[j]
+	})
+	c.lengths = make([]int, len(c.symbols))
+	var code uint64
+	prevLen := 0
+	for i, s := range c.symbols {
+		l := c.lenOf[s]
+		c.lengths[i] = l
+		code <<= uint(l - prevLen)
+		c.codes[s] = code
+		code++
+		prevLen = l
+	}
+	return c, nil
+}
+
+// Encode Huffman-encodes syms and returns a self-describing byte stream:
+// the canonical table followed by the packed code words. The alphabet is
+// implicit in the symbols themselves; symbols must be non-negative.
+func Encode(syms []int) ([]byte, error) {
+	freq := make(map[int]int64)
+	for _, s := range syms {
+		if s < 0 {
+			return nil, fmt.Errorf("huffman: negative symbol %d", s)
+		}
+		freq[s]++
+	}
+	c, err := buildCanonical(codeLengths(freq))
+	if err != nil {
+		return nil, err
+	}
+
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(syms)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(c.symbols)))
+	for i, s := range c.symbols {
+		hdr = binary.AppendUvarint(hdr, uint64(s))
+		hdr = binary.AppendUvarint(hdr, uint64(c.lengths[i]))
+	}
+
+	w := bitstream.NewWriter(len(syms) / 2)
+	for _, s := range syms {
+		w.WriteBits(c.codes[s], uint(c.lenOf[s]))
+	}
+	body := w.Bytes()
+
+	out := make([]byte, 0, len(hdr)+len(body)+8)
+	out = append(out, hdr...)
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	out = append(out, body...)
+	return out, nil
+}
+
+// Decode reverses Encode. It returns the decoded symbols and the number of
+// bytes consumed from buf, allowing the caller to embed the Huffman block
+// inside a larger stream.
+func Decode(buf []byte) (syms []int, consumed int, err error) {
+	rd := buf
+	n, k := binary.Uvarint(rd)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("huffman: truncated symbol count")
+	}
+	rd = rd[k:]
+	consumed += k
+	nsym, k := binary.Uvarint(rd)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("huffman: truncated table size")
+	}
+	rd = rd[k:]
+	consumed += k
+
+	lengths := make(map[int]int, nsym)
+	for i := uint64(0); i < nsym; i++ {
+		s, k1 := binary.Uvarint(rd)
+		if k1 <= 0 {
+			return nil, 0, fmt.Errorf("huffman: truncated table entry")
+		}
+		rd = rd[k1:]
+		consumed += k1
+		l, k2 := binary.Uvarint(rd)
+		if k2 <= 0 {
+			return nil, 0, fmt.Errorf("huffman: truncated table entry length")
+		}
+		rd = rd[k2:]
+		consumed += k2
+		if l == 0 || l > maxCodeLen {
+			return nil, 0, fmt.Errorf("huffman: invalid code length %d", l)
+		}
+		lengths[int(s)] = int(l)
+	}
+	if uint64(len(lengths)) != nsym {
+		return nil, 0, fmt.Errorf("huffman: duplicate symbols in table")
+	}
+
+	bodyLen, k := binary.Uvarint(rd)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("huffman: truncated body length")
+	}
+	rd = rd[k:]
+	consumed += k
+	if uint64(len(rd)) < bodyLen {
+		return nil, 0, fmt.Errorf("huffman: body shorter than declared (%d < %d)", len(rd), bodyLen)
+	}
+	body := rd[:bodyLen]
+	consumed += int(bodyLen)
+
+	if n == 0 {
+		return []int{}, consumed, nil
+	}
+	if nsym == 0 {
+		return nil, 0, fmt.Errorf("huffman: %d symbols declared but table is empty", n)
+	}
+	// Every symbol costs at least one bit, so a corrupt count larger
+	// than the body could hold must be rejected before allocation.
+	if n > bodyLen*8 {
+		return nil, 0, fmt.Errorf("huffman: %d symbols cannot fit in %d body bytes", n, bodyLen)
+	}
+
+	c, err := buildCanonical(lengths)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Canonical decoding tables: for each length, the first code word and
+	// the index of its first symbol in the sorted list.
+	firstCode := make([]uint64, maxCodeLen+2)
+	firstSym := make([]int, maxCodeLen+2)
+	countAt := make([]int, maxCodeLen+2)
+	for _, l := range c.lengths {
+		countAt[l]++
+	}
+	var code uint64
+	idx := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		firstCode[l] = code
+		firstSym[l] = idx
+		code = (code + uint64(countAt[l])) << 1
+		idx += countAt[l]
+	}
+
+	r := bitstream.NewReader(body)
+	syms = make([]int, 0, n)
+	for uint64(len(syms)) < n {
+		var cw uint64
+		l := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, 0, fmt.Errorf("huffman: bit stream exhausted after %d of %d symbols", len(syms), n)
+			}
+			cw = cw<<1 | uint64(b)
+			l++
+			if l > maxCodeLen {
+				return nil, 0, fmt.Errorf("huffman: code longer than %d bits", maxCodeLen)
+			}
+			if countAt[l] > 0 && cw-firstCode[l] < uint64(countAt[l]) {
+				syms = append(syms, c.symbols[firstSym[l]+int(cw-firstCode[l])])
+				break
+			}
+		}
+	}
+	return syms, consumed, nil
+}

@@ -1,0 +1,620 @@
+// Package otc implements an orthogonal-transform compressor: a blockwise
+// orthonormal DCT-II front end (in the spirit of ZFP's custom transform
+// and SSEM's wavelets) followed by the same uniform quantization + Huffman
+// + DEFLATE back end as the SZ pipeline.
+//
+// Its purpose in this module is twofold:
+//
+//   - it is the second compressor family the paper covers — Theorem 2
+//     states that for orthonormal transforms the quantization-stage
+//     distortion equals the reconstruction distortion, so the same Eq. 6
+//     drives a fixed-PSNR mode here, with the quantization bin width
+//     δ = vr·√12·10^(−PSNR/20) applied to transform coefficients; and
+//   - it serves as an independent check that the fixed-PSNR analysis is
+//     not an artifact of the Lorenzo predictor.
+//
+// Unlike the SZ pipeline, quantizing in the transform domain does not
+// bound the pointwise error — only the l2 distortion is controlled, which
+// is exactly the fixed-PSNR use case.
+//
+// Blocks are cut to the field boundary (a partial block of size r uses an
+// orthonormal DCT of size r), so the whole transform stays exactly
+// orthonormal without padding.
+package otc
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/huffman"
+	"fixedpsnr/internal/parallel"
+	"fixedpsnr/internal/quantizer"
+	"fixedpsnr/internal/sz"
+	"fixedpsnr/internal/transform"
+)
+
+// DefaultBlockSize is the default transform block edge length.
+const DefaultBlockSize = 8
+
+// Transform selects the orthonormal block transform.
+type Transform uint8
+
+// Transforms.
+const (
+	// TransformDCT is the orthonormal DCT-II (ZFP-flavored).
+	TransformDCT Transform = 0
+	// TransformHaar is the full multi-level orthonormal Haar DWT
+	// (SSEM-flavored). Blocks whose edge is not a power of two fall
+	// back to the DCT of the exact size, so the whole transform stays
+	// orthonormal without padding.
+	TransformHaar Transform = 1
+)
+
+// String names the transform.
+func (t Transform) String() string {
+	switch t {
+	case TransformDCT:
+		return "dct"
+	case TransformHaar:
+		return "haar"
+	default:
+		return fmt.Sprintf("transform(%d)", uint8(t))
+	}
+}
+
+// Options configures the transform compressor.
+type Options struct {
+	// Delta is the quantization bin width applied to transform
+	// coefficients. Must be positive unless the field is constant.
+	Delta float64
+	// Transform selects the block transform (default TransformDCT).
+	Transform Transform
+	// BlockSize is the transform block edge (default DefaultBlockSize).
+	BlockSize int
+	// Capacity is the number of quantization intervals (default
+	// quantizer.DefaultCapacity).
+	Capacity int
+	// Workers bounds concurrency (non-positive: all CPUs).
+	Workers int
+	// Level is the DEFLATE level (0 selects flate.BestSpeed).
+	Level int
+	// Mode, TargetPSNR and ValueRange annotate the header.
+	Mode       sz.Mode
+	TargetPSNR float64
+	ValueRange float64
+}
+
+func (o Options) level() int {
+	if o.Level == 0 {
+		return flate.BestSpeed
+	}
+	return o.Level
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return o.BlockSize
+}
+
+// Stats mirrors sz.Stats for the transform pipeline.
+type Stats struct {
+	OriginalBytes   int
+	CompressedBytes int
+	Ratio           float64
+	BitRate         float64
+	NPoints         int
+	Unpredictable   int // coefficients stored as literals
+	Blocks          int
+}
+
+// dctCache shares DCT basis matrices across blocks and calls.
+var dctCache sync.Map // int → *transform.DCT
+
+func dctFor(n int) (*transform.DCT, error) {
+	if v, ok := dctCache.Load(n); ok {
+		return v.(*transform.DCT), nil
+	}
+	d, err := transform.NewDCT(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := dctCache.LoadOrStore(n, d)
+	return actual.(*transform.DCT), nil
+}
+
+// blockRange describes one block along each axis: offsets and sizes.
+type blockRange struct {
+	off  [3]int
+	size [3]int
+	n    int // total points
+}
+
+// blockGrid enumerates blocks covering dims with edge length b, cutting
+// partial blocks at the boundary.
+func blockGrid(dims []int, b int) []blockRange {
+	steps := make([][]blockRange, len(dims))
+	for a, d := range dims {
+		for lo := 0; lo < d; lo += b {
+			hi := lo + b
+			if hi > d {
+				hi = d
+			}
+			var r blockRange
+			r.off[a] = lo
+			r.size[a] = hi - lo
+			steps[a] = append(steps[a], r)
+		}
+	}
+	// Cartesian product across axes.
+	blocks := []blockRange{{size: [3]int{1, 1, 1}, n: 1}}
+	for a := range dims {
+		var next []blockRange
+		for _, base := range blocks {
+			for _, s := range steps[a] {
+				nb := base
+				nb.off[a] = s.off[a]
+				nb.size[a] = s.size[a]
+				next = append(next, nb)
+			}
+		}
+		blocks = next
+	}
+	for i := range blocks {
+		n := 1
+		for a := 0; a < len(dims); a++ {
+			n *= blocks[i].size[a]
+		}
+		blocks[i].n = n
+	}
+	return blocks
+}
+
+// gatherBlock copies a block into buf (row-major within the block).
+func gatherBlock(data []float64, dims []int, br blockRange, buf []float64) {
+	switch len(dims) {
+	case 1:
+		copy(buf, data[br.off[0]:br.off[0]+br.size[0]])
+	case 2:
+		cols := dims[1]
+		idx := 0
+		for i := 0; i < br.size[0]; i++ {
+			src := (br.off[0]+i)*cols + br.off[1]
+			copy(buf[idx:idx+br.size[1]], data[src:src+br.size[1]])
+			idx += br.size[1]
+		}
+	case 3:
+		d1, d2 := dims[1], dims[2]
+		plane := d1 * d2
+		idx := 0
+		for i := 0; i < br.size[0]; i++ {
+			for j := 0; j < br.size[1]; j++ {
+				src := (br.off[0]+i)*plane + (br.off[1]+j)*d2 + br.off[2]
+				copy(buf[idx:idx+br.size[2]], data[src:src+br.size[2]])
+				idx += br.size[2]
+			}
+		}
+	}
+}
+
+// scatterBlock writes a block buffer back into the field array.
+func scatterBlock(data []float64, dims []int, br blockRange, buf []float64) {
+	switch len(dims) {
+	case 1:
+		copy(data[br.off[0]:br.off[0]+br.size[0]], buf)
+	case 2:
+		cols := dims[1]
+		idx := 0
+		for i := 0; i < br.size[0]; i++ {
+			dst := (br.off[0]+i)*cols + br.off[1]
+			copy(data[dst:dst+br.size[1]], buf[idx:idx+br.size[1]])
+			idx += br.size[1]
+		}
+	case 3:
+		d1, d2 := dims[1], dims[2]
+		plane := d1 * d2
+		idx := 0
+		for i := 0; i < br.size[0]; i++ {
+			for j := 0; j < br.size[1]; j++ {
+				dst := (br.off[0]+i)*plane + (br.off[1]+j)*d2 + br.off[2]
+				copy(data[dst:dst+br.size[2]], buf[idx:idx+br.size[2]])
+				idx += br.size[2]
+			}
+		}
+	}
+}
+
+// forwardBlock applies the separable orthonormal block transform in place
+// over a block buffer with the given per-axis sizes (rank = len(sizes)).
+func forwardBlock(buf []float64, sizes []int, tr Transform) error {
+	return applyBlock(buf, sizes, tr, false)
+}
+
+// inverseBlock inverts forwardBlock.
+func inverseBlock(buf []float64, sizes []int, tr Transform) error {
+	return applyBlock(buf, sizes, tr, true)
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2int(n int) int {
+	l := 0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	return l
+}
+
+func applyBlock(buf []float64, sizes []int, tr Transform, inverse bool) error {
+	rank := len(sizes)
+	// Strides for row-major layout of the block.
+	strides := make([]int, rank)
+	s := 1
+	for a := rank - 1; a >= 0; a-- {
+		strides[a] = s
+		s *= sizes[a]
+	}
+	total := s
+	line := make([]float64, 0, 64)
+	out := make([]float64, 0, 64)
+	for a := 0; a < rank; a++ {
+		L := sizes[a]
+		if L == 1 {
+			continue
+		}
+		// Haar requires power-of-two lengths; other lengths keep the
+		// exact-size DCT so the block transform remains orthonormal.
+		useHaar := tr == TransformHaar && isPow2(L)
+		var d *transform.DCT
+		if !useHaar {
+			var err error
+			d, err = dctFor(L)
+			if err != nil {
+				return err
+			}
+		}
+		line = line[:L]
+		out = out[:L]
+		stride := strides[a]
+		nlines := total / L
+		for ln := 0; ln < nlines; ln++ {
+			// Decompose the line index into coordinates of the other
+			// axes to find the base offset.
+			base := 0
+			rem := ln
+			for x := rank - 1; x >= 0; x-- {
+				if x == a {
+					continue
+				}
+				c := rem % sizes[x]
+				rem /= sizes[x]
+				base += c * strides[x]
+			}
+			for k := 0; k < L; k++ {
+				line[k] = buf[base+k*stride]
+			}
+			if useHaar {
+				levels := log2int(L)
+				var err error
+				if inverse {
+					err = transform.HaarInverse(line, levels)
+				} else {
+					err = transform.HaarForward(line, levels)
+				}
+				if err != nil {
+					return err
+				}
+				copy(out, line)
+			} else if inverse {
+				d.Inverse(out, line)
+			} else {
+				d.Forward(out, line)
+			}
+			for k := 0; k < L; k++ {
+				buf[base+k*stride] = out[k]
+			}
+		}
+	}
+	return nil
+}
+
+// Compress compresses the field by blockwise orthonormal DCT and uniform
+// coefficient quantization with bin width opt.Delta.
+func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	_, _, vr := f.ValueRange()
+	if opt.ValueRange == 0 {
+		opt.ValueRange = vr
+	}
+	if vr == 0 {
+		return compressConstant(f, opt)
+	}
+	if !(opt.Delta > 0) || math.IsInf(opt.Delta, 0) || math.IsNaN(opt.Delta) {
+		return nil, nil, fmt.Errorf("otc: delta must be positive and finite, got %g", opt.Delta)
+	}
+	capacity := opt.Capacity
+	if capacity == 0 {
+		capacity = quantizer.DefaultCapacity
+	}
+	// quantizer.New takes the half-width (error bound) convention.
+	q, err := quantizer.New(opt.Delta/2, capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	blocks := blockGrid(f.Dims, opt.blockSize())
+	type blockOut struct {
+		codes    []int
+		literals []float64
+	}
+	outs := make([]blockOut, len(blocks))
+	err = parallel.ForEach(len(blocks), opt.Workers, func(bi int) error {
+		br := blocks[bi]
+		buf := make([]float64, br.n)
+		gatherBlock(f.Data, f.Dims, br, buf)
+		sizes := br.size[:len(f.Dims)]
+		if err := forwardBlock(buf, sizes, opt.Transform); err != nil {
+			return err
+		}
+		codes := make([]int, br.n)
+		var literals []float64
+		for i, c := range buf {
+			code, ok := q.Quantize(c)
+			if !ok {
+				literals = append(literals, c)
+				codes[i] = 0
+				continue
+			}
+			codes[i] = code
+		}
+		outs[bi] = blockOut{codes: codes, literals: literals}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var codes []int
+	var literals []float64
+	for _, o := range outs {
+		codes = append(codes, o.codes...)
+		literals = append(literals, o.literals...)
+	}
+
+	payload, err := encodePayload(codes, literals, opt.blockSize(), opt.Transform, opt.level())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	h := &sz.Header{
+		Codec:      sz.CodecOTC,
+		Precision:  f.Precision,
+		Mode:       opt.Mode,
+		Name:       f.Name,
+		Dims:       f.Dims,
+		EbAbs:      opt.Delta / 2,
+		TargetPSNR: opt.TargetPSNR,
+		ValueRange: opt.ValueRange,
+		Capacity:   capacity,
+		ChunkLens:  []int{len(payload)},
+		ChunkRows:  []int{f.Dims[0]},
+	}
+	if h.TargetPSNR == 0 && opt.Mode != sz.ModePSNR {
+		h.TargetPSNR = math.NaN()
+	}
+	out := append(h.Marshal(), payload...)
+
+	st := &Stats{
+		OriginalBytes:   f.SizeBytes(),
+		CompressedBytes: len(out),
+		NPoints:         f.Len(),
+		Unpredictable:   len(literals),
+		Blocks:          len(blocks),
+	}
+	st.Ratio = float64(st.OriginalBytes) / float64(len(out))
+	st.BitRate = 8 * float64(len(out)) / float64(f.Len())
+	return out, st, nil
+}
+
+func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
+	h := &sz.Header{
+		Codec:      sz.CodecConstant,
+		Precision:  f.Precision,
+		Mode:       opt.Mode,
+		Name:       f.Name,
+		Dims:       f.Dims,
+		ConstValue: f.Data[0],
+	}
+	out := h.Marshal()
+	st := &Stats{
+		OriginalBytes:   f.SizeBytes(),
+		CompressedBytes: len(out),
+		Ratio:           float64(f.SizeBytes()) / float64(len(out)),
+		BitRate:         8 * float64(len(out)) / float64(f.Len()),
+		NPoints:         f.Len(),
+		Blocks:          1,
+	}
+	return out, st, nil
+}
+
+// Decompress reconstructs a field from an OTC stream. It accepts constant
+// streams as well so callers can route by magic alone.
+func Decompress(data []byte) (*field.Field, *sz.Header, error) {
+	h, err := sz.ParseHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.Codec == sz.CodecConstant {
+		out := field.New(h.Name, h.Precision, h.Dims...)
+		for i := range out.Data {
+			out.Data[i] = h.ConstValue
+		}
+		return out, h, nil
+	}
+	if h.Codec != sz.CodecOTC {
+		return nil, nil, fmt.Errorf("otc: stream has codec %v, not %v", h.Codec, sz.CodecOTC)
+	}
+	if len(h.ChunkLens) != 1 {
+		return nil, nil, fmt.Errorf("otc: expected a single payload, got %d", len(h.ChunkLens))
+	}
+	payload := data[h.PayloadOffset():]
+	if len(payload) < h.ChunkLens[0] {
+		return nil, nil, fmt.Errorf("otc: payload truncated")
+	}
+	payload = payload[:h.ChunkLens[0]]
+
+	codes, literals, blockSize, tr, err := decodePayload(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(codes) != h.NPoints() {
+		return nil, nil, fmt.Errorf("otc: %d codes for %d points", len(codes), h.NPoints())
+	}
+	q, err := quantizer.New(h.EbAbs, h.Capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := field.New(h.Name, h.Precision, h.Dims...)
+	blocks := blockGrid(h.Dims, blockSize)
+
+	// Pre-compute per-block offsets into the code/literal streams. The
+	// literal offsets depend on the code stream, so this pass is serial;
+	// the inverse transforms then run in parallel.
+	codeOff := make([]int, len(blocks)+1)
+	litOff := make([]int, len(blocks)+1)
+	pos := 0
+	lit := 0
+	for bi, br := range blocks {
+		codeOff[bi] = pos
+		litOff[bi] = lit
+		for i := 0; i < br.n; i++ {
+			if codes[pos+i] == 0 {
+				lit++
+			}
+		}
+		pos += br.n
+	}
+	codeOff[len(blocks)] = pos
+	litOff[len(blocks)] = lit
+	if lit != len(literals) {
+		return nil, nil, fmt.Errorf("otc: literal count mismatch (%d vs %d)", lit, len(literals))
+	}
+
+	err = parallel.ForEach(len(blocks), 0, func(bi int) error {
+		br := blocks[bi]
+		buf := make([]float64, br.n)
+		li := litOff[bi]
+		for i := 0; i < br.n; i++ {
+			c := codes[codeOff[bi]+i]
+			if c == 0 {
+				buf[i] = literals[li]
+				li++
+				continue
+			}
+			buf[i] = q.Reconstruct(c)
+		}
+		sizes := br.size[:len(h.Dims)]
+		if err := inverseBlock(buf, sizes, tr); err != nil {
+			return err
+		}
+		scatterBlock(out.Data, h.Dims, br, buf)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, h, nil
+}
+
+// encodePayload serializes the transform id, block size, Huffman-coded
+// coefficient codes, and literal coefficients (always float64),
+// DEFLATE-compressed.
+func encodePayload(codes []int, literals []float64, blockSize int, tr Transform, level int) ([]byte, error) {
+	hb, err := huffman.Encode(codes)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 0, len(hb)+len(literals)*8+16)
+	raw = append(raw, byte(tr))
+	raw = binary.AppendUvarint(raw, uint64(blockSize))
+	raw = binary.AppendUvarint(raw, uint64(len(codes)))
+	raw = append(raw, hb...)
+	raw = binary.AppendUvarint(raw, uint64(len(literals)))
+	var tmp [8]byte
+	for _, v := range literals {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		raw = append(raw, tmp[:]...)
+	}
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(payload []byte) (codes []int, literals []float64, blockSize int, tr Transform, err error) {
+	fr := flate.NewReader(bytes.NewReader(payload))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("otc: inflate: %w", err)
+	}
+	if err := fr.Close(); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if len(raw) < 1 {
+		return nil, nil, 0, 0, fmt.Errorf("otc: empty payload")
+	}
+	tr = Transform(raw[0])
+	if tr != TransformDCT && tr != TransformHaar {
+		return nil, nil, 0, 0, fmt.Errorf("otc: unknown transform %d", raw[0])
+	}
+	raw = raw[1:]
+	bs, k := binary.Uvarint(raw)
+	if k <= 0 || bs == 0 || bs > 1<<20 {
+		return nil, nil, 0, 0, fmt.Errorf("otc: bad block size")
+	}
+	raw = raw[k:]
+	npoints, k := binary.Uvarint(raw)
+	if k <= 0 {
+		return nil, nil, 0, 0, fmt.Errorf("otc: truncated point count")
+	}
+	raw = raw[k:]
+	codes, consumed, err := huffman.Decode(raw)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if uint64(len(codes)) != npoints {
+		return nil, nil, 0, 0, fmt.Errorf("otc: decoded %d codes, want %d", len(codes), npoints)
+	}
+	raw = raw[consumed:]
+	nlit, k := binary.Uvarint(raw)
+	if k <= 0 {
+		return nil, nil, 0, 0, fmt.Errorf("otc: truncated literal count")
+	}
+	raw = raw[k:]
+	if uint64(len(raw)) < nlit*8 {
+		return nil, nil, 0, 0, fmt.Errorf("otc: literal stream truncated")
+	}
+	literals = make([]float64, nlit)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return codes, literals, int(bs), tr, nil
+}

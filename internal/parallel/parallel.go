@@ -1,0 +1,158 @@
+// Package parallel provides the small set of concurrency utilities the
+// module needs: a bounded parallel-for over index ranges, a first-error
+// worker group, and chunk partitioning helpers. Everything is built from
+// goroutines and channels in the style of Effective Go; there are no
+// external dependencies.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes a
+// non-positive value: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach invokes fn(i) for every i in [0, n) using up to `workers`
+// goroutines (non-positive means DefaultWorkers). Iterations are handed
+// out in contiguous blocks to preserve cache locality. ForEach returns the
+// first non-nil error reported by fn; other iterations still run to
+// completion (fn implementations should be cheap to cancel via their own
+// state if that matters).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		lo, hi := Partition(n, workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := fn(i); err != nil {
+					record(err)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Partition returns the half-open range [lo, hi) of items assigned to
+// worker w when n items are split across `workers` workers as evenly as
+// possible (the first n%workers workers receive one extra item).
+func Partition(n, workers, w int) (lo, hi int) {
+	base := n / workers
+	extra := n % workers
+	if w < extra {
+		lo = w * (base + 1)
+		hi = lo + base + 1
+	} else {
+		lo = extra*(base+1) + (w-extra)*base
+		hi = lo + base
+	}
+	return lo, hi
+}
+
+// Group runs tasks concurrently with at most `workers` in flight and
+// returns the first error. It is the channel-semaphore pattern from
+// Effective Go wrapped in a reusable type.
+type Group struct {
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+}
+
+// NewGroup creates a Group allowing up to `workers` concurrent tasks
+// (non-positive means DefaultWorkers).
+func NewGroup(workers int) *Group {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Group{sem: make(chan struct{}, workers)}
+}
+
+// Go schedules fn, blocking while the concurrency limit is saturated.
+func (g *Group) Go(fn func() error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.firstErr == nil {
+				g.firstErr = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task has finished and returns the
+// first error observed (nil if none).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+// Chunks splits n items into chunks of at most chunkSize and returns the
+// half-open [lo, hi) boundaries. chunkSize ≤ 0 yields a single chunk.
+func Chunks(n, chunkSize int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if chunkSize <= 0 || chunkSize >= n {
+		return [][2]int{{0, n}}
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 100} {
+		n := 137
+		seen := make([]int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(50, 4, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachSequentialErrorStopsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	var count int
+	err := ForEach(100, 1, func(i int) error {
+		count++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal("expected error")
+	}
+	if count != 4 {
+		t.Fatalf("sequential path ran %d iterations after error, want 4", count)
+	}
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{10, 3}, {3, 10}, {1, 1}, {100, 7}, {7, 7}, {0, 4},
+	} {
+		covered := 0
+		prevHi := 0
+		for w := 0; w < tc.workers; w++ {
+			lo, hi := Partition(tc.n, tc.workers, w)
+			if lo != prevHi {
+				t.Fatalf("n=%d w=%d: gap at %d (lo=%d)", tc.n, tc.workers, prevHi, lo)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d w=%d: hi < lo", tc.n, tc.workers)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d workers=%d: covered %d", tc.n, tc.workers, covered)
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// No worker's share may exceed another's by more than 1.
+	min, max := 1<<30, 0
+	for w := 0; w < 7; w++ {
+		lo, hi := Partition(100, 7, w)
+		size := hi - lo
+		if size < min {
+			min = size
+		}
+		if size > max {
+			max = size
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("imbalance: min=%d max=%d", min, max)
+	}
+}
+
+func TestGroupRunsAll(t *testing.T) {
+	g := NewGroup(3)
+	var n int64
+	for i := 0; i < 40; i++ {
+		g.Go(func() error {
+			atomic.AddInt64(&n, 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("ran %d tasks, want 40", n)
+	}
+}
+
+func TestGroupLimitsConcurrency(t *testing.T) {
+	const limit = 2
+	g := NewGroup(limit)
+	var cur, peak int64
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			c := atomic.AddInt64(&cur, 1)
+			mu.Lock()
+			if c > peak {
+				peak = c
+			}
+			mu.Unlock()
+			atomic.AddInt64(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", peak, limit)
+	}
+}
+
+func TestGroupFirstError(t *testing.T) {
+	g := NewGroup(4)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		g.Go(func() error { return nil })
+	}
+	g.Go(func() error { return boom })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	got := Chunks(10, 4)
+	want := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("Chunks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Chunks = %v, want %v", got, want)
+		}
+	}
+	if Chunks(0, 4) != nil {
+		t.Fatal("Chunks(0) should be nil")
+	}
+	one := Chunks(5, 0)
+	if len(one) != 1 || one[0] != [2]int{0, 5} {
+		t.Fatalf("Chunks(5,0) = %v", one)
+	}
+	if c := Chunks(5, 100); len(c) != 1 {
+		t.Fatalf("oversized chunk size should yield one chunk, got %v", c)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers must be ≥ 1")
+	}
+}

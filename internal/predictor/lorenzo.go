@@ -1,0 +1,154 @@
+// Package predictor implements the Lorenzo predictors used by the SZ-style
+// compressor (SZ 1.4's default prediction method, after Ibarria et al.).
+//
+// The d-dimensional Lorenzo predictor estimates a point from its 2^d − 1
+// preceding neighbors with alternating-sign weights — the inclusion-
+// exclusion corner of the local hypercube:
+//
+//	1D: p(i)       = x(i−1)
+//	2D: p(i,j)     = x(i−1,j) + x(i,j−1) − x(i−1,j−1)
+//	3D: p(i,j,k)   = x(i−1,j,k) + x(i,j−1,k) + x(i,j,k−1)
+//	               − x(i−1,j−1,k) − x(i−1,j,k−1) − x(i,j−1,k−1)
+//	               + x(i−1,j−1,k−1)
+//
+// Out-of-domain neighbors are treated as 0, which makes the first point's
+// prediction 0 (SZ stores it as a large prediction error or an
+// unpredictable literal).
+//
+// The functions here operate on a *reconstructed* array: during both
+// compression and decompression the neighbors come from already-decoded
+// values. That property is what makes Eq. 1 of the paper
+// (X − X̃ = Xpe − X̃pe) hold exactly, and it is asserted by tests.
+package predictor
+
+// Predictor predicts the value at flat index idx of a row-major array
+// using only entries of recon at indices < idx.
+type Predictor interface {
+	// Predict returns the prediction for flat index idx.
+	Predict(recon []float64, idx int) float64
+	// Dims returns the grid dimensions the predictor was built for.
+	Dims() []int
+	// Name identifies the predictor in stream headers and logs.
+	Name() string
+}
+
+// Lorenzo1D predicts each point from its immediate predecessor.
+type Lorenzo1D struct{ n int }
+
+// NewLorenzo1D returns a 1-D Lorenzo predictor for arrays of length n.
+func NewLorenzo1D(n int) *Lorenzo1D { return &Lorenzo1D{n: n} }
+
+// Predict implements Predictor.
+func (p *Lorenzo1D) Predict(recon []float64, idx int) float64 {
+	if idx == 0 {
+		return 0
+	}
+	return recon[idx-1]
+}
+
+// Dims implements Predictor.
+func (p *Lorenzo1D) Dims() []int { return []int{p.n} }
+
+// Name implements Predictor.
+func (p *Lorenzo1D) Name() string { return "lorenzo1d" }
+
+// Lorenzo2D implements the three-point 2-D Lorenzo stencil.
+type Lorenzo2D struct{ r, c int }
+
+// NewLorenzo2D returns a 2-D Lorenzo predictor for an r×c grid.
+func NewLorenzo2D(r, c int) *Lorenzo2D { return &Lorenzo2D{r: r, c: c} }
+
+// Predict implements Predictor.
+func (p *Lorenzo2D) Predict(recon []float64, idx int) float64 {
+	i, j := idx/p.c, idx%p.c
+	var a, b, d float64 // west, north, northwest
+	if j > 0 {
+		a = recon[idx-1]
+	}
+	if i > 0 {
+		b = recon[idx-p.c]
+	}
+	if i > 0 && j > 0 {
+		d = recon[idx-p.c-1]
+	}
+	return a + b - d
+}
+
+// Dims implements Predictor.
+func (p *Lorenzo2D) Dims() []int { return []int{p.r, p.c} }
+
+// Name implements Predictor.
+func (p *Lorenzo2D) Name() string { return "lorenzo2d" }
+
+// Lorenzo3D implements the seven-point 3-D Lorenzo stencil.
+type Lorenzo3D struct{ d0, d1, d2 int }
+
+// NewLorenzo3D returns a 3-D Lorenzo predictor for a d0×d1×d2 grid.
+func NewLorenzo3D(d0, d1, d2 int) *Lorenzo3D { return &Lorenzo3D{d0: d0, d1: d1, d2: d2} }
+
+// Predict implements Predictor.
+func (p *Lorenzo3D) Predict(recon []float64, idx int) float64 {
+	plane := p.d1 * p.d2
+	i := idx / plane
+	rem := idx % plane
+	j := rem / p.d2
+	k := rem % p.d2
+
+	var x100, x010, x001, x110, x101, x011, x111 float64
+	if i > 0 {
+		x100 = recon[idx-plane]
+	}
+	if j > 0 {
+		x010 = recon[idx-p.d2]
+	}
+	if k > 0 {
+		x001 = recon[idx-1]
+	}
+	if i > 0 && j > 0 {
+		x110 = recon[idx-plane-p.d2]
+	}
+	if i > 0 && k > 0 {
+		x101 = recon[idx-plane-1]
+	}
+	if j > 0 && k > 0 {
+		x011 = recon[idx-p.d2-1]
+	}
+	if i > 0 && j > 0 && k > 0 {
+		x111 = recon[idx-plane-p.d2-1]
+	}
+	return x100 + x010 + x001 - x110 - x101 - x011 + x111
+}
+
+// Dims implements Predictor.
+func (p *Lorenzo3D) Dims() []int { return []int{p.d0, p.d1, p.d2} }
+
+// Name implements Predictor.
+func (p *Lorenzo3D) Name() string { return "lorenzo3d" }
+
+// ForDims returns the Lorenzo predictor matching the rank of dims
+// (1, 2, or 3 dimensions). It panics on other ranks; the field layer
+// validates rank before compression.
+func ForDims(dims []int) Predictor {
+	switch len(dims) {
+	case 1:
+		return NewLorenzo1D(dims[0])
+	case 2:
+		return NewLorenzo2D(dims[0], dims[1])
+	case 3:
+		return NewLorenzo3D(dims[0], dims[1], dims[2])
+	default:
+		panic("predictor: unsupported rank")
+	}
+}
+
+// Errors computes first-phase prediction errors against the *original*
+// data (prediction from original neighbors, as in the compression pass
+// before quantization feedback). The experiment harness uses it for the
+// Figure 1 distribution plot.
+func Errors(p Predictor, data []float64) []float64 {
+	out := make([]float64, len(data))
+	for i := range data {
+		out[i] = data[i] - p.Predict(data, i)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLorenzo1D(t *testing.T) {
+	p := NewLorenzo1D(4)
+	data := []float64{5, 7, 2, 9}
+	if got := p.Predict(data, 0); got != 0 {
+		t.Fatalf("first prediction = %g, want 0", got)
+	}
+	if got := p.Predict(data, 2); got != 7 {
+		t.Fatalf("Predict(2) = %g, want 7", got)
+	}
+	if p.Name() != "lorenzo1d" || len(p.Dims()) != 1 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestLorenzo2DStencil(t *testing.T) {
+	// 2x2 grid: prediction at (1,1) = a + b − d.
+	p := NewLorenzo2D(2, 2)
+	data := []float64{1, 2, 3, 0} // d=1 b=2(north of (1,1)? layout: [ (0,0)=1 (0,1)=2 (1,0)=3 (1,1) ]
+	got := p.Predict(data, 3)
+	want := 3.0 + 2.0 - 1.0 // west + north − northwest
+	if got != want {
+		t.Fatalf("Predict = %g, want %g", got, want)
+	}
+	// Boundary cases.
+	if p.Predict(data, 0) != 0 {
+		t.Fatal("corner prediction should be 0")
+	}
+	if p.Predict(data, 1) != 1 { // west only
+		t.Fatalf("edge prediction = %g, want 1", p.Predict(data, 1))
+	}
+	if p.Predict(data, 2) != 1 { // north only
+		t.Fatalf("edge prediction = %g, want 1", p.Predict(data, 2))
+	}
+}
+
+func TestLorenzo3DStencil(t *testing.T) {
+	p := NewLorenzo3D(2, 2, 2)
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 0}
+	// At (1,1,1): x100=4? layout idx = (i*2+j)*2+k:
+	// (0,0,0)=1 (0,0,1)=2 (0,1,0)=3 (0,1,1)=4 (1,0,0)=5 (1,0,1)=6 (1,1,0)=7
+	// pred = x(0,1,1)+x(1,0,1)+x(1,1,0) − x(0,0,1)−x(0,1,0)−x(1,0,0) + x(0,0,0)
+	want := 4.0 + 6.0 + 7.0 - 2.0 - 3.0 - 5.0 + 1.0
+	if got := p.Predict(data, 7); got != want {
+		t.Fatalf("Predict = %g, want %g", got, want)
+	}
+	if p.Predict(data, 0) != 0 {
+		t.Fatal("origin prediction should be 0")
+	}
+}
+
+// Lorenzo predictors are exact on polynomial surfaces of the matching
+// degree: 1D on constants, 2D on bilinear-minus-cross terms, 3D similar.
+// In particular all ranks reproduce affine fields exactly away from the
+// boundary.
+func TestLorenzoExactOnAffine(t *testing.T) {
+	const r, c = 6, 7
+	p := NewLorenzo2D(r, c)
+	data := make([]float64, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			data[i*c+j] = 3 + 2*float64(i) - 5*float64(j)
+		}
+	}
+	for i := 1; i < r; i++ {
+		for j := 1; j < c; j++ {
+			idx := i*c + j
+			if got := p.Predict(data, idx); got != data[idx] {
+				t.Fatalf("affine field mispredicted at (%d,%d): %g vs %g", i, j, got, data[idx])
+			}
+		}
+	}
+
+	p3 := NewLorenzo3D(4, 5, 6)
+	d3 := make([]float64, 4*5*6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 6; k++ {
+				d3[(i*5+j)*6+k] = 1 - float64(i) + 2*float64(j) + 0.5*float64(k)
+			}
+		}
+	}
+	for i := 1; i < 4; i++ {
+		for j := 1; j < 5; j++ {
+			for k := 1; k < 6; k++ {
+				idx := (i*5+j)*6 + k
+				if got := p3.Predict(d3, idx); got != d3[idx] {
+					t.Fatalf("3D affine mispredicted at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestForDims(t *testing.T) {
+	if ForDims([]int{4}).Name() != "lorenzo1d" {
+		t.Fatal("rank 1 dispatch")
+	}
+	if ForDims([]int{4, 4}).Name() != "lorenzo2d" {
+		t.Fatal("rank 2 dispatch")
+	}
+	if ForDims([]int{4, 4, 4}).Name() != "lorenzo3d" {
+		t.Fatal("rank 3 dispatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank 4")
+		}
+	}()
+	ForDims([]int{1, 1, 1, 1})
+}
+
+func TestErrorsReconstructsData(t *testing.T) {
+	// data[i] = pred_i + err_i must hold when predictions come from the
+	// original data.
+	rng := rand.New(rand.NewSource(11))
+	data := make([]float64, 8*9)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	p := NewLorenzo2D(8, 9)
+	errs := Errors(p, data)
+	if len(errs) != len(data) {
+		t.Fatal("length mismatch")
+	}
+	for i := range data {
+		if errs[i] != data[i]-p.Predict(data, i) {
+			t.Fatalf("identity violated at %d", i)
+		}
+	}
+}
+
+func TestPredictUsesOnlyPrecedingValues(t *testing.T) {
+	// Corrupting future values must not change the prediction.
+	p := NewLorenzo3D(3, 3, 3)
+	data := make([]float64, 27)
+	rng := rand.New(rand.NewSource(13))
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	idx := 13 // center
+	want := p.Predict(data, idx)
+	for j := idx; j < 27; j++ {
+		data[j] = 999
+	}
+	if got := p.Predict(data, idx); got != want {
+		t.Fatal("prediction depends on current/future values")
+	}
+}

@@ -1,0 +1,84 @@
+// Package quantizer implements SZ's error-controlled uniform quantization
+// (linear-scaling quantization). Prediction errors are mapped to integer
+// codes representing uniform bins of width δ = 2·ebabs centered on integer
+// multiples of δ; reconstruction uses the bin midpoint, so the pointwise
+// error contributed by a quantized code is at most ebabs.
+//
+// Codes use the SZ convention:
+//
+//	code 0                     → unpredictable (value stored losslessly)
+//	code c ∈ [1, 2R−1]         → quantized, signed index q = c − R
+//	                             reconstructed error  q · 2·ebabs
+//
+// where R is the interval radius (capacity/2).
+package quantizer
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultCapacity is the default number of quantization intervals (2n in
+// the paper's notation). It matches SZ 1.4's default of 65536.
+const DefaultCapacity = 65536
+
+// Quantizer maps prediction errors to integer codes under a fixed absolute
+// error bound.
+type Quantizer struct {
+	eb     float64 // absolute error bound (half the bin width)
+	delta  float64 // bin width δ = 2·eb
+	radius int     // interval radius R = capacity/2
+}
+
+// New creates a quantizer with the given absolute error bound and interval
+// capacity. Capacity must be an even number ≥ 4; non-positive capacity
+// selects DefaultCapacity. The error bound must be positive.
+func New(ebAbs float64, capacity int) (*Quantizer, error) {
+	if !(ebAbs > 0) || math.IsInf(ebAbs, 0) || math.IsNaN(ebAbs) {
+		return nil, fmt.Errorf("quantizer: error bound must be positive and finite, got %g", ebAbs)
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if capacity < 4 || capacity%2 != 0 {
+		return nil, fmt.Errorf("quantizer: capacity must be an even number >= 4, got %d", capacity)
+	}
+	return &Quantizer{eb: ebAbs, delta: 2 * ebAbs, radius: capacity / 2}, nil
+}
+
+// ErrorBound returns the absolute error bound.
+func (q *Quantizer) ErrorBound() float64 { return q.eb }
+
+// Delta returns the quantization bin width δ = 2·ebabs.
+func (q *Quantizer) Delta() float64 { return q.delta }
+
+// Radius returns the interval radius R.
+func (q *Quantizer) Radius() int { return q.radius }
+
+// Capacity returns the total number of intervals 2R.
+func (q *Quantizer) Capacity() int { return 2 * q.radius }
+
+// Quantize maps a prediction error diff to a code. ok is false when the
+// error falls outside the representable interval range (or is not finite),
+// in which case the caller must store the value losslessly and emit
+// code 0.
+func (q *Quantizer) Quantize(diff float64) (code int, ok bool) {
+	if math.IsNaN(diff) || math.IsInf(diff, 0) {
+		return 0, false
+	}
+	idx := math.Round(diff / q.delta)
+	// |q| must stay strictly below R so the code fits [1, 2R−1].
+	if idx >= float64(q.radius) || idx <= -float64(q.radius) {
+		return 0, false
+	}
+	return int(idx) + q.radius, true
+}
+
+// Reconstruct returns the decoded prediction error for a non-zero code:
+// the midpoint of the code's bin.
+func (q *Quantizer) Reconstruct(code int) float64 {
+	return float64(code-q.radius) * q.delta
+}
+
+// IsUnpredictable reports whether code marks a literal value.
+func IsUnpredictable(code int) bool { return code == 0 }

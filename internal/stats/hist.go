@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a uniform-bin histogram over a closed interval [Lo, Hi].
+// It backs Figure 1 (the prediction-error distribution plot) and the
+// general MSE estimator of Eq. 3, which needs P(m_i) — the empirical
+// density evaluated at bin midpoints.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Total  int64
+	// Underflow and Overflow count samples outside [Lo, Hi].
+	Underflow, Overflow int64
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+// It returns an error for degenerate bounds or a non-positive bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram bounds [%g, %g] are degenerate", lo, hi)
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs a positive bin count, got %d", bins)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add folds one sample into the histogram.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		// The top edge belongs to the last bin so that Hi itself is
+		// representable.
+		if x == h.Hi {
+			h.Counts[len(h.Counts)-1]++
+		} else {
+			h.Overflow++
+		}
+	default:
+		w := (h.Hi - h.Lo) / float64(len(h.Counts))
+		i := int((x - h.Lo) / w)
+		if i >= len(h.Counts) { // guard float rounding at the top edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll folds a slice of samples into the histogram.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// Midpoint returns the midpoint of bin i.
+func (h *Histogram) Midpoint(i int) float64 {
+	w := h.BinWidth()
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of all samples that landed in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Density returns the empirical probability density evaluated at the
+// midpoint of bin i: fraction / bin width. This is the P(m_i) of Eq. 3.
+func (h *Histogram) Density(i int) float64 {
+	w := h.BinWidth()
+	if w == 0 {
+		return 0
+	}
+	return h.Fraction(i) / w
+}
+
+// InRangeFraction returns the fraction of samples that fell inside
+// [Lo, Hi].
+func (h *Histogram) InRangeFraction() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Total-h.Underflow-h.Overflow) / float64(h.Total)
+}
+
+// Quantile returns an empirical quantile (0 ≤ q ≤ 1) of xs. It sorts a
+// copy; callers on hot paths should pre-sort. An empty input returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramRejectsBadArgs(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Fatal("expected error for degenerate bounds")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("expected error for zero bins")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5.5, 9.99, 10, -1, 11})
+	// bins: [0,2) [2,4) [4,6) [6,8) [8,10]; 10 lands in the last bin.
+	want := []int64{2, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d count = %d, want %d (counts=%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Underflow, h.Overflow)
+	}
+	if h.Total != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total)
+	}
+	if got := h.InRangeFraction(); !almostEqual(got, 6.0/8.0, 1e-12) {
+		t.Fatalf("InRangeFraction = %g", got)
+	}
+}
+
+func TestHistogramMidpointAndDensity(t *testing.T) {
+	h, _ := NewHistogram(-1, 1, 4)
+	if !almostEqual(h.BinWidth(), 0.5, 1e-12) {
+		t.Fatalf("BinWidth = %g", h.BinWidth())
+	}
+	if !almostEqual(h.Midpoint(0), -0.75, 1e-12) {
+		t.Fatalf("Midpoint(0) = %g", h.Midpoint(0))
+	}
+	h.AddAll([]float64{-0.9, -0.8, 0.1})
+	if !almostEqual(h.Fraction(0), 2.0/3.0, 1e-12) {
+		t.Fatalf("Fraction(0) = %g", h.Fraction(0))
+	}
+	// Density integrates to 1 over in-range samples.
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	if !almostEqual(integral, 1, 1e-12) {
+		t.Fatalf("density integral = %g, want 1", integral)
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	if h.Density(0) != 0 || h.Fraction(0) != 0 || h.InRangeFraction() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("quantile of empty should be 0")
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.25); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("interpolated quantile = %g, want 2.5", got)
+	}
+}
+
+func TestHistogramTopEdge(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 10)
+	h.Add(1.0) // exactly the top edge
+	if h.Counts[9] != 1 || h.Overflow != 0 {
+		t.Fatalf("top edge misbinned: counts=%v overflow=%d", h.Counts, h.Overflow)
+	}
+	h.Add(math.Nextafter(1, 2))
+	if h.Overflow != 1 {
+		t.Fatal("value just above the top edge should overflow")
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestCompareLossless(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	d := Compare(x, x)
+	if d.MSE != 0 || d.MaxErr != 0 {
+		t.Fatalf("lossless comparison has nonzero error: %+v", d)
+	}
+	if !math.IsInf(d.PSNR, 1) {
+		t.Fatalf("lossless PSNR = %g, want +Inf", d.PSNR)
+	}
+}
+
+func TestCompareKnownValues(t *testing.T) {
+	orig := []float64{0, 10}  // vr = 10
+	recon := []float64{1, 10} // errors: 1, 0
+	d := Compare(orig, recon)
+	if !almostEqual(d.MSE, 0.5, 1e-12) {
+		t.Fatalf("MSE = %g, want 0.5", d.MSE)
+	}
+	if !almostEqual(d.MaxErr, 1, 1e-12) {
+		t.Fatalf("MaxErr = %g, want 1", d.MaxErr)
+	}
+	wantNRMSE := math.Sqrt(0.5) / 10
+	if !almostEqual(d.NRMSE, wantNRMSE, 1e-12) {
+		t.Fatalf("NRMSE = %g, want %g", d.NRMSE, wantNRMSE)
+	}
+	wantPSNR := -20 * math.Log10(wantNRMSE)
+	if !almostEqual(d.PSNR, wantPSNR, 1e-9) {
+		t.Fatalf("PSNR = %g, want %g", d.PSNR, wantPSNR)
+	}
+}
+
+func TestComparePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Compare([]float64{1}, []float64{1, 2})
+}
+
+func TestCompareEmpty(t *testing.T) {
+	d := Compare(nil, nil)
+	if !math.IsInf(d.PSNR, 1) {
+		t.Fatalf("empty comparison PSNR = %g, want +Inf", d.PSNR)
+	}
+}
+
+func TestCompareConstantOriginal(t *testing.T) {
+	orig := []float64{5, 5, 5}
+	recon := []float64{5, 5, 6}
+	d := Compare(orig, recon)
+	if !math.IsInf(d.NRMSE, 1) {
+		t.Fatalf("NRMSE = %g, want +Inf for constant original with loss", d.NRMSE)
+	}
+	if !math.IsInf(d.PSNR, -1) {
+		t.Fatalf("PSNR = %g, want -Inf", d.PSNR)
+	}
+}
+
+func TestPSNRNRMSERoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw float64) bool {
+		nrmse := math.Abs(raw)
+		if nrmse == 0 || math.IsInf(nrmse, 0) || math.IsNaN(nrmse) || nrmse > 1e8 {
+			return true
+		}
+		back := NRMSEFromPSNR(PSNRFromNRMSE(nrmse))
+		return almostEqual(back, nrmse, 1e-9*nrmse)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNRSpecialCases(t *testing.T) {
+	if !math.IsInf(PSNRFromNRMSE(0), 1) {
+		t.Fatal("PSNR of 0 NRMSE should be +Inf")
+	}
+	if !math.IsInf(PSNRFromNRMSE(math.Inf(1)), -1) {
+		t.Fatal("PSNR of +Inf NRMSE should be -Inf")
+	}
+	if NRMSEFromPSNR(math.Inf(1)) != 0 {
+		t.Fatal("NRMSE of +Inf PSNR should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Mean = %g, want 2", got)
+	}
+}
+
+func TestMomentsAgainstDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	if !almostEqual(m.Mean(), mean, 1e-12) {
+		t.Fatalf("Mean = %g, want %g", m.Mean(), mean)
+	}
+	if !almostEqual(m.Variance(), ss/10, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", m.Variance(), ss/10)
+	}
+	if !almostEqual(m.SampleVariance(), ss/9, 1e-12) {
+		t.Fatalf("SampleVariance = %g, want %g", m.SampleVariance(), ss/9)
+	}
+	if m.N() != 10 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	var m Moments
+	if m.Variance() != 0 || m.SampleVariance() != 0 {
+		t.Fatal("empty moments should have zero variance")
+	}
+	m.Add(5)
+	if m.SampleVariance() != 0 {
+		t.Fatal("single observation sample variance should be 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(mean, 5, 1e-12) {
+		t.Fatalf("mean = %g, want 5", mean)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if !almostEqual(std, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("std = %g, want %g", std, math.Sqrt(32.0/7.0))
+	}
+}
+
+func TestMomentsMatchMeanStdProperty(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsInf(x, 0) && !math.IsNaN(x) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		mean, std := MeanStd(clean)
+		m := Mean(clean)
+		var ss float64
+		for _, x := range clean {
+			ss += (x - m) * (x - m)
+		}
+		want := math.Sqrt(ss / float64(len(clean)-1))
+		return almostEqual(mean, m, 1e-6) && almostEqual(std, want, 1e-6*(1+want))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fixedpsnr/internal/field"
+)
+
+// Pointwise-relative compression (SZ's third traditional error-control
+// mode, listed in the paper's §II-B) is implemented by compressing in the
+// logarithmic domain: y = ln|x| is compressed with the ordinary Lorenzo
+// pipeline under the absolute bound ebLog = ln(1 + ebRel), which
+// guarantees |x̃/x − 1| ≤ ebRel for every non-zero point. Signs and exact
+// zeros travel in bit masks alongside the inner stream.
+//
+// Stream layout (codec CodecLogLorenzo): the outer container header
+// records ebRel in its EbAbs slot, followed by one payload chunk:
+//
+//	ebRel               8 bytes IEEE-754 LE
+//	maskLen             uvarint (compressed byte count)
+//	flate(signMask || zeroMask)   each mask ⌈n/8⌉ bytes, MSB-first
+//	inner CodecLorenzo stream     (the log-domain field)
+
+// CompressPWRel compresses the field under a pointwise relative error
+// bound: every reconstructed value satisfies |x̃ − x| ≤ ebRel·|x| (zeros
+// are reconstructed exactly). Values whose magnitude underflows the log
+// domain (denormals) are handled like any other: ln|x| is finite for all
+// non-zero floats.
+func CompressPWRel(f *field.Field, ebRel float64, opt Options) ([]byte, *Stats, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if !(ebRel > 0) || ebRel >= 1 || math.IsNaN(ebRel) {
+		return nil, nil, fmt.Errorf("sz: pointwise relative bound must be in (0, 1), got %g", ebRel)
+	}
+	n := f.Len()
+	signMask := make([]byte, (n+7)/8)
+	zeroMask := make([]byte, (n+7)/8)
+	logField := field.New(f.Name, field.Float64, f.Dims...)
+	for i, v := range f.Data {
+		if math.Signbit(v) {
+			signMask[i/8] |= 1 << (7 - i%8)
+		}
+		if v == 0 {
+			zeroMask[i/8] |= 1 << (7 - i%8)
+			// A neutral stand-in keeps the log field smooth; the zero
+			// mask restores exactness.
+			logField.Data[i] = 0
+			continue
+		}
+		logField.Data[i] = math.Log(math.Abs(v))
+	}
+
+	ebLog := math.Log1p(ebRel) * (1 - 1e-12) // tiny margin for exp/log rounding
+	innerOpt := opt
+	innerOpt.ErrorBound = ebLog
+	innerOpt.Mode = ModePWRel
+	innerOpt.TargetPSNR = math.NaN()
+	inner, innerStats, err := Compress(logField, innerOpt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: pwrel inner compression: %w", err)
+	}
+
+	var maskBuf bytes.Buffer
+	fw, err := flate.NewWriter(&maskBuf, opt.level())
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := fw.Write(signMask); err != nil {
+		return nil, nil, err
+	}
+	if _, err := fw.Write(zeroMask); err != nil {
+		return nil, nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	payload := make([]byte, 0, 16+maskBuf.Len()+len(inner))
+	payload = appendFloat64(payload, ebRel)
+	payload = binary.AppendUvarint(payload, uint64(maskBuf.Len()))
+	payload = append(payload, maskBuf.Bytes()...)
+	payload = append(payload, inner...)
+
+	_, _, vr := f.ValueRange()
+	h := &Header{
+		Codec:      CodecLogLorenzo,
+		Precision:  f.Precision,
+		Mode:       ModePWRel,
+		Name:       f.Name,
+		Dims:       f.Dims,
+		EbAbs:      ebRel, // the pointwise relative bound, by convention
+		TargetPSNR: math.NaN(),
+		ValueRange: vr,
+		Capacity:   innerStats.Capacity,
+		ChunkLens:  []int{len(payload)},
+		ChunkRows:  []int{f.Dims[0]},
+	}
+	if h.Capacity == 0 {
+		h.Capacity = 4 // constant inner stream; keep header valid
+	}
+	out := append(h.Marshal(), payload...)
+
+	st := &Stats{
+		OriginalBytes:   f.SizeBytes(),
+		CompressedBytes: len(out),
+		NPoints:         n,
+		Unpredictable:   innerStats.Unpredictable,
+		Chunks:          innerStats.Chunks,
+		Capacity:        innerStats.Capacity,
+		// The inner MSE is measured in the log domain; the data-domain
+		// MSE is not tracked for this codec.
+		MSE: math.NaN(),
+	}
+	st.Ratio = float64(st.OriginalBytes) / float64(len(out))
+	st.BitRate = 8 * float64(len(out)) / float64(n)
+	return out, st, nil
+}
+
+// DecompressPWRel reconstructs a field from a CodecLogLorenzo stream.
+// Decompress routes here automatically; callers normally use it instead.
+func DecompressPWRel(data []byte) (*field.Field, *Header, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.Codec != CodecLogLorenzo {
+		return nil, nil, fmt.Errorf("sz: stream has codec %v, not %v", h.Codec, CodecLogLorenzo)
+	}
+	if len(h.ChunkLens) != 1 {
+		return nil, nil, fmt.Errorf("sz: pwrel stream should have one payload chunk")
+	}
+	payload := data[h.PayloadOffset():]
+	if len(payload) < h.ChunkLens[0] {
+		return nil, nil, fmt.Errorf("sz: pwrel payload truncated")
+	}
+	payload = payload[:h.ChunkLens[0]]
+
+	_, payload, err = readFloat64(payload) // ebRel (informational)
+	if err != nil {
+		return nil, nil, err
+	}
+	maskLen, payload, err := readUvarint(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(payload)) < maskLen {
+		return nil, nil, fmt.Errorf("sz: pwrel masks truncated")
+	}
+	fr := flate.NewReader(bytes.NewReader(payload[:maskLen]))
+	masks, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: pwrel masks: %w", err)
+	}
+	if err := fr.Close(); err != nil {
+		return nil, nil, err
+	}
+	n := h.NPoints()
+	maskBytes := (n + 7) / 8
+	if len(masks) != 2*maskBytes {
+		return nil, nil, fmt.Errorf("sz: pwrel masks have %d bytes, want %d", len(masks), 2*maskBytes)
+	}
+	signMask := masks[:maskBytes]
+	zeroMask := masks[maskBytes:]
+
+	inner := payload[maskLen:]
+	logField, _, err := Decompress(inner)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: pwrel inner stream: %w", err)
+	}
+	if logField.Len() != n {
+		return nil, nil, fmt.Errorf("sz: pwrel inner field has %d points, want %d", logField.Len(), n)
+	}
+
+	out := field.New(h.Name, h.Precision, h.Dims...)
+	for i := 0; i < n; i++ {
+		if zeroMask[i/8]&(1<<(7-i%8)) != 0 {
+			if signMask[i/8]&(1<<(7-i%8)) != 0 {
+				out.Data[i] = math.Copysign(0, -1)
+			} else {
+				out.Data[i] = 0
+			}
+			continue
+		}
+		v := math.Exp(logField.Data[i])
+		if signMask[i/8]&(1<<(7-i%8)) != 0 {
+			v = -v
+		}
+		out.Data[i] = v
+	}
+	return out, h, nil
+}

@@ -1,0 +1,166 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fixedpsnr/internal/field"
+)
+
+func pwrelField(dims ...int) *field.Field {
+	f := field.New("pwrel", field.Float64, dims...)
+	rng := rand.New(rand.NewSource(21))
+	for i := range f.Data {
+		// Wide dynamic range with both signs and exact zeros.
+		mag := math.Exp(rng.NormFloat64() * 4)
+		switch rng.Intn(10) {
+		case 0:
+			f.Data[i] = 0
+		case 1, 2, 3:
+			f.Data[i] = -mag
+		default:
+			f.Data[i] = mag
+		}
+	}
+	return f
+}
+
+func assertPWRelBound(t *testing.T, orig, recon *field.Field, ebRel float64) {
+	t.Helper()
+	for i := range orig.Data {
+		x, y := orig.Data[i], recon.Data[i]
+		if x == 0 {
+			if y != 0 {
+				t.Fatalf("zero at %d reconstructed as %g", i, y)
+			}
+			continue
+		}
+		rel := math.Abs(y-x) / math.Abs(x)
+		if rel > ebRel*(1+1e-9) {
+			t.Fatalf("pointwise relative bound violated at %d: |%g−%g|/|%g| = %g > %g",
+				i, y, x, x, rel, ebRel)
+		}
+		if math.Signbit(x) != math.Signbit(y) {
+			t.Fatalf("sign flipped at %d: %g → %g", i, x, y)
+		}
+	}
+}
+
+func TestPWRelRoundTrip(t *testing.T) {
+	f := pwrelField(60, 50)
+	for _, ebRel := range []float64{1e-1, 1e-2, 1e-3, 1e-5} {
+		blob, st, err := CompressPWRel(f, ebRel, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("ebRel=%g: %v", ebRel, err)
+		}
+		g, h, err := Decompress(blob) // routed via codec dispatch
+		if err != nil {
+			t.Fatalf("ebRel=%g: %v", ebRel, err)
+		}
+		if h.Codec != CodecLogLorenzo || h.Mode != ModePWRel {
+			t.Fatalf("header: %+v", h)
+		}
+		assertPWRelBound(t, f, g, ebRel)
+		if st.Ratio <= 0 {
+			t.Fatalf("stats: %+v", st)
+		}
+	}
+}
+
+func TestPWRel1D3D(t *testing.T) {
+	for _, dims := range [][]int{{500}, {10, 15, 20}} {
+		f := pwrelField(dims...)
+		blob, _, err := CompressPWRel(f, 1e-3, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := DecompressPWRel(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPWRelBound(t, f, g, 1e-3)
+	}
+}
+
+func TestPWRelValidatesBound(t *testing.T) {
+	f := pwrelField(32)
+	for _, eb := range []float64{0, -0.1, 1, 2, math.NaN()} {
+		if _, _, err := CompressPWRel(f, eb, Options{}); err == nil {
+			t.Fatalf("expected error for ebRel=%g", eb)
+		}
+	}
+}
+
+func TestPWRelAllZeros(t *testing.T) {
+	f := field.New("zeros", field.Float64, 40)
+	blob, _, err := CompressPWRel(f, 1e-3, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Data {
+		if v != 0 {
+			t.Fatalf("zero field value %d = %g", i, v)
+		}
+	}
+}
+
+func TestPWRelNegativeZeroPreserved(t *testing.T) {
+	f := field.New("negz", field.Float64, 8)
+	f.Data[3] = math.Copysign(0, -1)
+	f.Data[5] = 1.5
+	blob, _, err := CompressPWRel(f, 1e-2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.Signbit(g.Data[3]) || g.Data[3] != 0 {
+		t.Fatalf("negative zero lost: %g", g.Data[3])
+	}
+	if g.Data[5] == 0 {
+		t.Fatal("non-zero value zeroed")
+	}
+}
+
+func TestPWRelTinyAndHugeMagnitudes(t *testing.T) {
+	f := field.New("range", field.Float64, 6)
+	copy(f.Data, []float64{1e-300, -1e-300, 1e300, -1e300, 1e-10, 1e10})
+	blob, _, err := CompressPWRel(f, 1e-4, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPWRelBound(t, f, g, 1e-4)
+}
+
+func TestPWRelDecompressRejectsWrongCodec(t *testing.T) {
+	f := pwrelField(32)
+	blob, _, err := Compress(f, Options{ErrorBound: 1e-3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressPWRel(blob); err == nil {
+		t.Fatal("expected codec mismatch error")
+	}
+}
+
+func TestPWRelTruncatedStream(t *testing.T) {
+	f := pwrelField(64)
+	blob, _, err := CompressPWRel(f, 1e-3, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(blob[:len(blob)-8]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}

@@ -1,0 +1,712 @@
+// Package sz implements an SZ-style error-bounded lossy compressor for 1-,
+// 2-, and 3-dimensional floating-point fields, modeled on SZ 1.4 (Tao et
+// al., IPDPS 2017; Di & Cappello, IPDPS 2016):
+//
+//  1. predict every point with the Lorenzo predictor from its preceding,
+//     already-reconstructed neighbors;
+//  2. quantize the prediction error with error-controlled uniform
+//     quantization (bin width δ = 2·ebabs, midpoint reconstruction);
+//  3. entropy-code the quantization codes with a custom canonical Huffman
+//     coder; and
+//  4. squeeze the result with DEFLATE (the algorithm inside GZIP).
+//
+// Points whose prediction error falls outside the quantization interval
+// range are stored losslessly ("unpredictable" literals), so the
+// pointwise absolute error is guaranteed ≤ ebabs for every point.
+//
+// The compressor optionally splits the field into independent slabs along
+// the slowest dimension and compresses them concurrently; each slab
+// restarts the predictor, so the error bound is unaffected.
+//
+// Because prediction during decompression sees exactly the reconstructed
+// values the compressor saw, the pipeline is l2-norm-preserving in the
+// sense of the paper's Eq. 1: X − X̃ equals the quantization-stage error
+// on the prediction residuals. This is what makes the closed-form PSNR
+// control of internal/core exact.
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/huffman"
+	"fixedpsnr/internal/parallel"
+	"fixedpsnr/internal/quantizer"
+)
+
+// Options configures compression.
+type Options struct {
+	// ErrorBound is the absolute error bound (ebabs). Must be positive
+	// unless the field is constant.
+	ErrorBound float64
+	// Capacity is the number of quantization intervals (2n). Zero
+	// selects quantizer.DefaultCapacity; AutoCapacity overrides it.
+	Capacity int
+	// AutoCapacity estimates the smallest power-of-two capacity that
+	// captures ≥99% of sampled prediction errors, trading Huffman table
+	// size against unpredictable-literal volume.
+	AutoCapacity bool
+	// Workers bounds compression concurrency (non-positive: all CPUs).
+	Workers int
+	// ChunkRows forces the slab height along the slowest dimension.
+	// Zero picks a slab height automatically from Workers.
+	ChunkRows int
+	// Level is the DEFLATE level (flate.BestSpeed..flate.BestCompression).
+	// Zero selects flate.BestSpeed, matching SZ's use of fast gzip.
+	Level int
+	// Mode, TargetPSNR, and ValueRange annotate the stream header for
+	// inspection; they do not affect the algorithm.
+	Mode       Mode
+	TargetPSNR float64
+	ValueRange float64
+}
+
+func (o Options) level() int {
+	if o.Level == 0 {
+		return flate.BestSpeed
+	}
+	return o.Level
+}
+
+// Stats reports the outcome of one compression.
+type Stats struct {
+	OriginalBytes   int
+	CompressedBytes int
+	Ratio           float64 // OriginalBytes / CompressedBytes
+	BitRate         float64 // compressed bits per value
+	NPoints         int
+	Unpredictable   int // points stored as lossless literals
+	Chunks          int
+	Capacity        int // quantization intervals actually used
+	// MSE is the exact mean squared error of the reconstruction,
+	// measured during compression (Theorem 1 makes the
+	// quantization-stage distortion equal the end-to-end distortion, so
+	// no decompression is needed). Non-finite pointwise errors (NaN
+	// originals) are excluded.
+	MSE float64
+}
+
+// minChunkPoints is the smallest slab size worth paying a Huffman table
+// for; slabs are merged up to at least this many points.
+const minChunkPoints = 1 << 14
+
+// Compress compresses the field under the given absolute error bound and
+// returns the encoded stream plus statistics.
+func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	_, _, vr := f.ValueRange()
+	if opt.ValueRange == 0 {
+		opt.ValueRange = vr
+	}
+
+	if vr == 0 {
+		return compressConstant(f, opt)
+	}
+	if !(opt.ErrorBound > 0) || math.IsInf(opt.ErrorBound, 0) || math.IsNaN(opt.ErrorBound) {
+		return nil, nil, fmt.Errorf("sz: error bound must be positive and finite, got %g", opt.ErrorBound)
+	}
+
+	capacity := opt.Capacity
+	if opt.AutoCapacity {
+		capacity = estimateCapacity(f.Data, f.Dims, opt.ErrorBound)
+	}
+	if capacity == 0 {
+		capacity = quantizer.DefaultCapacity
+	}
+	q, err := quantizer.New(opt.ErrorBound, capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	bounds := chunkRowBounds(f.Dims[0], opt)
+	inner := 1
+	for _, d := range f.Dims[1:] {
+		inner *= d
+	}
+
+	type chunkResult struct {
+		payload       []byte
+		unpredictable int
+		sumSq         float64
+	}
+	results := make([]chunkResult, len(bounds))
+	err = parallel.ForEach(len(bounds), opt.Workers, func(c int) error {
+		lo, hi := bounds[c][0], bounds[c][1]
+		sub := f.Data[lo*inner : hi*inner]
+		subDims := append([]int{hi - lo}, f.Dims[1:]...)
+		codes, literals, sumSq := compressCore(sub, subDims, q)
+		payload, err := encodeChunk(codes, literals, f.Precision, opt.level())
+		if err != nil {
+			return fmt.Errorf("sz: chunk %d: %w", c, err)
+		}
+		results[c] = chunkResult{payload: payload, unpredictable: len(literals), sumSq: sumSq}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	h := &Header{
+		Codec:      CodecLorenzo,
+		Precision:  f.Precision,
+		Mode:       opt.Mode,
+		Name:       f.Name,
+		Dims:       f.Dims,
+		EbAbs:      opt.ErrorBound,
+		TargetPSNR: opt.TargetPSNR,
+		ValueRange: opt.ValueRange,
+		Capacity:   capacity,
+		ChunkLens:  make([]int, len(results)),
+		ChunkRows:  make([]int, len(results)),
+	}
+	if h.TargetPSNR == 0 && opt.Mode != ModePSNR {
+		h.TargetPSNR = math.NaN()
+	}
+	total := 0
+	unpred := 0
+	var sumSq float64
+	for i, r := range results {
+		h.ChunkLens[i] = len(r.payload)
+		h.ChunkRows[i] = bounds[i][1] - bounds[i][0]
+		total += len(r.payload)
+		unpred += r.unpredictable
+		sumSq += r.sumSq
+	}
+	out := h.Marshal()
+	out = append(out, make([]byte, 0, total)...)
+	for _, r := range results {
+		out = append(out, r.payload...)
+	}
+
+	st := &Stats{
+		OriginalBytes:   f.SizeBytes(),
+		CompressedBytes: len(out),
+		NPoints:         f.Len(),
+		Unpredictable:   unpred,
+		Chunks:          len(results),
+		Capacity:        capacity,
+		MSE:             sumSq / float64(f.Len()),
+	}
+	if len(out) > 0 {
+		st.Ratio = float64(st.OriginalBytes) / float64(len(out))
+		st.BitRate = 8 * float64(len(out)) / float64(f.Len())
+	}
+	return out, st, nil
+}
+
+// compressConstant encodes a field whose value range is zero.
+func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
+	h := &Header{
+		Codec:      CodecConstant,
+		Precision:  f.Precision,
+		Mode:       opt.Mode,
+		Name:       f.Name,
+		Dims:       f.Dims,
+		ConstValue: f.Data[0],
+	}
+	out := h.Marshal()
+	st := &Stats{
+		OriginalBytes:   f.SizeBytes(),
+		CompressedBytes: len(out),
+		Ratio:           float64(f.SizeBytes()) / float64(len(out)),
+		BitRate:         8 * float64(len(out)) / float64(f.Len()),
+		NPoints:         f.Len(),
+		Chunks:          1,
+	}
+	return out, st, nil
+}
+
+// Decompress reconstructs a field from a compressed stream.
+func Decompress(data []byte) (*field.Field, *Header, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := field.New(h.Name, h.Precision, h.Dims...)
+
+	if h.Codec == CodecConstant {
+		for i := range out.Data {
+			out.Data[i] = h.ConstValue
+		}
+		return out, h, nil
+	}
+	if h.Codec == CodecLogLorenzo {
+		return DecompressPWRel(data)
+	}
+	if h.Codec != CodecLorenzo {
+		return nil, nil, fmt.Errorf("sz: cannot decode codec %v here", h.Codec)
+	}
+
+	q, err := quantizer.New(h.EbAbs, h.Capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Re-derive the slab partition used at compression time: the chunk
+	// count fixes it via parallel.Partition.
+	nchunks := len(h.ChunkLens)
+	offsets := make([]int, nchunks+1)
+	offsets[0] = h.headerLen
+	for i, l := range h.ChunkLens {
+		offsets[i+1] = offsets[i] + l
+	}
+	if offsets[nchunks] > len(data) {
+		return nil, nil, fmt.Errorf("sz: stream truncated")
+	}
+	inner := 1
+	for _, d := range h.Dims[1:] {
+		inner *= d
+	}
+
+	rowStart := make([]int, nchunks+1)
+	for i, r := range h.ChunkRows {
+		rowStart[i+1] = rowStart[i] + r
+	}
+	err = parallel.ForEach(nchunks, 0, func(c int) error {
+		lo, hi := rowStart[c], rowStart[c+1]
+		payload := data[offsets[c]:offsets[c+1]]
+		codes, literals, err := decodeChunk(payload, h.Precision)
+		if err != nil {
+			return fmt.Errorf("sz: chunk %d: %w", c, err)
+		}
+		subDims := append([]int{hi - lo}, h.Dims[1:]...)
+		want := (hi - lo) * inner
+		if len(codes) != want {
+			return fmt.Errorf("sz: chunk %d has %d codes, want %d", c, len(codes), want)
+		}
+		return decompressCore(out.Data[lo*inner:hi*inner], codes, literals, subDims, q)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, h, nil
+}
+
+// chunkRowBounds partitions dims[0] into slabs according to the options.
+func chunkRowBounds(rows int, opt Options) [][2]int {
+	if opt.ChunkRows > 0 {
+		return parallel.Chunks(rows, opt.ChunkRows)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers <= 1 || rows == 1 {
+		return [][2]int{{0, rows}}
+	}
+	n := workers
+	if n > rows {
+		n = rows
+	}
+	var out [][2]int
+	for w := 0; w < n; w++ {
+		lo, hi := parallel.Partition(rows, n, w)
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// compressCore runs prediction + quantization over one slab and returns
+// the quantization codes (one per point; 0 marks a literal), the literal
+// values in scan order, and the exact sum of squared reconstruction
+// errors over the slab (non-finite pointwise errors excluded).
+func compressCore(data []float64, dims []int, q *quantizer.Quantizer) (codes []int, literals []float64, sumSq float64) {
+	n := len(data)
+	codes = make([]int, n)
+	recon := make([]float64, n)
+	switch len(dims) {
+	case 1:
+		compress1D(data, codes, recon, &literals, q)
+	case 2:
+		compress2D(data, dims, codes, recon, &literals, q)
+	case 3:
+		compress3D(data, dims, codes, recon, &literals, q)
+	default:
+		panic("sz: unsupported rank")
+	}
+	for i, v := range data {
+		if e := v - recon[i]; e == e { // skip NaN
+			sumSq += e * e
+		}
+	}
+	return codes, literals, sumSq
+}
+
+func quantizeStep(v, pred float64, q *quantizer.Quantizer, literals *[]float64) (code int, recon float64) {
+	diff := v - pred
+	code, ok := q.Quantize(diff)
+	if !ok {
+		*literals = append(*literals, v)
+		return 0, v
+	}
+	return code, pred + q.Reconstruct(code)
+}
+
+func compress1D(data []float64, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
+	prev := 0.0
+	for i, v := range data {
+		codes[i], recon[i] = quantizeStep(v, prev, q, literals)
+		prev = recon[i]
+	}
+}
+
+func compress2D(data []float64, dims []int, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
+	rows, cols := dims[0], dims[1]
+	for i := 0; i < rows; i++ {
+		base := i * cols
+		for j := 0; j < cols; j++ {
+			idx := base + j
+			var a, b, d float64
+			if j > 0 {
+				a = recon[idx-1]
+			}
+			if i > 0 {
+				b = recon[idx-cols]
+				if j > 0 {
+					d = recon[idx-cols-1]
+				}
+			}
+			codes[idx], recon[idx] = quantizeStep(data[idx], a+b-d, q, literals)
+		}
+	}
+}
+
+func compress3D(data []float64, dims []int, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	plane := d1 * d2
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			base := i*plane + j*d2
+			for k := 0; k < d2; k++ {
+				idx := base + k
+				var x100, x010, x001, x110, x101, x011, x111 float64
+				if i > 0 {
+					x100 = recon[idx-plane]
+				}
+				if j > 0 {
+					x010 = recon[idx-d2]
+				}
+				if k > 0 {
+					x001 = recon[idx-1]
+				}
+				if i > 0 && j > 0 {
+					x110 = recon[idx-plane-d2]
+				}
+				if i > 0 && k > 0 {
+					x101 = recon[idx-plane-1]
+				}
+				if j > 0 && k > 0 {
+					x011 = recon[idx-d2-1]
+				}
+				if i > 0 && j > 0 && k > 0 {
+					x111 = recon[idx-plane-d2-1]
+				}
+				pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
+				codes[idx], recon[idx] = quantizeStep(data[idx], pred, q, literals)
+			}
+		}
+	}
+}
+
+// decompressCore reconstructs one slab in place into out.
+func decompressCore(out []float64, codes []int, literals []float64, dims []int, q *quantizer.Quantizer) error {
+	li := 0
+	nextLiteral := func() (float64, error) {
+		if li >= len(literals) {
+			return 0, fmt.Errorf("sz: literal stream exhausted")
+		}
+		v := literals[li]
+		li++
+		return v, nil
+	}
+	switch len(dims) {
+	case 1:
+		prev := 0.0
+		for i, c := range codes {
+			if c == 0 {
+				v, err := nextLiteral()
+				if err != nil {
+					return err
+				}
+				out[i] = v
+			} else {
+				out[i] = prev + q.Reconstruct(c)
+			}
+			prev = out[i]
+		}
+	case 2:
+		rows, cols := dims[0], dims[1]
+		for i := 0; i < rows; i++ {
+			base := i * cols
+			for j := 0; j < cols; j++ {
+				idx := base + j
+				c := codes[idx]
+				if c == 0 {
+					v, err := nextLiteral()
+					if err != nil {
+						return err
+					}
+					out[idx] = v
+					continue
+				}
+				var a, b, d float64
+				if j > 0 {
+					a = out[idx-1]
+				}
+				if i > 0 {
+					b = out[idx-cols]
+					if j > 0 {
+						d = out[idx-cols-1]
+					}
+				}
+				out[idx] = a + b - d + q.Reconstruct(c)
+			}
+		}
+	case 3:
+		d0, d1, d2 := dims[0], dims[1], dims[2]
+		plane := d1 * d2
+		for i := 0; i < d0; i++ {
+			for j := 0; j < d1; j++ {
+				base := i*plane + j*d2
+				for k := 0; k < d2; k++ {
+					idx := base + k
+					c := codes[idx]
+					if c == 0 {
+						v, err := nextLiteral()
+						if err != nil {
+							return err
+						}
+						out[idx] = v
+						continue
+					}
+					var x100, x010, x001, x110, x101, x011, x111 float64
+					if i > 0 {
+						x100 = out[idx-plane]
+					}
+					if j > 0 {
+						x010 = out[idx-d2]
+					}
+					if k > 0 {
+						x001 = out[idx-1]
+					}
+					if i > 0 && j > 0 {
+						x110 = out[idx-plane-d2]
+					}
+					if i > 0 && k > 0 {
+						x101 = out[idx-plane-1]
+					}
+					if j > 0 && k > 0 {
+						x011 = out[idx-d2-1]
+					}
+					if i > 0 && j > 0 && k > 0 {
+						x111 = out[idx-plane-d2-1]
+					}
+					pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
+					out[idx] = pred + q.Reconstruct(c)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("sz: unsupported rank %d", len(dims))
+	}
+	if li != len(literals) {
+		return fmt.Errorf("sz: %d literals left over", len(literals)-li)
+	}
+	return nil
+}
+
+// encodeChunk serializes one slab: Huffman-coded quantization codes, then
+// the literal values, DEFLATE-compressed as a whole.
+func encodeChunk(codes []int, literals []float64, prec field.Precision, level int) ([]byte, error) {
+	hb, err := huffman.Encode(codes)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 0, len(hb)+len(literals)*8+16)
+	raw = binary.AppendUvarint(raw, uint64(len(codes)))
+	raw = append(raw, hb...)
+	raw = binary.AppendUvarint(raw, uint64(len(literals)))
+	raw = appendLiterals(raw, literals, prec)
+
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeChunk reverses encodeChunk.
+func decodeChunk(payload []byte, prec field.Precision) (codes []int, literals []float64, err error) {
+	fr := flate.NewReader(bytes.NewReader(payload))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("inflate: %w", err)
+	}
+	if err := fr.Close(); err != nil {
+		return nil, nil, err
+	}
+	npoints, rest, err := readUvarint(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	codes, consumed, err := huffman.Decode(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(codes)) != npoints {
+		return nil, nil, fmt.Errorf("sz: decoded %d codes, header says %d", len(codes), npoints)
+	}
+	rest = rest[consumed:]
+	nlit, rest, err := readUvarint(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	literals, err = readLiterals(rest, int(nlit), prec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return codes, literals, nil
+}
+
+func appendLiterals(b []byte, vals []float64, prec field.Precision) []byte {
+	if prec == field.Float32 {
+		var tmp [4]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(float32(v)))
+			b = append(b, tmp[:]...)
+		}
+		return b
+	}
+	var tmp [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		b = append(b, tmp[:]...)
+	}
+	return b
+}
+
+func readLiterals(b []byte, n int, prec field.Precision) ([]float64, error) {
+	size := prec.Bytes()
+	if len(b) < n*size {
+		return nil, fmt.Errorf("sz: literal stream truncated (%d < %d)", len(b), n*size)
+	}
+	out := make([]float64, n)
+	if prec == field.Float32 {
+		for i := 0; i < n; i++ {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// estimateCapacity samples first-phase prediction errors (predicting from
+// original values, which is a close proxy for the reconstructed-value
+// predictions) and returns the smallest power-of-two capacity ≥ 256 whose
+// interval range captures at least 99% of them, capped at the default
+// capacity.
+func estimateCapacity(data []float64, dims []int, eb float64) int {
+	const (
+		maxSamples = 1 << 16
+		hitTarget  = 0.99
+	)
+	n := len(data)
+	stride := n / maxSamples
+	if stride < 1 {
+		stride = 1
+	}
+	delta := 2 * eb
+	// Collect |q| for sampled points using the rank-matched predictor on
+	// original data.
+	var absIdx []float64
+	switch len(dims) {
+	case 1:
+		for i := stride; i < n; i += stride {
+			absIdx = append(absIdx, math.Abs((data[i]-data[i-1])/delta))
+		}
+	case 2:
+		cols := dims[1]
+		for idx := stride; idx < n; idx += stride {
+			i, j := idx/cols, idx%cols
+			var a, b, d float64
+			if j > 0 {
+				a = data[idx-1]
+			}
+			if i > 0 {
+				b = data[idx-cols]
+				if j > 0 {
+					d = data[idx-cols-1]
+				}
+			}
+			absIdx = append(absIdx, math.Abs((data[idx]-(a+b-d))/delta))
+		}
+	case 3:
+		d1, d2 := dims[1], dims[2]
+		plane := d1 * d2
+		for idx := stride; idx < n; idx += stride {
+			i := idx / plane
+			rem := idx % plane
+			j := rem / d2
+			k := rem % d2
+			var x100, x010, x001, x110, x101, x011, x111 float64
+			if i > 0 {
+				x100 = data[idx-plane]
+			}
+			if j > 0 {
+				x010 = data[idx-d2]
+			}
+			if k > 0 {
+				x001 = data[idx-1]
+			}
+			if i > 0 && j > 0 {
+				x110 = data[idx-plane-d2]
+			}
+			if i > 0 && k > 0 {
+				x101 = data[idx-plane-1]
+			}
+			if j > 0 && k > 0 {
+				x011 = data[idx-d2-1]
+			}
+			if i > 0 && j > 0 && k > 0 {
+				x111 = data[idx-plane-d2-1]
+			}
+			pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
+			absIdx = append(absIdx, math.Abs((data[idx]-pred)/delta))
+		}
+	}
+	if len(absIdx) == 0 {
+		return quantizer.DefaultCapacity
+	}
+	for capacity := 256; capacity < quantizer.DefaultCapacity; capacity *= 2 {
+		radius := float64(capacity / 2)
+		hits := 0
+		for _, a := range absIdx {
+			if a < radius-0.5 {
+				hits++
+			}
+		}
+		if float64(hits)/float64(len(absIdx)) >= hitTarget {
+			return capacity
+		}
+	}
+	return quantizer.DefaultCapacity
+}

@@ -1,0 +1,170 @@
+// Package transform provides the orthonormal linear transforms used by the
+// transform-based compressor (internal/otc): the orthonormal DCT-II/III
+// pair and a multi-level orthonormal Haar wavelet transform.
+//
+// Every transform here is orthonormal — it preserves the l2 norm exactly
+// (Parseval). That property is the hypothesis of the paper's Theorem 2:
+// distortion introduced by quantizing the transformed coefficients equals
+// the distortion of the reconstructed data, which is what lets the
+// fixed-PSNR mode drive a transform-based compressor with the same Eq. 6.
+package transform
+
+import (
+	"fmt"
+	"math"
+)
+
+// DCT holds precomputed basis matrices for the orthonormal DCT-II of a
+// fixed size.
+type DCT struct {
+	n       int
+	forward [][]float64 // forward[k][j] = c(k)·cos(π(2j+1)k/2n)
+}
+
+// NewDCT precomputes an orthonormal DCT for vectors of length n ≥ 1.
+func NewDCT(n int) (*DCT, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transform: DCT size must be ≥ 1, got %d", n)
+	}
+	d := &DCT{n: n, forward: make([][]float64, n)}
+	for k := 0; k < n; k++ {
+		row := make([]float64, n)
+		c := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			c = math.Sqrt(1 / float64(n))
+		}
+		for j := 0; j < n; j++ {
+			row[j] = c * math.Cos(math.Pi*float64(2*j+1)*float64(k)/(2*float64(n)))
+		}
+		d.forward[k] = row
+	}
+	return d, nil
+}
+
+// Size returns the transform length.
+func (d *DCT) Size() int { return d.n }
+
+// Forward applies the orthonormal DCT-II: dst[k] = Σ_j basis[k][j]·src[j].
+// dst and src must both have length Size and may alias only if identical.
+func (d *DCT) Forward(dst, src []float64) {
+	for k := 0; k < d.n; k++ {
+		row := d.forward[k]
+		var s float64
+		for j := 0; j < d.n; j++ {
+			s += row[j] * src[j]
+		}
+		dst[k] = s
+	}
+}
+
+// Inverse applies the orthonormal DCT-III (the transpose, which is the
+// inverse of an orthonormal matrix).
+func (d *DCT) Inverse(dst, src []float64) {
+	for j := 0; j < d.n; j++ {
+		var s float64
+		for k := 0; k < d.n; k++ {
+			s += d.forward[k][j] * src[k]
+		}
+		dst[j] = s
+	}
+}
+
+// Forward2D applies the DCT separably to an n×n block stored row-major.
+func (d *DCT) Forward2D(dst, src []float64) {
+	n := d.n
+	tmp := make([]float64, n*n)
+	row := make([]float64, n)
+	out := make([]float64, n)
+	// Rows.
+	for i := 0; i < n; i++ {
+		copy(row, src[i*n:(i+1)*n])
+		d.Forward(out, row)
+		copy(tmp[i*n:(i+1)*n], out)
+	}
+	// Columns.
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = tmp[i*n+j]
+		}
+		d.Forward(out, col)
+		for i := 0; i < n; i++ {
+			dst[i*n+j] = out[i]
+		}
+	}
+}
+
+// Inverse2D inverts Forward2D.
+func (d *DCT) Inverse2D(dst, src []float64) {
+	n := d.n
+	tmp := make([]float64, n*n)
+	col := make([]float64, n)
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = src[i*n+j]
+		}
+		d.Inverse(out, col)
+		for i := 0; i < n; i++ {
+			tmp[i*n+j] = out[i]
+		}
+	}
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		copy(row, tmp[i*n:(i+1)*n])
+		d.Inverse(out, row)
+		copy(dst[i*n:(i+1)*n], out)
+	}
+}
+
+// Forward3D applies the DCT separably to an n×n×n block stored row-major.
+func (d *DCT) Forward3D(dst, src []float64) {
+	d.apply3D(dst, src, d.Forward)
+}
+
+// Inverse3D inverts Forward3D.
+func (d *DCT) Inverse3D(dst, src []float64) {
+	d.apply3D(dst, src, d.Inverse)
+}
+
+func (d *DCT) apply3D(dst, src []float64, f func(dst, src []float64)) {
+	n := d.n
+	n2 := n * n
+	cur := make([]float64, n2*n)
+	copy(cur, src)
+	line := make([]float64, n)
+	out := make([]float64, n)
+	// Axis 2 (fastest): lines are contiguous.
+	for base := 0; base < n2*n; base += n {
+		copy(line, cur[base:base+n])
+		f(out, line)
+		copy(cur[base:base+n], out)
+	}
+	// Axis 1: stride n.
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			base := i*n2 + k
+			for j := 0; j < n; j++ {
+				line[j] = cur[base+j*n]
+			}
+			f(out, line)
+			for j := 0; j < n; j++ {
+				cur[base+j*n] = out[j]
+			}
+		}
+	}
+	// Axis 0: stride n².
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			base := j*n + k
+			for i := 0; i < n; i++ {
+				line[i] = cur[base+i*n2]
+			}
+			f(out, line)
+			for i := 0; i < n; i++ {
+				cur[base+i*n2] = out[i]
+			}
+		}
+	}
+	copy(dst, cur)
+}

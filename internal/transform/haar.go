@@ -1,0 +1,71 @@
+package transform
+
+import "fmt"
+
+// HaarForward applies an in-place multi-level orthonormal Haar transform
+// to x (length must be a power of two ≥ 1). Each level maps pairs
+// (a, b) → ((a+b)/√2, (a−b)/√2); levels counts how many times the
+// averaging half is recursed (levels ≤ log2(len)). The transform is
+// orthonormal: ‖HaarForward(x)‖₂ = ‖x‖₂.
+func HaarForward(x []float64, levels int) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("transform: Haar length %d is not a power of two", n)
+	}
+	maxLevels := 0
+	for m := n; m > 1; m >>= 1 {
+		maxLevels++
+	}
+	if levels < 0 || levels > maxLevels {
+		return fmt.Errorf("transform: %d levels out of range [0, %d]", levels, maxLevels)
+	}
+	tmp := make([]float64, n)
+	m := n
+	for l := 0; l < levels; l++ {
+		half := m / 2
+		for i := 0; i < half; i++ {
+			a, b := x[2*i], x[2*i+1]
+			tmp[i] = (a + b) * invSqrt2
+			tmp[half+i] = (a - b) * invSqrt2
+		}
+		copy(x[:m], tmp[:m])
+		m = half
+	}
+	return nil
+}
+
+// HaarInverse inverts HaarForward with the same level count.
+func HaarInverse(x []float64, levels int) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("transform: Haar length %d is not a power of two", n)
+	}
+	maxLevels := 0
+	for m := n; m > 1; m >>= 1 {
+		maxLevels++
+	}
+	if levels < 0 || levels > maxLevels {
+		return fmt.Errorf("transform: %d levels out of range [0, %d]", levels, maxLevels)
+	}
+	tmp := make([]float64, n)
+	// Undo levels from the deepest out.
+	sizes := make([]int, 0, levels)
+	m := n
+	for l := 0; l < levels; l++ {
+		sizes = append(sizes, m)
+		m /= 2
+	}
+	for l := levels - 1; l >= 0; l-- {
+		m := sizes[l]
+		half := m / 2
+		for i := 0; i < half; i++ {
+			s, d := x[i], x[half+i]
+			tmp[2*i] = (s + d) * invSqrt2
+			tmp[2*i+1] = (s - d) * invSqrt2
+		}
+		copy(x[:m], tmp[:m])
+	}
+	return nil
+}
+
+const invSqrt2 = 0.7071067811865476 // 1/√2

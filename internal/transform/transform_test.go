@@ -1,0 +1,222 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSlice(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func l2(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNewDCTValidates(t *testing.T) {
+	if _, err := NewDCT(0); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+	if _, err := NewDCT(-3); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+}
+
+func TestDCTSize1Identity(t *testing.T) {
+	d, err := NewDCT(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []float64{3.5}
+	dst := make([]float64, 1)
+	d.Forward(dst, src)
+	if math.Abs(dst[0]-3.5) > 1e-14 {
+		t.Fatalf("1-point DCT = %g", dst[0])
+	}
+}
+
+// The DCT basis must be orthonormal: B·Bᵀ = I.
+func TestDCTOrthonormal(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 16} {
+		d, err := NewDCT(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				var dot float64
+				for j := 0; j < n; j++ {
+					dot += d.forward[a][j] * d.forward[b][j]
+				}
+				want := 0.0
+				if a == b {
+					want = 1.0
+				}
+				if math.Abs(dot-want) > 1e-12 {
+					t.Fatalf("n=%d: <b%d,b%d> = %g, want %g", n, a, b, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDCTRoundTrip1D(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13} {
+		d, _ := NewDCT(n)
+		src := randSlice(n, int64(n))
+		coef := make([]float64, n)
+		back := make([]float64, n)
+		d.Forward(coef, src)
+		d.Inverse(back, coef)
+		if diff := maxAbsDiff(src, back); diff > 1e-12 {
+			t.Fatalf("n=%d: round-trip diff %g", n, diff)
+		}
+	}
+}
+
+// Parseval: the transform preserves the l2 norm — the hypothesis of the
+// paper's Theorem 2.
+func TestDCTParseval1D(t *testing.T) {
+	d, _ := NewDCT(16)
+	src := randSlice(16, 2)
+	coef := make([]float64, 16)
+	d.Forward(coef, src)
+	if math.Abs(l2(src)-l2(coef)) > 1e-12*l2(src) {
+		t.Fatalf("Parseval violated: %g vs %g", l2(src), l2(coef))
+	}
+}
+
+func TestDCT2DRoundTripAndParseval(t *testing.T) {
+	n := 8
+	d, _ := NewDCT(n)
+	src := randSlice(n*n, 3)
+	coef := make([]float64, n*n)
+	back := make([]float64, n*n)
+	d.Forward2D(coef, src)
+	if math.Abs(l2(src)-l2(coef)) > 1e-12*l2(src) {
+		t.Fatalf("2D Parseval violated")
+	}
+	d.Inverse2D(back, coef)
+	if diff := maxAbsDiff(src, back); diff > 1e-12 {
+		t.Fatalf("2D round-trip diff %g", diff)
+	}
+}
+
+func TestDCT3DRoundTripAndParseval(t *testing.T) {
+	n := 4
+	d, _ := NewDCT(n)
+	src := randSlice(n*n*n, 4)
+	coef := make([]float64, n*n*n)
+	back := make([]float64, n*n*n)
+	d.Forward3D(coef, src)
+	if math.Abs(l2(src)-l2(coef)) > 1e-12*l2(src) {
+		t.Fatalf("3D Parseval violated")
+	}
+	d.Inverse3D(back, coef)
+	if diff := maxAbsDiff(src, back); diff > 1e-12 {
+		t.Fatalf("3D round-trip diff %g", diff)
+	}
+}
+
+func TestDCTConstantMapsToDC(t *testing.T) {
+	n := 8
+	d, _ := NewDCT(n)
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = 2
+	}
+	coef := make([]float64, n)
+	d.Forward(coef, src)
+	if math.Abs(coef[0]-2*math.Sqrt(float64(n))) > 1e-12 {
+		t.Fatalf("DC = %g, want %g", coef[0], 2*math.Sqrt(float64(n)))
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(coef[k]) > 1e-12 {
+			t.Fatalf("AC coefficient %d = %g, want 0", k, coef[k])
+		}
+	}
+}
+
+func TestHaarValidates(t *testing.T) {
+	if err := HaarForward(make([]float64, 3), 1); err == nil {
+		t.Fatal("expected error for non-pow2 length")
+	}
+	if err := HaarForward(make([]float64, 8), 4); err == nil {
+		t.Fatal("expected error for too many levels")
+	}
+	if err := HaarForward(make([]float64, 8), -1); err == nil {
+		t.Fatal("expected error for negative levels")
+	}
+	if err := HaarInverse(make([]float64, 3), 1); err == nil {
+		t.Fatal("expected error for non-pow2 length in inverse")
+	}
+	if err := HaarInverse(make([]float64, 8), 9); err == nil {
+		t.Fatal("expected error for too many levels in inverse")
+	}
+}
+
+func TestHaarRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		maxLevels := 0
+		for m := n; m > 1; m >>= 1 {
+			maxLevels++
+		}
+		for levels := 0; levels <= maxLevels; levels++ {
+			src := randSlice(n, int64(n*10+levels))
+			x := append([]float64(nil), src...)
+			if err := HaarForward(x, levels); err != nil {
+				t.Fatal(err)
+			}
+			if err := HaarInverse(x, levels); err != nil {
+				t.Fatal(err)
+			}
+			if diff := maxAbsDiff(src, x); diff > 1e-12 {
+				t.Fatalf("n=%d levels=%d: round-trip diff %g", n, levels, diff)
+			}
+		}
+	}
+}
+
+func TestHaarParseval(t *testing.T) {
+	src := randSlice(256, 7)
+	x := append([]float64(nil), src...)
+	if err := HaarForward(x, 8); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2(src)-l2(x)) > 1e-12*l2(src) {
+		t.Fatalf("Haar Parseval violated: %g vs %g", l2(src), l2(x))
+	}
+}
+
+func TestHaarKnownValues(t *testing.T) {
+	x := []float64{1, 3, 5, 7}
+	if err := HaarForward(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4 * invSqrt2, 12 * invSqrt2, -2 * invSqrt2, -2 * invSqrt2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("Haar[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
