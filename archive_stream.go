@@ -1,0 +1,372 @@
+package fixedpsnr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/parallel"
+)
+
+// ArchiveWriter builds an archive incrementally against any io.Writer, so
+// a multi-gigabyte snapshot compresses field-by-field without ever
+// materializing the whole archive (or the whole field set) in memory.
+// Entries stream out as they are written; the name→offset index is
+// buffered (a few dozen bytes per field) and flushed by Close as the v2
+// tail index.
+//
+//	aw, _ := fixedpsnr.NewArchiveWriter(file)
+//	for _, path := range paths {
+//		f, _ := fieldio.ReadFile(path) // one field in memory at a time
+//		aw.WriteField(f, opt)
+//	}
+//	aw.Close()
+type ArchiveWriter struct {
+	w        io.Writer
+	off      int64
+	entries  []archiveEntry
+	closed   bool
+	closeErr error
+}
+
+// NewArchiveWriter starts a v2 archive on w by writing the archive
+// preamble.
+func NewArchiveWriter(w io.Writer) (*ArchiveWriter, error) {
+	head := append(append([]byte{}, archiveMagic[:]...), archiveV2)
+	if _, err := w.Write(head); err != nil {
+		return nil, fmt.Errorf("fixedpsnr: archive preamble: %w", err)
+	}
+	return &ArchiveWriter{w: w, off: int64(len(head))}, nil
+}
+
+// Count reports the number of entries written so far.
+func (aw *ArchiveWriter) Count() int { return len(aw.entries) }
+
+// WriteField compresses one field under opt and appends the stream to the
+// archive.
+func (aw *ArchiveWriter) WriteField(f *Field, opt Options) (*Result, error) {
+	blob, res, err := Compress(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := aw.writeStreamNamed(f.Name, blob); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteStream appends an already-compressed stream (as produced by
+// Compress) to the archive, indexing it under the field name recorded in
+// its header.
+func (aw *ArchiveWriter) WriteStream(blob []byte) error {
+	h, err := codec.ParseHeader(blob)
+	if err != nil {
+		return fmt.Errorf("fixedpsnr: archive entry: %w", err)
+	}
+	return aw.writeStreamNamed(h.Name, blob)
+}
+
+// writeStreamNamed appends raw stream bytes under an explicit index name.
+func (aw *ArchiveWriter) writeStreamNamed(name string, blob []byte) error {
+	if aw.closed {
+		return fmt.Errorf("fixedpsnr: archive writer is closed")
+	}
+	if len(aw.entries) >= maxArchiveEntries {
+		return fmt.Errorf("fixedpsnr: archive full (%d entries)", len(aw.entries))
+	}
+	if _, err := aw.w.Write(blob); err != nil {
+		return fmt.Errorf("fixedpsnr: archive entry %q: %w", name, err)
+	}
+	aw.entries = append(aw.entries, archiveEntry{name: name, off: aw.off, length: int64(len(blob))})
+	aw.off += int64(len(blob))
+	return nil
+}
+
+// Close writes the tail index and footer. The writer is unusable
+// afterwards; Close does not close the underlying io.Writer. A failed
+// Close is sticky: repeated calls keep returning the original error.
+func (aw *ArchiveWriter) Close() error {
+	if aw.closed {
+		return aw.closeErr
+	}
+	aw.closed = true
+	idx := make([]byte, 0, 16+32*len(aw.entries))
+	idx = append(idx, archiveIndexMagic[:]...)
+	idx = binary.AppendUvarint(idx, uint64(len(aw.entries)))
+	for _, e := range aw.entries {
+		idx = binary.AppendUvarint(idx, uint64(len(e.name)))
+		idx = append(idx, e.name...)
+		idx = binary.AppendUvarint(idx, uint64(e.off))
+		idx = binary.AppendUvarint(idx, uint64(e.length))
+	}
+	var footer [archiveFooterLen]byte
+	binary.LittleEndian.PutUint64(footer[:8], uint64(aw.off))
+	copy(footer[8:], archiveFooterMagic[:])
+	if _, err := aw.w.Write(append(idx, footer[:]...)); err != nil {
+		aw.closeErr = fmt.Errorf("fixedpsnr: archive index: %w", err)
+	}
+	return aw.closeErr
+}
+
+// ArchiveReader reads an archive through an io.ReaderAt without loading
+// it wholesale: opening a v2 archive reads only the preamble, footer, and
+// tail index, and each extraction reads only that entry's bytes. Version
+// 1 archives (no index) are scanned once at open. Methods are safe for
+// concurrent use after OpenArchive returns.
+type ArchiveReader struct {
+	r       io.ReaderAt
+	size    int64
+	version uint8
+	entries []archiveEntry
+	closer  io.Closer
+	// data is set when the archive is already an in-memory blob; reads
+	// then slice it directly instead of copying through ReadAt.
+	data []byte
+}
+
+// OpenArchive opens an archive of the given total size. The reader keeps
+// r and reads entries on demand; it never loads the whole v2 archive.
+func OpenArchive(r io.ReaderAt, size int64) (*ArchiveReader, error) {
+	return openArchive(&ArchiveReader{r: r, size: size})
+}
+
+// openArchiveBytes opens an in-memory archive blob zero-copy: entry
+// reads alias data rather than duplicating it.
+func openArchiveBytes(data []byte) (*ArchiveReader, error) {
+	return openArchive(&ArchiveReader{
+		r:    bytes.NewReader(data),
+		size: int64(len(data)),
+		data: data,
+	})
+}
+
+func openArchive(ar *ArchiveReader) (*ArchiveReader, error) {
+	var head [5]byte
+	if ar.size < int64(len(head)) {
+		return nil, fmt.Errorf("fixedpsnr: archive too short")
+	}
+	if _, err := ar.r.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("fixedpsnr: archive preamble: %w", err)
+	}
+	if [4]byte(head[:4]) != archiveMagic {
+		return nil, fmt.Errorf("fixedpsnr: bad archive magic %q", head[:4])
+	}
+	ar.version = head[4]
+	switch head[4] {
+	case archiveV1:
+		if err := ar.openV1(); err != nil {
+			return nil, err
+		}
+	case archiveV2:
+		if err := ar.openV2(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("fixedpsnr: unsupported archive version %d", head[4])
+	}
+	return ar, nil
+}
+
+// readRange returns n bytes at off, slicing the backing blob when one is
+// available. Callers must not modify the returned bytes.
+func (ar *ArchiveReader) readRange(off, n int64) ([]byte, error) {
+	if ar.data != nil {
+		return ar.data[off : off+n : off+n], nil
+	}
+	buf := make([]byte, n)
+	if _, err := ar.r.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// OpenArchiveFile opens an archive file; Close releases the file handle.
+func OpenArchiveFile(path string) (*ArchiveReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	ar, err := OpenArchive(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	ar.closer = f
+	return ar, nil
+}
+
+// openV1 scans a legacy length-prefixed archive and parses every entry
+// header to recover the index that v1 never stored.
+func (ar *ArchiveReader) openV1() error {
+	data := ar.data
+	if data == nil {
+		data = make([]byte, ar.size)
+		if _, err := ar.r.ReadAt(data, 0); err != nil {
+			return fmt.Errorf("fixedpsnr: reading v1 archive: %w", err)
+		}
+		// The whole v1 archive is resident anyway; let entry reads
+		// slice it instead of re-reading through the ReaderAt.
+		ar.data = data
+	}
+	streams, err := archiveEntriesV1(data)
+	if err != nil {
+		return err
+	}
+	ar.entries = make([]archiveEntry, len(streams))
+	for i, s := range streams {
+		h, err := codec.ParseHeader(s.blob)
+		if err != nil {
+			return fmt.Errorf("fixedpsnr: entry %d: %w", i, err)
+		}
+		ar.entries[i] = archiveEntry{name: h.Name, off: s.off, length: int64(len(s.blob))}
+	}
+	return nil
+}
+
+// openV2 loads the tail index.
+func (ar *ArchiveReader) openV2() error {
+	if ar.size < 5+int64(len(archiveIndexMagic))+1+archiveFooterLen {
+		return fmt.Errorf("fixedpsnr: v2 archive too short for index")
+	}
+	var footer [archiveFooterLen]byte
+	if _, err := ar.r.ReadAt(footer[:], ar.size-archiveFooterLen); err != nil {
+		return fmt.Errorf("fixedpsnr: archive footer: %w", err)
+	}
+	if [4]byte(footer[8:12]) != archiveFooterMagic {
+		return fmt.Errorf("fixedpsnr: missing archive footer magic (truncated archive?)")
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(footer[:8]))
+	idxEnd := ar.size - archiveFooterLen
+	if idxOff < 5 || idxOff > idxEnd-int64(len(archiveIndexMagic)) {
+		return fmt.Errorf("fixedpsnr: archive index offset %d outside [5,%d)", idxOff, idxEnd)
+	}
+	idx := make([]byte, idxEnd-idxOff)
+	if _, err := ar.r.ReadAt(idx, idxOff); err != nil {
+		return fmt.Errorf("fixedpsnr: archive index: %w", err)
+	}
+	entries, err := parseArchiveIndex(idx, idxOff)
+	if err != nil {
+		return err
+	}
+	ar.entries = entries
+	return nil
+}
+
+// Len reports the number of entries.
+func (ar *ArchiveReader) Len() int { return len(ar.entries) }
+
+// Version reports the on-disk archive format version (1 or 2).
+func (ar *ArchiveReader) Version() int { return int(ar.version) }
+
+// Names lists the entry names in archive order.
+func (ar *ArchiveReader) Names() []string {
+	out := make([]string, len(ar.entries))
+	for i, e := range ar.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Stream returns the raw compressed stream of entry i. When the archive
+// was opened from an in-memory blob the result aliases that blob; treat
+// it as read-only.
+func (ar *ArchiveReader) Stream(i int) ([]byte, error) {
+	if i < 0 || i >= len(ar.entries) {
+		return nil, fmt.Errorf("fixedpsnr: archive entry %d out of range [0,%d)", i, len(ar.entries))
+	}
+	e := ar.entries[i]
+	buf, err := ar.readRange(e.off, e.length)
+	if err != nil {
+		return nil, fmt.Errorf("fixedpsnr: entry %d (%q): %w", i, e.name, err)
+	}
+	return buf, nil
+}
+
+// infoPrefixLen bounds the bytes Info reads per entry: far more than any
+// realistic header (name + dims + chunk table), far less than a payload.
+const infoPrefixLen = 64 << 10
+
+// Info parses the stream header of entry i without decompressing — or,
+// on a file-backed reader, even reading — its payload.
+func (ar *ArchiveReader) Info(i int) (*StreamInfo, error) {
+	if i < 0 || i >= len(ar.entries) {
+		return nil, fmt.Errorf("fixedpsnr: archive entry %d out of range [0,%d)", i, len(ar.entries))
+	}
+	e := ar.entries[i]
+	n := e.length
+	if n > infoPrefixLen {
+		n = infoPrefixLen
+	}
+	buf, err := ar.readRange(e.off, n)
+	if err != nil {
+		return nil, fmt.Errorf("fixedpsnr: entry %d (%q): %w", i, e.name, err)
+	}
+	h, err := codec.ParseHeaderPrefix(buf)
+	if err != nil && n < e.length {
+		// Pathologically large header (huge name or chunk table): fall
+		// back to the whole entry.
+		if buf, err = ar.readRange(e.off, e.length); err != nil {
+			return nil, fmt.Errorf("fixedpsnr: entry %d (%q): %w", i, e.name, err)
+		}
+		h, err = codec.ParseHeaderPrefix(buf)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fixedpsnr: entry %d: %w", i, err)
+	}
+	return h, nil
+}
+
+// ExtractAt decompresses entry i.
+func (ar *ArchiveReader) ExtractAt(i int) (*Field, *StreamInfo, error) {
+	blob, err := ar.Stream(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	return codec.Decompress(blob)
+}
+
+// Extract decompresses the named entry. On a v2 archive only the index
+// and this entry are read and parsed.
+func (ar *ArchiveReader) Extract(name string) (*Field, *StreamInfo, error) {
+	for i, e := range ar.entries {
+		if e.name == name {
+			return ar.ExtractAt(i)
+		}
+	}
+	return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
+}
+
+// DecompressAll reconstructs every entry, in order, parallelizing across
+// entries.
+func (ar *ArchiveReader) DecompressAll() ([]*Field, error) {
+	fields := make([]*Field, len(ar.entries))
+	err := parallel.ForEach(len(ar.entries), 0, func(i int) error {
+		f, _, err := ar.ExtractAt(i)
+		if err != nil {
+			return fmt.Errorf("fixedpsnr: entry %d: %w", i, err)
+		}
+		fields[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// Close releases the underlying file when the reader was opened with
+// OpenArchiveFile; otherwise it is a no-op.
+func (ar *ArchiveReader) Close() error {
+	if ar.closer != nil {
+		return ar.closer.Close()
+	}
+	return nil
+}

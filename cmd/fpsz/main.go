@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"sort"
 
 	"fixedpsnr"
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/fieldio"
 )
 
@@ -223,7 +225,7 @@ func verify(args []string) error {
 	d := fixedpsnr.CompareFields(f, recon)
 	fmt.Printf("%s (codec %v)\n", h.Name, h.Codec)
 	fmt.Printf("  PSNR:    %.4f dB", d.PSNR)
-	if h.Mode == 2 { // ModePSNR in the stream header
+	if h.Mode == codec.ModePSNR {
 		fmt.Printf("  (target %.4g dB)", h.TargetPSNR)
 	}
 	fmt.Println()
@@ -235,6 +237,9 @@ func verify(args []string) error {
 
 // archive compresses every .sdf file in a directory into one archive at a
 // fixed PSNR — the batch snapshot workflow of the paper's introduction.
+// Fields stream through one at a time: each file is read, compressed, and
+// appended to the output archive before the next is loaded, so snapshots
+// larger than memory archive fine.
 func archive(args []string) error {
 	fs := flag.NewFlagSet("archive", flag.ExitOnError)
 	var (
@@ -255,34 +260,69 @@ func archive(args []string) error {
 		return fmt.Errorf("archive: no .sdf files in %s", *dir)
 	}
 	sort.Strings(paths)
-	fields := make([]*fixedpsnr.Field, 0, len(paths))
+
+	// Stream into a temp file and rename on success, so a failed run
+	// never leaves a truncated archive at the destination.
+	tmp := *out + ".tmp"
+	outFile, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	done := false
+	defer func() {
+		if !done {
+			outFile.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(outFile, 1<<20)
+	aw, err := fixedpsnr.NewArchiveWriter(bw)
+	if err != nil {
+		return err
+	}
+	opt := fixedpsnr.Options{
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: *psnr,
+		Workers:    *workers,
+	}
 	var inBytes int
 	for _, p := range paths {
 		f, err := fieldio.ReadFile(p)
 		if err != nil {
 			return fmt.Errorf("archive: %s: %w", p, err)
 		}
-		fields = append(fields, f)
-		inBytes += f.SizeBytes()
+		res, err := aw.WriteField(f, opt)
+		if err != nil {
+			return fmt.Errorf("archive: %s: %w", p, err)
+		}
+		inBytes += res.OriginalBytes
 	}
-	blob, _, err := fixedpsnr.CompressFields(fields, fixedpsnr.Options{
-		Mode:       fixedpsnr.ModePSNR,
-		TargetPSNR: *psnr,
-		Workers:    *workers,
-	})
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	st, err := outFile.Stat()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := outFile.Close(); err != nil {
 		return err
 	}
+	if err := os.Rename(tmp, *out); err != nil {
+		return err
+	}
+	done = true
+	outBytes := st.Size()
 	fmt.Printf("archived %d fields at %g dB: %.1f MB -> %.1f MB (%.1fx)\n",
-		len(fields), *psnr, float64(inBytes)/(1<<20), float64(len(blob))/(1<<20),
-		float64(inBytes)/float64(len(blob)))
+		aw.Count(), *psnr, float64(inBytes)/(1<<20), float64(outBytes)/(1<<20),
+		float64(inBytes)/float64(outBytes))
 	return nil
 }
 
-// list prints the archive index.
+// list prints the archive index. Only the tail index and the per-entry
+// headers are read; payloads stay on disk.
 func list(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	in := fs.String("in", "", "archive file (.fpsa)")
@@ -290,23 +330,25 @@ func list(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("list: -in is required")
 	}
-	blob, err := os.ReadFile(*in)
+	ar, err := fixedpsnr.OpenArchiveFile(*in)
 	if err != nil {
 		return err
 	}
-	infos, err := fixedpsnr.ArchiveInfo(blob)
-	if err != nil {
-		return err
-	}
-	for _, h := range infos {
+	defer ar.Close()
+	for i := 0; i < ar.Len(); i++ {
+		h, err := ar.Info(i)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%-16s %v %s codec=%v mode=%v target=%g dB\n",
 			h.Name, h.Dims, h.Precision, h.Codec, h.Mode, h.TargetPSNR)
 	}
-	fmt.Printf("%d fields\n", len(infos))
+	fmt.Printf("%d fields (archive v%d)\n", ar.Len(), ar.Version())
 	return nil
 }
 
-// extract pulls one field out of an archive.
+// extract pulls one field out of an archive. On a v2 archive this reads
+// only the tail index and the requested entry, however large the archive.
 func extract(args []string) error {
 	fs := flag.NewFlagSet("extract", flag.ExitOnError)
 	var (
@@ -318,11 +360,12 @@ func extract(args []string) error {
 	if *in == "" || *fieldArg == "" || *out == "" {
 		return fmt.Errorf("extract: -in, -field, and -out are required")
 	}
-	blob, err := os.ReadFile(*in)
+	ar, err := fixedpsnr.OpenArchiveFile(*in)
 	if err != nil {
 		return err
 	}
-	f, _, err := fixedpsnr.ExtractField(blob, *fieldArg)
+	defer ar.Close()
+	f, _, err := ar.Extract(*fieldArg)
 	if err != nil {
 		return err
 	}

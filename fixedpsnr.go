@@ -3,12 +3,19 @@
 // reproducing "Fixed-PSNR Lossy Compression for Scientific Data"
 // (Tao, Di, Liang, Chen, Cappello — IEEE CLUSTER 2018).
 //
-// The package wraps two compressor families behind one interface:
+// The compression stack has four layers (top to bottom):
 //
-//   - CompressorSZ — an SZ-style prediction-based pipeline (Lorenzo
-//     predictor, error-controlled uniform quantization, Huffman, DEFLATE);
-//   - CompressorTransform — a blockwise orthonormal-DCT pipeline with the
-//     same quantization and entropy back end.
+//   - this package — the public API: fields in, self-describing streams
+//     and archives out;
+//   - internal/plan — error-control planning: every mode is converted to
+//     the absolute bound a codec runs with (Eq. 8 for fixed PSNR), plus
+//     the calibrated refinement loop;
+//   - internal/codec — the codec registry and shared stream container;
+//   - internal/sz and internal/otc — the registered pipelines: an
+//     SZ-style prediction-based compressor (Lorenzo predictor,
+//     error-controlled uniform quantization, Huffman, DEFLATE) and a
+//     blockwise orthonormal-transform compressor (DCT or Haar) with the
+//     same entropy back end.
 //
 // Four error-control modes are supported:
 //
@@ -37,9 +44,11 @@ import (
 	"fmt"
 	"math"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/core"
 	"fixedpsnr/internal/field"
-	"fixedpsnr/internal/otc"
+	_ "fixedpsnr/internal/otc" // register the orthogonal-transform codec
+	"fixedpsnr/internal/plan"
 	"fixedpsnr/internal/stats"
 	"fixedpsnr/internal/sz"
 )
@@ -77,42 +86,26 @@ func CompareFields(orig, recon *Field) Distortion {
 }
 
 // StreamInfo describes a compressed stream's header.
-type StreamInfo = sz.Header
+type StreamInfo = codec.Header
 
 // Plan is the bound derivation produced by fixed-PSNR planning.
 type Plan = core.Plan
 
-// Mode selects the error-control strategy.
-type Mode int
+// Mode selects the error-control strategy (see internal/plan).
+type Mode = plan.Mode
 
 // Modes.
 const (
 	// ModeAbs bounds the absolute pointwise error.
-	ModeAbs Mode = iota
+	ModeAbs = plan.ModeAbs
 	// ModeRel bounds the pointwise error relative to the value range.
-	ModeRel
+	ModeRel = plan.ModeRel
 	// ModePSNR fixes the overall PSNR of the reconstruction (the
 	// paper's fixed-PSNR mode).
-	ModePSNR
+	ModePSNR = plan.ModePSNR
 	// ModePWRel bounds the pointwise error relative to each value.
-	ModePWRel
+	ModePWRel = plan.ModePWRel
 )
-
-// String names the mode.
-func (m Mode) String() string {
-	switch m {
-	case ModeAbs:
-		return "abs"
-	case ModeRel:
-		return "rel"
-	case ModePSNR:
-		return "psnr"
-	case ModePWRel:
-		return "pwrel"
-	default:
-		return fmt.Sprintf("mode(%d)", int(m))
-	}
-}
 
 // Compressor selects the compression pipeline.
 type Compressor int
@@ -144,6 +137,27 @@ func (c Compressor) String() string {
 	}
 }
 
+// codecName maps the compressor selector to its codec registry key.
+func (c Compressor) codecName() string {
+	switch c {
+	case CompressorSZ:
+		return "sz"
+	case CompressorTransform, CompressorWavelet:
+		return "otc"
+	default:
+		return ""
+	}
+}
+
+// transform maps the compressor selector to the block transform used by
+// the otc pipeline.
+func (c Compressor) transform() codec.Transform {
+	if c == CompressorWavelet {
+		return codec.TransformHaar
+	}
+	return codec.TransformDCT
+}
+
 // Options configures Compress.
 type Options struct {
 	// Mode selects how the error bound is specified (default ModeAbs).
@@ -158,12 +172,13 @@ type Options struct {
 	// TargetPSNR is the target PSNR in dB for ModePSNR.
 	TargetPSNR float64
 	// Calibrated refines ModePSNR for low targets (the paper's stated
-	// future work). Theorem 1 lets the compressor measure its exact MSE
+	// future work). Theorem 1 lets a pipeline measure its exact MSE
 	// during compression, so when the Eq. 8 pass lands outside ±0.5 dB
 	// of the target the bin width is re-derived by a log–log secant
 	// step and the field recompressed (up to three extra passes). High
-	// targets exit after the first pass at no extra cost. SZ pipeline
-	// only; other pipelines ignore it.
+	// targets exit after the first pass at no extra cost. Only
+	// pipelines that measure their MSE honor it (the SZ family); others
+	// ignore it.
 	Calibrated bool
 	// PWRelBound is the pointwise relative bound for ModePWRel.
 	PWRelBound float64
@@ -180,6 +195,24 @@ type Options struct {
 	Level int
 	// BlockSize is the transform block edge (transform pipeline).
 	BlockSize int
+}
+
+// codecOptions lowers the public options plus a plan resolution into the
+// unified codec configuration.
+func (opt Options) codecOptions(res plan.Resolution, vr float64) codec.Options {
+	return codec.Options{
+		ErrorBound:   res.EbAbs,
+		Capacity:     opt.Capacity,
+		AutoCapacity: opt.AutoCapacity,
+		Workers:      opt.Workers,
+		ChunkRows:    opt.ChunkRows,
+		Level:        opt.Level,
+		BlockSize:    opt.BlockSize,
+		Transform:    opt.Compressor.transform(),
+		Mode:         res.StreamMode,
+		TargetPSNR:   res.TargetPSNR,
+		ValueRange:   vr,
+	}
 }
 
 // Result reports the outcome of one compression.
@@ -205,173 +238,80 @@ type Result struct {
 	// PSNR at the chosen bound (+Inf for constant fields).
 	EstimatedPSNR float64
 	// MSE and MeasuredPSNR are the *exact* reconstruction distortion,
-	// measured during compression via Theorem 1 (SZ pipeline only; NaN
-	// for the transform pipelines, +Inf PSNR for lossless/constant).
+	// measured during compression via Theorem 1 (pipelines that measure
+	// MSE only; NaN for the transform pipelines, +Inf PSNR for
+	// lossless/constant).
 	MSE          float64
 	MeasuredPSNR float64
 }
 
 // Compress compresses the field according to the options and returns the
-// self-describing stream plus a result summary.
+// self-describing stream plus a result summary. The error-control mode is
+// resolved by the plan layer and the stream is produced by whichever
+// registered codec the Compressor selector names.
 func Compress(f *Field, opt Options) ([]byte, *Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
 	}
 	_, _, vr := f.ValueRange()
 
-	var (
-		ebAbs  float64
-		target = math.NaN()
-		szMode sz.Mode
-	)
-	switch opt.Mode {
-	case ModeAbs:
-		if !(opt.ErrorBound > 0) {
-			if vr == 0 { // constant fields need no bound
-				break
-			}
-			return nil, nil, fmt.Errorf("fixedpsnr: ModeAbs requires a positive ErrorBound")
-		}
-		ebAbs = opt.ErrorBound
-		szMode = sz.ModeAbs
-	case ModeRel:
-		if !(opt.RelBound > 0) {
-			return nil, nil, fmt.Errorf("fixedpsnr: ModeRel requires a positive RelBound")
-		}
-		ebAbs = opt.RelBound * vr
-		szMode = sz.ModeRel
-	case ModePSNR:
-		plan, err := core.PlanFixedPSNR(opt.TargetPSNR, vr)
-		if err != nil {
-			return nil, nil, err
-		}
-		ebAbs = plan.EbAbs
-		target = opt.TargetPSNR
-		szMode = sz.ModePSNR
-	case ModePWRel:
+	res, err := plan.Request{
+		Mode:       opt.Mode,
+		ErrorBound: opt.ErrorBound,
+		RelBound:   opt.RelBound,
+		TargetPSNR: opt.TargetPSNR,
+		PWRelBound: opt.PWRelBound,
+	}.Resolve(vr)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if res.PWRel {
+		// Pointwise-relative compression is a distinct log-domain
+		// pipeline offered by the SZ family only.
 		if opt.Compressor != CompressorSZ {
 			return nil, nil, fmt.Errorf("fixedpsnr: ModePWRel is only supported by CompressorSZ")
 		}
-		blob, st, err := sz.CompressPWRel(f, opt.PWRelBound, sz.Options{
-			Capacity:     opt.Capacity,
-			AutoCapacity: opt.AutoCapacity,
-			Workers:      opt.Workers,
-			ChunkRows:    opt.ChunkRows,
-			Level:        opt.Level,
-		})
+		// The inner log-domain stream annotates its own value range.
+		blob, st, err := sz.CompressPWRel(f, opt.PWRelBound, opt.codecOptions(res, 0))
 		if err != nil {
 			return nil, nil, err
 		}
-		return blob, resultFromSZ(st, opt.PWRelBound, 0, math.NaN(), math.Inf(1)), nil
-	default:
-		return nil, nil, fmt.Errorf("fixedpsnr: unknown mode %v", opt.Mode)
+		return blob, resultFromStats(st, opt.PWRelBound, 0, math.NaN(), res.EstimatedPSNR), nil
 	}
 
-	ebRel := 0.0
-	if vr > 0 {
-		ebRel = ebAbs / vr
-	}
-	estimate := core.EstimatePSNRFromAbsBound(vr, ebAbs)
-
-	switch opt.Compressor {
-	case CompressorSZ:
-		szOpt := sz.Options{
-			ErrorBound:   ebAbs,
-			Capacity:     opt.Capacity,
-			AutoCapacity: opt.AutoCapacity,
-			Workers:      opt.Workers,
-			ChunkRows:    opt.ChunkRows,
-			Level:        opt.Level,
-			Mode:         szMode,
-			TargetPSNR:   target,
-			ValueRange:   vr,
-		}
-		blob, st, err := sz.Compress(f, szOpt)
-		if err != nil {
-			return nil, nil, err
-		}
-		if opt.Calibrated && opt.Mode == ModePSNR && vr > 0 {
-			blob, st, ebAbs, err = refineFixedPSNR(f, szOpt, blob, st, target, vr)
-			if err != nil {
-				return nil, nil, err
-			}
-			ebRel = ebAbs / vr
-		}
-		return blob, resultFromSZ(st, ebAbs, ebRel, target, estimate), nil
-	case CompressorTransform, CompressorWavelet:
-		tr := otc.TransformDCT
-		if opt.Compressor == CompressorWavelet {
-			tr = otc.TransformHaar
-		}
-		blob, st, err := otc.Compress(f, otc.Options{
-			Delta:      2 * ebAbs, // Eq. 6's δ; equals DeltaForPSNR in PSNR mode
-			Transform:  tr,
-			BlockSize:  opt.BlockSize,
-			Capacity:   opt.Capacity,
-			Workers:    opt.Workers,
-			Level:      opt.Level,
-			Mode:       szMode,
-			TargetPSNR: target,
-			ValueRange: vr,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		return blob, &Result{
-			OriginalBytes:   st.OriginalBytes,
-			CompressedBytes: st.CompressedBytes,
-			Ratio:           st.Ratio,
-			BitRate:         st.BitRate,
-			NPoints:         st.NPoints,
-			Unpredictable:   st.Unpredictable,
-			EbAbs:           ebAbs,
-			EbRel:           ebRel,
-			TargetPSNR:      target,
-			EstimatedPSNR:   estimate,
-			MSE:             math.NaN(), // not measured by the transform pipeline
-			MeasuredPSNR:    math.NaN(),
-		}, nil
-	default:
+	name := opt.Compressor.codecName()
+	if name == "" {
 		return nil, nil, fmt.Errorf("fixedpsnr: unknown compressor %v", opt.Compressor)
 	}
-}
-
-// refineFixedPSNR implements the calibrated mode: Theorem 1 lets the
-// compressor measure its exact MSE during compression, so when the first
-// (Eq. 8) pass lands outside ±0.5 dB of the target — which happens at low
-// targets where prediction errors concentrate in the center bin — the bin
-// width is re-derived by a log–log secant step and the field recompressed,
-// up to three extra passes. High targets exit after the first pass.
-func refineFixedPSNR(f *Field, szOpt sz.Options, blob []byte, st *sz.Stats, target, vr float64) ([]byte, *sz.Stats, float64, error) {
-	const tolDB = 0.5
-	targetMSE := core.MSEForPSNR(target, vr)
-	d0, mse0 := 2*szOpt.ErrorBound, st.MSE
-	var d1, mse1 float64
-	ebAbs := szOpt.ErrorBound
-	for pass := 0; pass < 3 && !core.WithinTolerance(st.MSE, target, vr, tolDB); pass++ {
-		if st.MSE == 0 {
-			break // lossless at this bound; nothing cheaper to try safely
-		}
-		next, err := core.NextDelta(d0, mse0, d1, mse1, targetMSE)
-		if err != nil {
-			break
-		}
-		if d1 > 0 {
-			d0, mse0 = d1, mse1
-		}
-		szOpt.ErrorBound = next / 2
-		nb, nst, nerr := sz.Compress(f, szOpt)
-		if nerr != nil {
-			return nil, nil, 0, nerr
-		}
-		blob, st = nb, nst
-		ebAbs = next / 2
-		d1, mse1 = next, st.MSE
+	c, ok := codec.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("fixedpsnr: codec %q is not registered", name)
 	}
-	return blob, st, ebAbs, nil
+
+	copt := opt.codecOptions(res, vr)
+	blob, st, err := c.Compress(f, copt)
+	if err != nil {
+		return nil, nil, err
+	}
+	ebAbs, ebRel := res.EbAbs, res.EbRel
+	if opt.Calibrated && opt.Mode == ModePSNR {
+		blob, st, ebAbs, err = plan.Refine(f, c, copt, blob, st, res.TargetPSNR, vr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vr > 0 {
+			ebRel = ebAbs / vr
+		}
+	}
+	return blob, resultFromStats(st, ebAbs, ebRel, res.TargetPSNR, res.EstimatedPSNR), nil
 }
 
-func resultFromSZ(st *sz.Stats, ebAbs, ebRel, target, estimate float64) *Result {
+// resultFromStats lifts a codec stats report into the public Result. The
+// measured PSNR comes from the exact MSE and the value range recorded in
+// the stats, so it is correct in every mode — including ModeAbs, where no
+// relative bound exists to recover the range from.
+func resultFromStats(st *codec.Stats, ebAbs, ebRel, target, estimate float64) *Result {
 	r := &Result{
 		OriginalBytes:   st.OriginalBytes,
 		CompressedBytes: st.CompressedBytes,
@@ -386,13 +326,12 @@ func resultFromSZ(st *sz.Stats, ebAbs, ebRel, target, estimate float64) *Result 
 		MSE:             st.MSE,
 		MeasuredPSNR:    math.Inf(1),
 	}
-	if st.MSE > 0 {
-		var vr float64
-		if ebRel > 0 {
-			vr = ebAbs / ebRel
-		}
-		if vr > 0 {
-			r.MeasuredPSNR = -10*math.Log10(st.MSE) + 20*math.Log10(vr)
+	switch {
+	case math.IsNaN(st.MSE):
+		r.MeasuredPSNR = math.NaN() // pipeline does not measure MSE
+	case st.MSE > 0:
+		if st.ValueRange > 0 {
+			r.MeasuredPSNR = -10*math.Log10(st.MSE) + 20*math.Log10(st.ValueRange)
 		} else {
 			r.MeasuredPSNR = math.NaN()
 		}
@@ -406,27 +345,21 @@ func CompressFixedPSNR(f *Field, targetPSNR float64) ([]byte, *Result, error) {
 	return Compress(f, Options{Mode: ModePSNR, TargetPSNR: targetPSNR})
 }
 
-// Decompress reconstructs a field from any stream produced by Compress,
-// dispatching on the codec recorded in the header.
+// Decompress reconstructs a field from any stream produced by Compress.
+// Routing goes through the codec registry: the codec byte recorded in the
+// header selects the registered pipeline, so new codecs are decodable
+// here the moment they register.
 func Decompress(data []byte) (*Field, *StreamInfo, error) {
-	h, err := sz.ParseHeader(data)
-	if err != nil {
-		return nil, nil, err
-	}
-	switch h.Codec {
-	case sz.CodecLorenzo, sz.CodecConstant, sz.CodecLogLorenzo:
-		return sz.Decompress(data)
-	case sz.CodecOTC:
-		return otc.Decompress(data)
-	default:
-		return nil, nil, fmt.Errorf("fixedpsnr: unknown codec %v", h.Codec)
-	}
+	return codec.Decompress(data)
 }
 
 // Inspect parses a stream header without decompressing the payload.
 func Inspect(data []byte) (*StreamInfo, error) {
-	return sz.ParseHeader(data)
+	return codec.ParseHeader(data)
 }
+
+// Codecs lists the registered compression pipelines.
+func Codecs() []string { return codec.Names() }
 
 // RelBoundForPSNR exposes Eq. 8: the value-range-based relative error
 // bound that achieves the target PSNR.

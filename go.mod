@@ -1,0 +1,3 @@
+module fixedpsnr
+
+go 1.24

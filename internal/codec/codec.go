@@ -1,0 +1,124 @@
+// Package codec is the registry layer of the compression stack: it owns
+// the shared stream container (header format, codec identifiers, unified
+// options and statistics) and a registry through which concrete pipelines
+// — internal/sz (prediction-based) and internal/otc (orthogonal
+// transform) — publish themselves.
+//
+// The layering is:
+//
+//	fixedpsnr          public API: Field in, stream out
+//	internal/plan      mode → absolute-bound derivation + calibration
+//	internal/codec     this package: registry, container, shared types
+//	internal/sz, /otc  concrete pipelines, self-registered via init()
+//
+// Decompression routes by registry lookup on the codec byte recorded in
+// the stream header, so adding a pipeline is a registration, not a
+// refactor: implement Codec, call Register in init(), and every caller of
+// Decompress (single streams, archives, the CLI) can read your streams.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fixedpsnr/internal/field"
+)
+
+// Codec is one compression pipeline behind the registry.
+//
+// Compress encodes a field under opt and returns the self-describing
+// stream plus statistics. Decompress reverses any stream whose header
+// codec byte is in IDs. Implementations must be safe for concurrent use.
+type Codec interface {
+	// Name is the stable registry key ("sz", "otc") used by callers
+	// that select a pipeline by name.
+	Name() string
+	// IDs lists the stream codec bytes this pipeline decodes.
+	IDs() []ID
+	// MeasuresMSE reports whether Stats.MSE holds the exact
+	// reconstruction MSE after Compress (Theorem 1 pipelines). The
+	// calibrated fixed-PSNR loop in internal/plan requires it.
+	MeasuresMSE() bool
+	Compress(f *field.Field, opt Options) ([]byte, *Stats, error)
+	Decompress(data []byte) (*field.Field, *Header, error)
+}
+
+var (
+	regMu  sync.RWMutex
+	byID   = map[ID]Codec{}
+	byName = map[string]Codec{}
+)
+
+// Register publishes a pipeline. It panics if the name or any stream ID
+// is already taken — registration happens in init() and a collision is a
+// programming error, not a runtime condition.
+func Register(c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := c.Name()
+	if name == "" {
+		panic("codec: Register with empty name")
+	}
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("codec: duplicate registration of %q", name))
+	}
+	ids := c.IDs()
+	if len(ids) == 0 {
+		panic(fmt.Sprintf("codec: %q registers no stream IDs", name))
+	}
+	for _, id := range ids {
+		if prev, dup := byID[id]; dup {
+			panic(fmt.Sprintf("codec: stream ID %v claimed by both %q and %q", id, prev.Name(), name))
+		}
+	}
+	byName[name] = c
+	for _, id := range ids {
+		byID[id] = c
+	}
+}
+
+// Lookup finds the pipeline that decodes streams with the given codec
+// byte.
+func Lookup(id ID) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byID[id]
+	return c, ok
+}
+
+// ByName finds a registered pipeline by its registry name.
+func ByName(name string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byName[name]
+	return c, ok
+}
+
+// Names lists the registered pipelines, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Decompress reconstructs a field from any registered stream: it parses
+// the header once and routes to the pipeline registered for the codec
+// byte. This is the single decode entry point for the public API, the
+// archive container, and the CLI.
+func Decompress(data []byte) (*field.Field, *Header, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, ok := Lookup(h.Codec)
+	if !ok {
+		return nil, nil, fmt.Errorf("codec: no registered codec for stream ID %v", h.Codec)
+	}
+	return c.Decompress(data)
+}

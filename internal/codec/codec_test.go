@@ -1,0 +1,186 @@
+package codec_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/otc"
+	"fixedpsnr/internal/sz"
+)
+
+func TestRegistryRoutesBothPipelines(t *testing.T) {
+	for id, want := range map[codec.ID]string{
+		codec.IDLorenzo:    "sz",
+		codec.IDConstant:   "sz",
+		codec.IDLogLorenzo: "sz",
+		codec.IDOTC:        "otc",
+	} {
+		c, ok := codec.Lookup(id)
+		if !ok {
+			t.Fatalf("no codec registered for %v", id)
+		}
+		if c.Name() != want {
+			t.Fatalf("%v routed to %q, want %q", id, c.Name(), want)
+		}
+	}
+	names := codec.Names()
+	if len(names) != 2 || names[0] != "otc" || names[1] != "sz" {
+		t.Fatalf("Names() = %v", names)
+	}
+	if _, ok := codec.Lookup(codec.ID(99)); ok {
+		t.Fatal("Lookup(99) found a codec")
+	}
+	if _, ok := codec.ByName("zstd"); ok {
+		t.Fatal(`ByName("zstd") found a codec`)
+	}
+}
+
+func TestMeasuresMSECapability(t *testing.T) {
+	szc, _ := codec.ByName("sz")
+	otcc, _ := codec.ByName("otc")
+	if !szc.MeasuresMSE() {
+		t.Fatal("sz must measure its MSE (Theorem 1)")
+	}
+	if otcc.MeasuresMSE() {
+		t.Fatal("otc does not measure data-domain MSE")
+	}
+}
+
+func testField(t *testing.T) *field.Field {
+	t.Helper()
+	f := field.New("route", field.Float64, 24, 24)
+	for i := range f.Data {
+		f.Data[i] = math.Sin(float64(i) / 9)
+	}
+	return f
+}
+
+func TestDecompressRoutesByRegistry(t *testing.T) {
+	f := testField(t)
+	opt := codec.Options{ErrorBound: 1e-3, Workers: 1}
+	for _, name := range codec.Names() {
+		c, _ := codec.ByName(name)
+		blob, _, err := c.Compress(f, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, h, err := codec.Decompress(blob)
+		if err != nil {
+			t.Fatalf("%s: registry decompression: %v", name, err)
+		}
+		if g.Name != f.Name || !g.SameShape(f) {
+			t.Fatalf("%s: reconstruction metadata mismatch", name)
+		}
+		if owner, _ := codec.Lookup(h.Codec); owner.Name() != name {
+			t.Fatalf("stream ID %v owned by %q, compressed by %q", h.Codec, owner.Name(), name)
+		}
+	}
+}
+
+func TestDecompressUnknownStreamID(t *testing.T) {
+	f := testField(t)
+	blob, _, err := sz.Compress(f, codec.Options{ErrorBound: 1e-3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[5] = 200 // unregistered codec byte
+	_, _, err = codec.Decompress(blob)
+	if err == nil || !strings.Contains(err.Error(), "no registered codec") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnifiedStatsRecordValueRange(t *testing.T) {
+	f := testField(t)
+	_, _, vr := f.ValueRange()
+	_, st, err := sz.Compress(f, codec.Options{ErrorBound: 1e-3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ValueRange != vr {
+		t.Fatalf("sz stats vr = %g, want %g", st.ValueRange, vr)
+	}
+	_, ost, err := otc.Compress(f, codec.Options{ErrorBound: 1e-3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.ValueRange != vr {
+		t.Fatalf("otc stats vr = %g, want %g", ost.ValueRange, vr)
+	}
+	if !math.IsNaN(ost.MSE) {
+		t.Fatalf("otc stats MSE = %g, want NaN (unmeasured)", ost.MSE)
+	}
+}
+
+type fakeCodec struct {
+	name string
+	ids  []codec.ID
+}
+
+func (f fakeCodec) Name() string      { return f.name }
+func (f fakeCodec) IDs() []codec.ID   { return f.ids }
+func (f fakeCodec) MeasuresMSE() bool { return false }
+func (f fakeCodec) Compress(*field.Field, codec.Options) ([]byte, *codec.Stats, error) {
+	return nil, nil, nil
+}
+func (f fakeCodec) Decompress([]byte) (*field.Field, *codec.Header, error) { return nil, nil, nil }
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterCollisionsPanic(t *testing.T) {
+	mustPanic(t, "duplicate name", func() {
+		codec.Register(fakeCodec{name: "sz", ids: []codec.ID{77}})
+	})
+	mustPanic(t, "duplicate stream ID", func() {
+		codec.Register(fakeCodec{name: "fresh", ids: []codec.ID{codec.IDLorenzo}})
+	})
+	mustPanic(t, "empty name", func() {
+		codec.Register(fakeCodec{name: "", ids: []codec.ID{78}})
+	})
+	mustPanic(t, "no IDs", func() {
+		codec.Register(fakeCodec{name: "empty-ids"})
+	})
+}
+
+func TestHeaderMarshalParseRoundTrip(t *testing.T) {
+	h := &codec.Header{
+		Codec:      codec.IDLorenzo,
+		Precision:  field.Float32,
+		Mode:       codec.ModePSNR,
+		Name:       "round-trip",
+		Dims:       []int{4, 6, 8},
+		EbAbs:      1e-3,
+		TargetPSNR: 64,
+		ValueRange: 2.5,
+		Capacity:   1024,
+		ChunkLens:  []int{9, 11},
+		ChunkRows:  []int{2, 2},
+	}
+	raw := append(h.Marshal(), make([]byte, 20)...) // payload space
+	g, err := codec.ParseHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Codec != h.Codec || g.Precision != h.Precision || g.Mode != h.Mode ||
+		g.Name != h.Name || g.EbAbs != h.EbAbs || g.TargetPSNR != h.TargetPSNR ||
+		g.ValueRange != h.ValueRange || g.Capacity != h.Capacity {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, h)
+	}
+	if g.NPoints() != 4*6*8 {
+		t.Fatalf("NPoints = %d", g.NPoints())
+	}
+	if g.PayloadOffset() != len(raw)-20 {
+		t.Fatalf("PayloadOffset = %d, want %d", g.PayloadOffset(), len(raw)-20)
+	}
+}

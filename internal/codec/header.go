@@ -1,0 +1,359 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"fixedpsnr/internal/field"
+)
+
+// Stream layout (all integers are unsigned varints unless noted):
+//
+//	magic   "FPSZ"            4 bytes
+//	version                   1 byte
+//	codec                     1 byte  (IDLorenzo, IDConstant, ...)
+//	precision                 1 byte  (0 = float32, 1 = float64)
+//	mode                      1 byte  (informational: how the bound was set)
+//	name                      uvarint length + bytes
+//	ndims, dims...            uvarints
+//	ebAbs                     8 bytes IEEE-754 LE (0 for constant codec)
+//	targetPSNR                8 bytes IEEE-754 LE (NaN when not PSNR mode)
+//	valueRange                8 bytes IEEE-754 LE (vr of the original data)
+//	capacity                  uvarint (quantization intervals 2n)
+//	nchunks                   uvarint
+//	chunk compressed lengths  uvarint × nchunks
+//	chunk payloads            concatenated codec-specific streams
+//
+// The constant codec replaces everything from capacity onward with a
+// single 8-byte value.
+
+// Magic identifies a fixed-PSNR compressed stream.
+var Magic = [4]byte{'F', 'P', 'S', 'Z'}
+
+// Version is the current stream format version.
+const Version = 1
+
+// ID identifies the compression pipeline used for a stream payload. The
+// byte value is recorded in the stream header and routes decompression
+// through the registry.
+type ID uint8
+
+// Stream IDs. New pipelines must pick unused values; the registry panics
+// on collisions.
+const (
+	// IDLorenzo is the SZ pipeline: Lorenzo prediction +
+	// error-controlled uniform quantization + Huffman + DEFLATE.
+	IDLorenzo ID = 1
+	// IDConstant stores a constant field as a single value.
+	IDConstant ID = 2
+	// IDLogLorenzo is the pointwise-relative pipeline: IDLorenzo
+	// applied in the log domain with a sign/zero side channel.
+	IDLogLorenzo ID = 3
+	// IDOTC is the orthogonal-transform pipeline implemented by
+	// internal/otc: blockwise orthonormal DCT + uniform quantization +
+	// Huffman + DEFLATE. It shares this container format.
+	IDOTC ID = 4
+)
+
+// String names the codec ID.
+func (c ID) String() string {
+	switch c {
+	case IDLorenzo:
+		return "sz-lorenzo"
+	case IDConstant:
+		return "constant"
+	case IDLogLorenzo:
+		return "sz-log-lorenzo"
+	case IDOTC:
+		return "otc-dct"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// Mode records how the error bound embedded in a stream was derived.
+// It is informational; decompression never needs it.
+type Mode uint8
+
+// Mode values.
+const (
+	// ModeAbs: the user supplied the absolute error bound directly.
+	ModeAbs Mode = iota
+	// ModeRel: bound derived from a value-range-based relative bound.
+	ModeRel
+	// ModePSNR: bound derived from a target PSNR via Eq. 8.
+	ModePSNR
+	// ModePWRel: pointwise-relative bound (log-domain compression).
+	ModePWRel
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAbs:
+		return "abs"
+	case ModeRel:
+		return "rel"
+	case ModePSNR:
+		return "psnr"
+	case ModePWRel:
+		return "pwrel"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Transform selects the orthonormal block transform of the otc pipeline.
+// It lives here so the unified Options can carry it without depending on
+// the pipeline package.
+type Transform uint8
+
+// Transforms.
+const (
+	// TransformDCT is the orthonormal DCT-II (ZFP-flavored).
+	TransformDCT Transform = 0
+	// TransformHaar is the full multi-level orthonormal Haar DWT
+	// (SSEM-flavored).
+	TransformHaar Transform = 1
+)
+
+// String names the transform.
+func (t Transform) String() string {
+	switch t {
+	case TransformDCT:
+		return "dct"
+	case TransformHaar:
+		return "haar"
+	default:
+		return fmt.Sprintf("transform(%d)", uint8(t))
+	}
+}
+
+// Header describes a compressed stream.
+type Header struct {
+	Codec      ID
+	Precision  field.Precision
+	Mode       Mode
+	Name       string
+	Dims       []int
+	EbAbs      float64 // absolute error bound used for quantization
+	TargetPSNR float64 // NaN unless Mode == ModePSNR
+	ValueRange float64 // vr of the original data (recorded for inspection)
+	Capacity   int     // quantization intervals (2n)
+	ChunkLens  []int   // compressed byte length of each chunk
+	ChunkRows  []int   // rows (along Dims[0]) covered by each chunk
+	// ConstValue holds the value of a constant field (IDConstant).
+	ConstValue float64
+	// headerLen is the byte offset where chunk payloads begin.
+	headerLen int
+}
+
+// PayloadOffset returns the byte offset where chunk payloads begin in the
+// stream this header was parsed from. It is only meaningful on headers
+// returned by ParseHeader.
+func (h *Header) PayloadOffset() int { return h.headerLen }
+
+// NPoints returns the total number of points implied by Dims.
+func (h *Header) NPoints() int {
+	n := 1
+	for _, d := range h.Dims {
+		n *= d
+	}
+	return n
+}
+
+// AppendFloat64 appends v as 8 bytes IEEE-754 little-endian.
+func AppendFloat64(b []byte, v float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	return append(b, tmp[:]...)
+}
+
+// ReadFloat64 consumes 8 bytes IEEE-754 little-endian.
+func ReadFloat64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("codec: truncated float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// ReadUvarint consumes one unsigned varint.
+func ReadUvarint(b []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(b)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("codec: truncated varint")
+	}
+	return v, b[k:], nil
+}
+
+// headerParses counts ParseHeader calls. Tests use it to prove that
+// index-based archive access touches only the entries it must.
+var headerParses atomic.Int64
+
+// HeaderParses returns the number of ParseHeader calls so far.
+func HeaderParses() int64 { return headerParses.Load() }
+
+// Marshal serializes the header. All registered codecs share this
+// container format so that inspection tooling works uniformly.
+func (h *Header) Marshal() []byte {
+	out := make([]byte, 0, 64+len(h.Name))
+	out = append(out, Magic[:]...)
+	out = append(out, Version)
+	out = append(out, byte(h.Codec))
+	out = append(out, byte(h.Precision))
+	out = append(out, byte(h.Mode))
+	out = binary.AppendUvarint(out, uint64(len(h.Name)))
+	out = append(out, h.Name...)
+	out = binary.AppendUvarint(out, uint64(len(h.Dims)))
+	for _, d := range h.Dims {
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	if h.Codec == IDConstant {
+		out = AppendFloat64(out, h.ConstValue)
+		return out
+	}
+	out = AppendFloat64(out, h.EbAbs)
+	out = AppendFloat64(out, h.TargetPSNR)
+	out = AppendFloat64(out, h.ValueRange)
+	out = binary.AppendUvarint(out, uint64(h.Capacity))
+	out = binary.AppendUvarint(out, uint64(len(h.ChunkLens)))
+	for i, l := range h.ChunkLens {
+		out = binary.AppendUvarint(out, uint64(l))
+		out = binary.AppendUvarint(out, uint64(h.ChunkRows[i]))
+	}
+	return out
+}
+
+// ParseHeader decodes the header of a compressed stream without touching
+// the chunk payloads. It validates the magic, version, structural sanity
+// of the dimensions, and that the stream is long enough to hold the
+// payloads the header declares.
+func ParseHeader(data []byte) (*Header, error) {
+	return parseHeader(data, true)
+}
+
+// ParseHeaderPrefix decodes a header from a stream prefix: identical to
+// ParseHeader except that the declared chunk payloads need not be present
+// in data. Callers that only want metadata (archive listings) use it to
+// read a bounded prefix instead of a whole entry.
+func ParseHeaderPrefix(data []byte) (*Header, error) {
+	return parseHeader(data, false)
+}
+
+func parseHeader(data []byte, requirePayload bool) (*Header, error) {
+	headerParses.Add(1)
+	b := data
+	if len(b) < 8 {
+		return nil, fmt.Errorf("codec: stream too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[:4]) != Magic {
+		return nil, fmt.Errorf("codec: bad magic %q", b[:4])
+	}
+	b = b[4:]
+	if b[0] != Version {
+		return nil, fmt.Errorf("codec: unsupported version %d", b[0])
+	}
+	h := &Header{}
+	h.Codec = ID(b[1])
+	h.Precision = field.Precision(b[2])
+	h.Mode = Mode(b[3])
+	b = b[4:]
+
+	nameLen, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) < nameLen || nameLen > 1<<20 {
+		return nil, fmt.Errorf("codec: bad name length %d", nameLen)
+	}
+	h.Name = string(b[:nameLen])
+	b = b[nameLen:]
+
+	ndims, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if ndims == 0 || ndims > 3 {
+		return nil, fmt.Errorf("codec: unsupported rank %d", ndims)
+	}
+	h.Dims = make([]int, ndims)
+	total := 1
+	for i := range h.Dims {
+		var d uint64
+		d, b, err = ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<40 {
+			return nil, fmt.Errorf("codec: bad dimension %d", d)
+		}
+		if int(d) > (1<<50)/total {
+			return nil, fmt.Errorf("codec: field size overflows (%v...)", h.Dims[:i+1])
+		}
+		h.Dims[i] = int(d)
+		total *= int(d)
+	}
+
+	if h.Codec == IDConstant {
+		h.ConstValue, b, err = ReadFloat64(b)
+		if err != nil {
+			return nil, err
+		}
+		h.headerLen = len(data) - len(b)
+		return h, nil
+	}
+
+	if h.EbAbs, b, err = ReadFloat64(b); err != nil {
+		return nil, err
+	}
+	if h.TargetPSNR, b, err = ReadFloat64(b); err != nil {
+		return nil, err
+	}
+	if h.ValueRange, b, err = ReadFloat64(b); err != nil {
+		return nil, err
+	}
+	capacity, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if capacity < 4 || capacity > 1<<30 {
+		return nil, fmt.Errorf("codec: bad capacity %d", capacity)
+	}
+	h.Capacity = int(capacity)
+	nchunks, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if nchunks == 0 || nchunks > 1<<20 {
+		return nil, fmt.Errorf("codec: bad chunk count %d", nchunks)
+	}
+	h.ChunkLens = make([]int, nchunks)
+	h.ChunkRows = make([]int, nchunks)
+	sum := 0
+	rowSum := 0
+	for i := range h.ChunkLens {
+		var l, r uint64
+		l, b, err = ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		r, b, err = ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		h.ChunkLens[i] = int(l)
+		h.ChunkRows[i] = int(r)
+		sum += int(l)
+		rowSum += int(r)
+	}
+	if rowSum != h.Dims[0] {
+		return nil, fmt.Errorf("codec: chunk rows sum to %d, want %d", rowSum, h.Dims[0])
+	}
+	h.headerLen = len(data) - len(b)
+	if requirePayload && len(b) < sum {
+		return nil, fmt.Errorf("codec: chunk payloads truncated (%d < %d)", len(b), sum)
+	}
+	return h, nil
+}

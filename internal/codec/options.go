@@ -1,0 +1,71 @@
+package codec
+
+import "compress/flate"
+
+// Options is the unified per-codec configuration. Both pipelines read the
+// common core (ErrorBound, Capacity, Workers, Level, and the header
+// annotations); each ignores the knobs that do not apply to it, so one
+// options struct travels from the public API through the plan layer to
+// any registered codec.
+type Options struct {
+	// ErrorBound is the absolute error bound ebabs — half the
+	// quantization bin width (δ = 2·ebabs) in every pipeline. Must be
+	// positive unless the field is constant.
+	ErrorBound float64
+	// Capacity is the number of quantization intervals (2n). Zero
+	// selects the pipeline default; AutoCapacity overrides it.
+	Capacity int
+	// AutoCapacity estimates the capacity from the data (SZ pipeline).
+	AutoCapacity bool
+	// Workers bounds compression concurrency (non-positive: all CPUs).
+	Workers int
+	// ChunkRows forces the slab height along the slowest dimension
+	// (SZ pipeline). Zero picks a slab height from Workers.
+	ChunkRows int
+	// Level is the DEFLATE level (0 selects flate.BestSpeed, matching
+	// SZ's use of fast gzip).
+	Level int
+	// BlockSize is the transform block edge (otc pipeline).
+	BlockSize int
+	// Transform selects the block transform (otc pipeline).
+	Transform Transform
+	// Mode, TargetPSNR, and ValueRange annotate the stream header for
+	// inspection; they do not affect the algorithm.
+	Mode       Mode
+	TargetPSNR float64
+	ValueRange float64
+}
+
+// FlateLevel resolves the DEFLATE level default.
+func (o Options) FlateLevel() int {
+	if o.Level == 0 {
+		return flate.BestSpeed
+	}
+	return o.Level
+}
+
+// Stats is the unified compression outcome report. Fields that a
+// pipeline does not measure keep their documented sentinel (NaN MSE for
+// pipelines without Theorem 1 measurement, zero Chunks/Blocks when not
+// applicable).
+type Stats struct {
+	OriginalBytes   int
+	CompressedBytes int
+	Ratio           float64 // OriginalBytes / CompressedBytes
+	BitRate         float64 // compressed bits per value
+	NPoints         int
+	Unpredictable   int // points (or coefficients) stored as literals
+	Chunks          int // parallel slabs (SZ pipeline)
+	Blocks          int // transform blocks (otc pipeline)
+	Capacity        int // quantization intervals actually used
+	// ValueRange is the measured value range of the compressed field.
+	// Recorded so callers can convert the measured MSE into a PSNR in
+	// every mode (including ModeAbs, where no relative bound exists).
+	ValueRange float64
+	// MSE is the exact mean squared error of the reconstruction,
+	// measured during compression (Theorem 1 makes the
+	// quantization-stage distortion equal the end-to-end distortion,
+	// so no decompression is needed). NaN when the pipeline does not
+	// measure it (Codec.MeasuresMSE reports false).
+	MSE float64
+}

@@ -5,10 +5,11 @@ import (
 	"io"
 	"time"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/core"
 	"fixedpsnr/internal/field"
 	"fixedpsnr/internal/stats"
-	"fixedpsnr/internal/sz"
+	_ "fixedpsnr/internal/sz" // register the sz codec
 )
 
 // BaselineRow compares the paper's motivating workflow — iteratively
@@ -84,13 +85,18 @@ func Baseline(cfg Config, targets []float64) ([]BaselineRow, error) {
 
 // probePSNR performs one full compress+decompress cycle at an absolute
 // bound and returns the measured PSNR — the unit of work the iterative
-// workflow repeats.
+// workflow repeats. It runs through the codec registry so the experiment
+// exercises the same routing as the public API.
 func probePSNR(f *field.Field, ebAbs float64, workers int) (float64, error) {
-	blob, _, err := sz.Compress(f, sz.Options{ErrorBound: ebAbs, Workers: workers})
+	c, ok := codec.ByName("sz")
+	if !ok {
+		return 0, fmt.Errorf("experiment: sz codec not registered")
+	}
+	blob, _, err := c.Compress(f, codec.Options{ErrorBound: ebAbs, Workers: workers})
 	if err != nil {
 		return 0, err
 	}
-	g, _, err := sz.Decompress(blob)
+	g, _, err := codec.Decompress(blob)
 	if err != nil {
 		return 0, err
 	}

@@ -5,8 +5,8 @@ import (
 	"io"
 	"time"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/core"
-	"fixedpsnr/internal/sz"
 )
 
 // OverheadRow quantifies the paper's "negligible overhead" claim for one
@@ -50,8 +50,12 @@ func Overhead(cfg Config) ([]OverheadRow, error) {
 		eq8NS := time.Since(start).Nanoseconds() / iters
 		_ = sink
 
+		c, ok := codec.ByName("sz")
+		if !ok {
+			return nil, fmt.Errorf("experiment: sz codec not registered")
+		}
 		start = time.Now()
-		if _, _, err := sz.Compress(f, sz.Options{ErrorBound: plan.EbAbs, Workers: cfg.Workers}); err != nil {
+		if _, _, err := c.Compress(f, codec.Options{ErrorBound: plan.EbAbs, Workers: cfg.Workers}); err != nil {
 			return nil, err
 		}
 		compressNS := time.Since(start).Nanoseconds()

@@ -31,89 +31,72 @@ import (
 	"math"
 	"sync"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
 	"fixedpsnr/internal/huffman"
 	"fixedpsnr/internal/parallel"
 	"fixedpsnr/internal/quantizer"
-	"fixedpsnr/internal/sz"
 	"fixedpsnr/internal/transform"
 )
 
 // DefaultBlockSize is the default transform block edge length.
 const DefaultBlockSize = 8
 
-// Transform selects the orthonormal block transform.
-type Transform uint8
+// otcCodec publishes this pipeline in the codec registry. It owns the
+// orthogonal-transform stream ID; constant streams it emits carry
+// codec.IDConstant and route to the sz pipeline's decoder.
+type otcCodec struct{}
+
+func (otcCodec) Name() string { return "otc" }
+
+func (otcCodec) IDs() []codec.ID { return []codec.ID{codec.IDOTC} }
+
+// MeasuresMSE is false: quantization happens in the transform domain and
+// the pipeline does not track the data-domain distortion exactly.
+func (otcCodec) MeasuresMSE() bool { return false }
+
+func (otcCodec) Compress(f *field.Field, opt codec.Options) ([]byte, *codec.Stats, error) {
+	return Compress(f, opt)
+}
+
+func (otcCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
+	return Decompress(data)
+}
+
+func init() { codec.Register(otcCodec{}) }
+
+// Transform selects the orthonormal block transform (shared type; see
+// codec.Transform). Blocks whose edge is not a power of two fall back to
+// the DCT of the exact size under TransformHaar, so the whole transform
+// stays orthonormal without padding.
+type Transform = codec.Transform
 
 // Transforms.
 const (
 	// TransformDCT is the orthonormal DCT-II (ZFP-flavored).
-	TransformDCT Transform = 0
+	TransformDCT = codec.TransformDCT
 	// TransformHaar is the full multi-level orthonormal Haar DWT
-	// (SSEM-flavored). Blocks whose edge is not a power of two fall
-	// back to the DCT of the exact size, so the whole transform stays
-	// orthonormal without padding.
-	TransformHaar Transform = 1
+	// (SSEM-flavored).
+	TransformHaar = codec.TransformHaar
 )
 
-// String names the transform.
-func (t Transform) String() string {
-	switch t {
-	case TransformDCT:
-		return "dct"
-	case TransformHaar:
-		return "haar"
-	default:
-		return fmt.Sprintf("transform(%d)", uint8(t))
-	}
-}
+// Options is the unified codec configuration (see codec.Options). The
+// transform pipeline reads ErrorBound (half the coefficient bin width:
+// δ = 2·ErrorBound), Transform, BlockSize, Capacity, Workers, Level, and
+// the header annotations; AutoCapacity and ChunkRows are ignored.
+type Options = codec.Options
 
-// Options configures the transform compressor.
-type Options struct {
-	// Delta is the quantization bin width applied to transform
-	// coefficients. Must be positive unless the field is constant.
-	Delta float64
-	// Transform selects the block transform (default TransformDCT).
-	Transform Transform
-	// BlockSize is the transform block edge (default DefaultBlockSize).
-	BlockSize int
-	// Capacity is the number of quantization intervals (default
-	// quantizer.DefaultCapacity).
-	Capacity int
-	// Workers bounds concurrency (non-positive: all CPUs).
-	Workers int
-	// Level is the DEFLATE level (0 selects flate.BestSpeed).
-	Level int
-	// Mode, TargetPSNR and ValueRange annotate the header.
-	Mode       sz.Mode
-	TargetPSNR float64
-	ValueRange float64
-}
-
-func (o Options) level() int {
-	if o.Level == 0 {
-		return flate.BestSpeed
-	}
-	return o.Level
-}
-
-func (o Options) blockSize() int {
+// blockEdge resolves the block-size default.
+func blockEdge(o Options) int {
 	if o.BlockSize <= 0 {
 		return DefaultBlockSize
 	}
 	return o.BlockSize
 }
 
-// Stats mirrors sz.Stats for the transform pipeline.
-type Stats struct {
-	OriginalBytes   int
-	CompressedBytes int
-	Ratio           float64
-	BitRate         float64
-	NPoints         int
-	Unpredictable   int // coefficients stored as literals
-	Blocks          int
-}
+// Stats is the unified compression outcome report (see codec.Stats).
+// This pipeline does not measure its exact MSE, so Stats.MSE is NaN.
+type Stats = codec.Stats
 
 // dctCache shares DCT basis matrices across blocks and calls.
 var dctCache sync.Map // int → *transform.DCT
@@ -338,20 +321,21 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 	if vr == 0 {
 		return compressConstant(f, opt)
 	}
-	if !(opt.Delta > 0) || math.IsInf(opt.Delta, 0) || math.IsNaN(opt.Delta) {
-		return nil, nil, fmt.Errorf("otc: delta must be positive and finite, got %g", opt.Delta)
+	if !(opt.ErrorBound > 0) || math.IsInf(opt.ErrorBound, 0) || math.IsNaN(opt.ErrorBound) {
+		return nil, nil, fmt.Errorf("otc: error bound (half bin width) must be positive and finite, got %g", opt.ErrorBound)
 	}
 	capacity := opt.Capacity
 	if capacity == 0 {
 		capacity = quantizer.DefaultCapacity
 	}
-	// quantizer.New takes the half-width (error bound) convention.
-	q, err := quantizer.New(opt.Delta/2, capacity)
+	// quantizer.New takes the half-width (error bound) convention;
+	// the coefficient bin width is δ = 2·ErrorBound.
+	q, err := quantizer.New(opt.ErrorBound, capacity)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	blocks := blockGrid(f.Dims, opt.blockSize())
+	blocks := blockGrid(f.Dims, blockEdge(opt))
 	type blockOut struct {
 		codes    []int
 		literals []float64
@@ -390,25 +374,25 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		literals = append(literals, o.literals...)
 	}
 
-	payload, err := encodePayload(codes, literals, opt.blockSize(), opt.Transform, opt.level())
+	payload, err := encodePayload(codes, literals, blockEdge(opt), opt.Transform, opt.FlateLevel())
 	if err != nil {
 		return nil, nil, err
 	}
 
-	h := &sz.Header{
-		Codec:      sz.CodecOTC,
+	h := &codec.Header{
+		Codec:      codec.IDOTC,
 		Precision:  f.Precision,
 		Mode:       opt.Mode,
 		Name:       f.Name,
 		Dims:       f.Dims,
-		EbAbs:      opt.Delta / 2,
+		EbAbs:      opt.ErrorBound,
 		TargetPSNR: opt.TargetPSNR,
 		ValueRange: opt.ValueRange,
 		Capacity:   capacity,
 		ChunkLens:  []int{len(payload)},
 		ChunkRows:  []int{f.Dims[0]},
 	}
-	if h.TargetPSNR == 0 && opt.Mode != sz.ModePSNR {
+	if h.TargetPSNR == 0 && opt.Mode != codec.ModePSNR {
 		h.TargetPSNR = math.NaN()
 	}
 	out := append(h.Marshal(), payload...)
@@ -419,6 +403,9 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		NPoints:         f.Len(),
 		Unpredictable:   len(literals),
 		Blocks:          len(blocks),
+		Capacity:        capacity,
+		ValueRange:      vr,
+		MSE:             math.NaN(), // not measured by this pipeline
 	}
 	st.Ratio = float64(st.OriginalBytes) / float64(len(out))
 	st.BitRate = 8 * float64(len(out)) / float64(f.Len())
@@ -426,8 +413,8 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 }
 
 func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
-	h := &sz.Header{
-		Codec:      sz.CodecConstant,
+	h := &codec.Header{
+		Codec:      codec.IDConstant,
 		Precision:  f.Precision,
 		Mode:       opt.Mode,
 		Name:       f.Name,
@@ -448,20 +435,20 @@ func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
 
 // Decompress reconstructs a field from an OTC stream. It accepts constant
 // streams as well so callers can route by magic alone.
-func Decompress(data []byte) (*field.Field, *sz.Header, error) {
-	h, err := sz.ParseHeader(data)
+func Decompress(data []byte) (*field.Field, *codec.Header, error) {
+	h, err := codec.ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
 	}
-	if h.Codec == sz.CodecConstant {
+	if h.Codec == codec.IDConstant {
 		out := field.New(h.Name, h.Precision, h.Dims...)
 		for i := range out.Data {
 			out.Data[i] = h.ConstValue
 		}
 		return out, h, nil
 	}
-	if h.Codec != sz.CodecOTC {
-		return nil, nil, fmt.Errorf("otc: stream has codec %v, not %v", h.Codec, sz.CodecOTC)
+	if h.Codec != codec.IDOTC {
+		return nil, nil, fmt.Errorf("otc: stream has codec %v, not %v", h.Codec, codec.IDOTC)
 	}
 	if len(h.ChunkLens) != 1 {
 		return nil, nil, fmt.Errorf("otc: expected a single payload, got %d", len(h.ChunkLens))

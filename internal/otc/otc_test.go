@@ -158,7 +158,7 @@ func roundTrip(t *testing.T, f *field.Field, opt Options) (*field.Field, *Stats)
 
 func TestRoundTrip2D(t *testing.T) {
 	f := smoothField("otc2", 0.01, 40, 50)
-	g, st := roundTrip(t, f, Options{Delta: 1e-3, Workers: 1})
+	g, st := roundTrip(t, f, Options{ErrorBound: 5e-4, Workers: 1})
 	d := stats.Compare(f.Data, g.Data)
 	if d.MaxErr > 1 {
 		t.Fatalf("wild reconstruction error %g", d.MaxErr)
@@ -171,7 +171,7 @@ func TestRoundTrip2D(t *testing.T) {
 func TestRoundTrip1D3D(t *testing.T) {
 	for _, dims := range [][]int{{333}, {9, 20, 17}} {
 		f := smoothField("otcn", 0.01, dims...)
-		g, _ := roundTrip(t, f, Options{Delta: 1e-3, Workers: 2})
+		g, _ := roundTrip(t, f, Options{ErrorBound: 5e-4, Workers: 2})
 		d := stats.Compare(f.Data, g.Data)
 		if d.PSNR < 40 {
 			t.Fatalf("dims %v: PSNR %g too low", dims, d.PSNR)
@@ -187,7 +187,7 @@ func TestTheorem2FixedPSNR(t *testing.T) {
 	_, _, vr := f.ValueRange()
 	for _, target := range []float64{50, 70, 90} {
 		delta := core.DeltaForPSNR(target, vr)
-		g, _ := roundTrip(t, f, Options{Delta: delta, Workers: 1})
+		g, _ := roundTrip(t, f, Options{ErrorBound: delta / 2, Workers: 1})
 		d := stats.Compare(f.Data, g.Data)
 		// The uniform-within-bin assumption makes the estimate
 		// conservative; actual PSNR must be ≥ target − 1 dB and within
@@ -217,7 +217,7 @@ func TestConstantField(t *testing.T) {
 func TestInvalidDelta(t *testing.T) {
 	f := smoothField("bad", 0.01, 16, 16)
 	for _, delta := range []float64{0, -1, math.NaN(), math.Inf(1)} {
-		if _, _, err := Compress(f, Options{Delta: delta}); err == nil {
+		if _, _, err := Compress(f, Options{ErrorBound: delta}); err == nil {
 			t.Fatalf("expected error for delta %g", delta)
 		}
 	}
@@ -236,7 +236,7 @@ func TestDecompressRejectsWrongCodec(t *testing.T) {
 
 func TestHeaderCodecIsOTC(t *testing.T) {
 	f := smoothField("hdr", 0.01, 16, 16)
-	blob, _, err := Compress(f, Options{Delta: 1e-3, Workers: 1})
+	blob, _, err := Compress(f, Options{ErrorBound: 5e-4, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestLiteralCoefficientsPreserved(t *testing.T) {
 	for i := range f.Data {
 		f.Data[i] += 1e6
 	}
-	g, st := roundTrip(t, f, Options{Delta: 1e-4, Capacity: 4, Workers: 1})
+	g, st := roundTrip(t, f, Options{ErrorBound: 5e-5, Capacity: 4, Workers: 1})
 	if st.Unpredictable == 0 {
 		t.Fatal("expected literal coefficients")
 	}
@@ -268,7 +268,7 @@ func TestLiteralCoefficientsPreserved(t *testing.T) {
 func TestBlockSizeOption(t *testing.T) {
 	f := smoothField("bs", 0.01, 30, 30)
 	for _, bs := range []int{2, 4, 8, 16} {
-		g, _ := roundTrip(t, f, Options{Delta: 1e-3, BlockSize: bs, Workers: 1})
+		g, _ := roundTrip(t, f, Options{ErrorBound: 5e-4, BlockSize: bs, Workers: 1})
 		d := stats.Compare(f.Data, g.Data)
 		if d.PSNR < 40 {
 			t.Fatalf("block size %d: PSNR %g", bs, d.PSNR)
@@ -278,7 +278,7 @@ func TestBlockSizeOption(t *testing.T) {
 
 func TestHaarPipelineRoundTrip(t *testing.T) {
 	f := smoothField("haar", 0.02, 48, 56)
-	g, st := roundTrip(t, f, Options{Delta: 1e-3, Transform: TransformHaar, Workers: 1})
+	g, st := roundTrip(t, f, Options{ErrorBound: 5e-4, Transform: TransformHaar, Workers: 1})
 	d := stats.Compare(f.Data, g.Data)
 	if d.PSNR < 40 {
 		t.Fatalf("Haar pipeline PSNR %g", d.PSNR)
@@ -293,7 +293,7 @@ func TestHaarPipelineFixedPSNR(t *testing.T) {
 	_, _, vr := f.ValueRange()
 	for _, target := range []float64{50, 80} {
 		delta := core.DeltaForPSNR(target, vr)
-		g, _ := roundTrip(t, f, Options{Delta: delta, Transform: TransformHaar, Workers: 1})
+		g, _ := roundTrip(t, f, Options{ErrorBound: delta / 2, Transform: TransformHaar, Workers: 1})
 		d := stats.Compare(f.Data, g.Data)
 		if d.PSNR < target-1 {
 			t.Fatalf("target %g: Haar actual %g fell below", target, d.PSNR)

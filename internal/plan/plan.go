@@ -1,0 +1,142 @@
+// Package plan is the error-control layer of the compression stack: it
+// converts every user-facing mode (absolute bound, value-range relative
+// bound, fixed PSNR, pointwise relative bound) into the absolute bound a
+// registered codec runs with, and implements the calibrated fixed-PSNR
+// refinement loop on top of any codec that measures its exact MSE.
+//
+// The math (Eqs. 6–8 of the paper) lives in internal/core; this package
+// owns the mode dispatch and the control loop, so the public API and the
+// experiment harness share one bound derivation.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/core"
+)
+
+// Mode selects the error-control strategy.
+type Mode int
+
+// Modes.
+const (
+	// ModeAbs bounds the absolute pointwise error.
+	ModeAbs Mode = iota
+	// ModeRel bounds the pointwise error relative to the value range.
+	ModeRel
+	// ModePSNR fixes the overall PSNR of the reconstruction (the
+	// paper's fixed-PSNR mode).
+	ModePSNR
+	// ModePWRel bounds the pointwise error relative to each value.
+	ModePWRel
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAbs:
+		return "abs"
+	case ModeRel:
+		return "rel"
+	case ModePSNR:
+		return "psnr"
+	case ModePWRel:
+		return "pwrel"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// StreamMode maps the planning mode to the informational mode byte
+// recorded in stream headers.
+func (m Mode) StreamMode() codec.Mode {
+	switch m {
+	case ModeAbs:
+		return codec.ModeAbs
+	case ModeRel:
+		return codec.ModeRel
+	case ModePSNR:
+		return codec.ModePSNR
+	case ModePWRel:
+		return codec.ModePWRel
+	default:
+		return codec.ModeAbs
+	}
+}
+
+// Request is one error-control demand: a mode plus its bound parameter.
+type Request struct {
+	Mode Mode
+	// ErrorBound is the absolute bound for ModeAbs.
+	ErrorBound float64
+	// RelBound is the value-range-based relative bound for ModeRel.
+	RelBound float64
+	// TargetPSNR is the target PSNR in dB for ModePSNR.
+	TargetPSNR float64
+	// PWRelBound is the pointwise relative bound for ModePWRel.
+	PWRelBound float64
+}
+
+// Resolution is the outcome of planning: the bounds a codec should run
+// with, plus the header annotations.
+type Resolution struct {
+	// EbAbs is the absolute bound handed to the codec (0 for constant
+	// fields in ModeAbs and for ModePWRel, which carries its bound in
+	// PWRelBound).
+	EbAbs float64
+	// EbRel is EbAbs expressed against the value range (0 when the
+	// range is zero).
+	EbRel float64
+	// TargetPSNR echoes the requested PSNR (NaN for other modes).
+	TargetPSNR float64
+	// EstimatedPSNR is the closed-form Eq. 7 prediction of the actual
+	// PSNR at EbAbs (+Inf for constant fields).
+	EstimatedPSNR float64
+	// StreamMode annotates the stream header.
+	StreamMode codec.Mode
+	// PWRel marks a pointwise-relative request, which bypasses the
+	// absolute-bound path entirely (log-domain compression).
+	PWRel bool
+}
+
+// Resolve derives the codec-facing bounds for a field of value range vr.
+// This is the entire planning overhead of every mode — a handful of
+// floating-point operations (Eq. 8 for ModePSNR).
+func (r Request) Resolve(vr float64) (Resolution, error) {
+	res := Resolution{TargetPSNR: math.NaN(), StreamMode: r.Mode.StreamMode()}
+	switch r.Mode {
+	case ModeAbs:
+		if !(r.ErrorBound > 0) {
+			if vr == 0 { // constant fields need no bound
+				break
+			}
+			return Resolution{}, fmt.Errorf("plan: ModeAbs requires a positive ErrorBound")
+		}
+		res.EbAbs = r.ErrorBound
+	case ModeRel:
+		if !(r.RelBound > 0) {
+			return Resolution{}, fmt.Errorf("plan: ModeRel requires a positive RelBound")
+		}
+		res.EbAbs = r.RelBound * vr
+	case ModePSNR:
+		p, err := core.PlanFixedPSNR(r.TargetPSNR, vr)
+		if err != nil {
+			return Resolution{}, err
+		}
+		res.EbAbs = p.EbAbs
+		res.TargetPSNR = r.TargetPSNR
+	case ModePWRel:
+		res.PWRel = true
+		res.EstimatedPSNR = math.Inf(1)
+		return res, nil
+	default:
+		return Resolution{}, fmt.Errorf("plan: unknown mode %v", r.Mode)
+	}
+	if vr > 0 {
+		res.EbRel = res.EbAbs / vr
+	}
+	res.EstimatedPSNR = core.EstimatePSNRFromAbsBound(vr, res.EbAbs)
+	return res, nil
+}

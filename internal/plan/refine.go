@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/core"
+	"fixedpsnr/internal/field"
+)
+
+// refineTolDB is the calibrated mode's acceptance band around the target.
+const refineTolDB = 0.5
+
+// refineMaxPasses bounds the extra compressions the secant loop may take.
+const refineMaxPasses = 3
+
+// Refine implements the calibrated fixed-PSNR mode for any codec that
+// measures its exact MSE during compression (Theorem 1): when the first
+// (Eq. 8) pass lands outside ±0.5 dB of the target — which happens at low
+// targets where prediction errors concentrate in the center bin — the bin
+// width is re-derived by a log–log secant step and the field
+// recompressed, up to three extra passes. High targets exit after the
+// first pass at no extra cost.
+//
+// blob and st are the first pass's output at opt.ErrorBound. Refine
+// returns the final stream, stats, and the absolute bound it settled on.
+// Codecs without MSE measurement (and constant fields) pass through
+// unchanged.
+func Refine(f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *codec.Stats, target, vr float64) ([]byte, *codec.Stats, float64, error) {
+	ebAbs := opt.ErrorBound
+	if !c.MeasuresMSE() || !(vr > 0) {
+		return blob, st, ebAbs, nil
+	}
+	targetMSE := core.MSEForPSNR(target, vr)
+	d0, mse0 := 2*opt.ErrorBound, st.MSE
+	var d1, mse1 float64
+	for pass := 0; pass < refineMaxPasses && !core.WithinTolerance(st.MSE, target, vr, refineTolDB); pass++ {
+		if st.MSE == 0 {
+			break // lossless at this bound; nothing cheaper to try safely
+		}
+		next, err := core.NextDelta(d0, mse0, d1, mse1, targetMSE)
+		if err != nil {
+			break
+		}
+		if d1 > 0 {
+			d0, mse0 = d1, mse1
+		}
+		opt.ErrorBound = next / 2
+		nb, nst, nerr := c.Compress(f, opt)
+		if nerr != nil {
+			return nil, nil, 0, nerr
+		}
+		blob, st = nb, nst
+		ebAbs = next / 2
+		d1, mse1 = next, st.MSE
+	}
+	return blob, st, ebAbs, nil
+}

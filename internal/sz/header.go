@@ -1,305 +1,81 @@
 package sz
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
 )
 
-// Stream layout (all integers are unsigned varints unless noted):
-//
-//	magic   "FPSZ"            4 bytes
-//	version                   1 byte
-//	codec                     1 byte  (CodecLorenzo, CodecConstant, ...)
-//	precision                 1 byte  (0 = float32, 1 = float64)
-//	mode                      1 byte  (informational: how the bound was set)
-//	name                      uvarint length + bytes
-//	ndims, dims...            uvarints
-//	ebAbs                     8 bytes IEEE-754 LE (0 for constant codec)
-//	targetPSNR                8 bytes IEEE-754 LE (NaN when not PSNR mode)
-//	valueRange                8 bytes IEEE-754 LE (vr of the original data)
-//	capacity                  uvarint (quantization intervals 2n)
-//	nchunks                   uvarint
-//	chunk compressed lengths  uvarint × nchunks
-//	chunk payloads            concatenated DEFLATE streams
-//
-// The constant codec replaces everything from capacity onward with a
-// single 8-byte value.
+// The stream container (header layout, codec identifiers, parsing) lives
+// in internal/codec so every registered pipeline shares it; this file
+// keeps the historical sz names as aliases for the shared types.
 
-// Magic identifies a fixed-PSNR SZ stream.
-var Magic = [4]byte{'F', 'P', 'S', 'Z'}
+// Magic identifies a fixed-PSNR compressed stream.
+var Magic = codec.Magic
 
 // Version is the current stream format version.
-const Version = 1
+const Version = codec.Version
 
 // Codec identifies the compression pipeline used for the payload.
-type Codec uint8
+type Codec = codec.ID
 
 // Codec values.
 const (
 	// CodecLorenzo is the SZ pipeline: Lorenzo prediction +
 	// error-controlled uniform quantization + Huffman + DEFLATE.
-	CodecLorenzo Codec = 1
+	CodecLorenzo = codec.IDLorenzo
 	// CodecConstant stores a constant field as a single value.
-	CodecConstant Codec = 2
+	CodecConstant = codec.IDConstant
 	// CodecLogLorenzo is the pointwise-relative pipeline: CodecLorenzo
 	// applied in the log domain with a sign/zero side channel.
-	CodecLogLorenzo Codec = 3
+	CodecLogLorenzo = codec.IDLogLorenzo
 	// CodecOTC is the orthogonal-transform pipeline implemented by
-	// internal/otc: blockwise orthonormal DCT + uniform quantization +
-	// Huffman + DEFLATE. It shares this container format.
-	CodecOTC Codec = 4
+	// internal/otc. It shares this container format.
+	CodecOTC = codec.IDOTC
 )
 
-// String names the codec.
-func (c Codec) String() string {
-	switch c {
-	case CodecLorenzo:
-		return "sz-lorenzo"
-	case CodecConstant:
-		return "constant"
-	case CodecLogLorenzo:
-		return "sz-log-lorenzo"
-	case CodecOTC:
-		return "otc-dct"
-	default:
-		return fmt.Sprintf("codec(%d)", uint8(c))
-	}
-}
-
 // Mode records how the error bound embedded in the stream was derived.
-// It is informational; decompression never needs it.
-type Mode uint8
+type Mode = codec.Mode
 
 // Mode values.
 const (
-	// ModeAbs: the user supplied the absolute error bound directly.
-	ModeAbs Mode = iota
-	// ModeRel: bound derived from a value-range-based relative bound.
-	ModeRel
-	// ModePSNR: bound derived from a target PSNR via Eq. 8.
-	ModePSNR
-	// ModePWRel: pointwise-relative bound (log-domain compression).
-	ModePWRel
+	ModeAbs   = codec.ModeAbs
+	ModeRel   = codec.ModeRel
+	ModePSNR  = codec.ModePSNR
+	ModePWRel = codec.ModePWRel
 )
 
-// String names the mode.
-func (m Mode) String() string {
-	switch m {
-	case ModeAbs:
-		return "abs"
-	case ModeRel:
-		return "rel"
-	case ModePSNR:
-		return "psnr"
-	case ModePWRel:
-		return "pwrel"
-	default:
-		return fmt.Sprintf("mode(%d)", uint8(m))
-	}
-}
-
 // Header describes a compressed stream.
-type Header struct {
-	Codec      Codec
-	Precision  field.Precision
-	Mode       Mode
-	Name       string
-	Dims       []int
-	EbAbs      float64 // absolute error bound used for quantization
-	TargetPSNR float64 // NaN unless Mode == ModePSNR
-	ValueRange float64 // vr of the original data (recorded for inspection)
-	Capacity   int     // quantization intervals (2n)
-	ChunkLens  []int   // compressed byte length of each chunk
-	ChunkRows  []int   // rows (along Dims[0]) covered by each chunk
-	// ConstValue holds the value of a constant field (CodecConstant).
-	ConstValue float64
-	// headerLen is the byte offset where chunk payloads begin.
-	headerLen int
-}
-
-// PayloadOffset returns the byte offset where chunk payloads begin in the
-// stream this header was parsed from. It is only meaningful on headers
-// returned by ParseHeader.
-func (h *Header) PayloadOffset() int { return h.headerLen }
-
-// NPoints returns the total number of points implied by Dims.
-func (h *Header) NPoints() int {
-	n := 1
-	for _, d := range h.Dims {
-		n *= d
-	}
-	return n
-}
-
-func appendFloat64(b []byte, v float64) []byte {
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
-	return append(b, tmp[:]...)
-}
-
-func readFloat64(b []byte) (float64, []byte, error) {
-	if len(b) < 8 {
-		return 0, nil, fmt.Errorf("sz: truncated float64")
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
-}
-
-func readUvarint(b []byte) (uint64, []byte, error) {
-	v, k := binary.Uvarint(b)
-	if k <= 0 {
-		return 0, nil, fmt.Errorf("sz: truncated varint")
-	}
-	return v, b[k:], nil
-}
-
-// Marshal serializes the header. Sibling codecs (internal/otc) reuse this
-// container format so that inspection tooling works uniformly.
-func (h *Header) Marshal() []byte {
-	out := make([]byte, 0, 64+len(h.Name))
-	out = append(out, Magic[:]...)
-	out = append(out, Version)
-	out = append(out, byte(h.Codec))
-	out = append(out, byte(h.Precision))
-	out = append(out, byte(h.Mode))
-	out = binary.AppendUvarint(out, uint64(len(h.Name)))
-	out = append(out, h.Name...)
-	out = binary.AppendUvarint(out, uint64(len(h.Dims)))
-	for _, d := range h.Dims {
-		out = binary.AppendUvarint(out, uint64(d))
-	}
-	if h.Codec == CodecConstant {
-		out = appendFloat64(out, h.ConstValue)
-		return out
-	}
-	out = appendFloat64(out, h.EbAbs)
-	out = appendFloat64(out, h.TargetPSNR)
-	out = appendFloat64(out, h.ValueRange)
-	out = binary.AppendUvarint(out, uint64(h.Capacity))
-	out = binary.AppendUvarint(out, uint64(len(h.ChunkLens)))
-	for i, l := range h.ChunkLens {
-		out = binary.AppendUvarint(out, uint64(l))
-		out = binary.AppendUvarint(out, uint64(h.ChunkRows[i]))
-	}
-	return out
-}
+type Header = codec.Header
 
 // ParseHeader decodes the header of a compressed stream without touching
-// the chunk payloads. It validates the magic, version, and structural
-// sanity of the dimensions.
-func ParseHeader(data []byte) (*Header, error) {
-	b := data
-	if len(b) < 8 {
-		return nil, fmt.Errorf("sz: stream too short (%d bytes)", len(b))
-	}
-	if [4]byte(b[:4]) != Magic {
-		return nil, fmt.Errorf("sz: bad magic %q", b[:4])
-	}
-	b = b[4:]
-	if b[0] != Version {
-		return nil, fmt.Errorf("sz: unsupported version %d", b[0])
-	}
-	h := &Header{}
-	h.Codec = Codec(b[1])
-	h.Precision = field.Precision(b[2])
-	h.Mode = Mode(b[3])
-	b = b[4:]
+// the chunk payloads.
+func ParseHeader(data []byte) (*Header, error) { return codec.ParseHeader(data) }
 
-	nameLen, b, err := readUvarint(b)
-	if err != nil {
-		return nil, err
-	}
-	if uint64(len(b)) < nameLen || nameLen > 1<<20 {
-		return nil, fmt.Errorf("sz: bad name length %d", nameLen)
-	}
-	h.Name = string(b[:nameLen])
-	b = b[nameLen:]
+func appendFloat64(b []byte, v float64) []byte { return codec.AppendFloat64(b, v) }
 
-	ndims, b, err := readUvarint(b)
-	if err != nil {
-		return nil, err
-	}
-	if ndims == 0 || ndims > 3 {
-		return nil, fmt.Errorf("sz: unsupported rank %d", ndims)
-	}
-	h.Dims = make([]int, ndims)
-	total := 1
-	for i := range h.Dims {
-		var d uint64
-		d, b, err = readUvarint(b)
-		if err != nil {
-			return nil, err
-		}
-		if d == 0 || d > 1<<40 {
-			return nil, fmt.Errorf("sz: bad dimension %d", d)
-		}
-		if int(d) > (1<<50)/total {
-			return nil, fmt.Errorf("sz: field size overflows (%v...)", h.Dims[:i+1])
-		}
-		h.Dims[i] = int(d)
-		total *= int(d)
-	}
+func readFloat64(b []byte) (float64, []byte, error) { return codec.ReadFloat64(b) }
 
-	if h.Codec == CodecConstant {
-		h.ConstValue, b, err = readFloat64(b)
-		if err != nil {
-			return nil, err
-		}
-		h.headerLen = len(data) - len(b)
-		return h, nil
-	}
+func readUvarint(b []byte) (uint64, []byte, error) { return codec.ReadUvarint(b) }
 
-	if h.EbAbs, b, err = readFloat64(b); err != nil {
-		return nil, err
-	}
-	if h.TargetPSNR, b, err = readFloat64(b); err != nil {
-		return nil, err
-	}
-	if h.ValueRange, b, err = readFloat64(b); err != nil {
-		return nil, err
-	}
-	capacity, b, err := readUvarint(b)
-	if err != nil {
-		return nil, err
-	}
-	if capacity < 4 || capacity > 1<<30 {
-		return nil, fmt.Errorf("sz: bad capacity %d", capacity)
-	}
-	h.Capacity = int(capacity)
-	nchunks, b, err := readUvarint(b)
-	if err != nil {
-		return nil, err
-	}
-	if nchunks == 0 || nchunks > 1<<20 {
-		return nil, fmt.Errorf("sz: bad chunk count %d", nchunks)
-	}
-	h.ChunkLens = make([]int, nchunks)
-	h.ChunkRows = make([]int, nchunks)
-	sum := 0
-	rowSum := 0
-	for i := range h.ChunkLens {
-		var l, r uint64
-		l, b, err = readUvarint(b)
-		if err != nil {
-			return nil, err
-		}
-		r, b, err = readUvarint(b)
-		if err != nil {
-			return nil, err
-		}
-		h.ChunkLens[i] = int(l)
-		h.ChunkRows[i] = int(r)
-		sum += int(l)
-		rowSum += int(r)
-	}
-	if rowSum != h.Dims[0] {
-		return nil, fmt.Errorf("sz: chunk rows sum to %d, want %d", rowSum, h.Dims[0])
-	}
-	h.headerLen = len(data) - len(b)
-	if len(b) < sum {
-		return nil, fmt.Errorf("sz: chunk payloads truncated (%d < %d)", len(b), sum)
-	}
-	return h, nil
+// szCodec publishes this pipeline in the codec registry: it owns the
+// Lorenzo, constant, and log-Lorenzo stream IDs and measures its exact
+// MSE during compression (Theorem 1).
+type szCodec struct{}
+
+func (szCodec) Name() string { return "sz" }
+
+func (szCodec) IDs() []codec.ID {
+	return []codec.ID{codec.IDLorenzo, codec.IDConstant, codec.IDLogLorenzo}
 }
+
+func (szCodec) MeasuresMSE() bool { return true }
+
+func (szCodec) Compress(f *field.Field, opt codec.Options) ([]byte, *codec.Stats, error) {
+	return Compress(f, opt)
+}
+
+func (szCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
+	return Decompress(data)
+}
+
+func init() { codec.Register(szCodec{}) }

@@ -67,7 +67,7 @@ func CompressPWRel(f *field.Field, ebRel float64, opt Options) ([]byte, *Stats, 
 	}
 
 	var maskBuf bytes.Buffer
-	fw, err := flate.NewWriter(&maskBuf, opt.level())
+	fw, err := flate.NewWriter(&maskBuf, opt.FlateLevel())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -113,6 +113,7 @@ func CompressPWRel(f *field.Field, ebRel float64, opt Options) ([]byte, *Stats, 
 		Unpredictable:   innerStats.Unpredictable,
 		Chunks:          innerStats.Chunks,
 		Capacity:        innerStats.Capacity,
+		ValueRange:      vr,
 		// The inner MSE is measured in the log domain; the data-domain
 		// MSE is not tracked for this codec.
 		MSE: math.NaN(),

@@ -33,63 +33,20 @@ import (
 	"io"
 	"math"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
 	"fixedpsnr/internal/huffman"
 	"fixedpsnr/internal/parallel"
 	"fixedpsnr/internal/quantizer"
 )
 
-// Options configures compression.
-type Options struct {
-	// ErrorBound is the absolute error bound (ebabs). Must be positive
-	// unless the field is constant.
-	ErrorBound float64
-	// Capacity is the number of quantization intervals (2n). Zero
-	// selects quantizer.DefaultCapacity; AutoCapacity overrides it.
-	Capacity int
-	// AutoCapacity estimates the smallest power-of-two capacity that
-	// captures ≥99% of sampled prediction errors, trading Huffman table
-	// size against unpredictable-literal volume.
-	AutoCapacity bool
-	// Workers bounds compression concurrency (non-positive: all CPUs).
-	Workers int
-	// ChunkRows forces the slab height along the slowest dimension.
-	// Zero picks a slab height automatically from Workers.
-	ChunkRows int
-	// Level is the DEFLATE level (flate.BestSpeed..flate.BestCompression).
-	// Zero selects flate.BestSpeed, matching SZ's use of fast gzip.
-	Level int
-	// Mode, TargetPSNR, and ValueRange annotate the stream header for
-	// inspection; they do not affect the algorithm.
-	Mode       Mode
-	TargetPSNR float64
-	ValueRange float64
-}
+// Options is the unified codec configuration (see codec.Options). The SZ
+// pipeline reads ErrorBound, Capacity, AutoCapacity, Workers, ChunkRows,
+// Level, and the header annotations; BlockSize and Transform are ignored.
+type Options = codec.Options
 
-func (o Options) level() int {
-	if o.Level == 0 {
-		return flate.BestSpeed
-	}
-	return o.Level
-}
-
-// Stats reports the outcome of one compression.
-type Stats struct {
-	OriginalBytes   int
-	CompressedBytes int
-	Ratio           float64 // OriginalBytes / CompressedBytes
-	BitRate         float64 // compressed bits per value
-	NPoints         int
-	Unpredictable   int // points stored as lossless literals
-	Chunks          int
-	Capacity        int // quantization intervals actually used
-	// MSE is the exact mean squared error of the reconstruction,
-	// measured during compression (Theorem 1 makes the
-	// quantization-stage distortion equal the end-to-end distortion, so
-	// no decompression is needed). Non-finite pointwise errors (NaN
-	// originals) are excluded.
-	MSE float64
-}
+// Stats is the unified compression outcome report (see codec.Stats).
+type Stats = codec.Stats
 
 // minChunkPoints is the smallest slab size worth paying a Huffman table
 // for; slabs are merged up to at least this many points.
@@ -142,7 +99,7 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		sub := f.Data[lo*inner : hi*inner]
 		subDims := append([]int{hi - lo}, f.Dims[1:]...)
 		codes, literals, sumSq := compressCore(sub, subDims, q)
-		payload, err := encodeChunk(codes, literals, f.Precision, opt.level())
+		payload, err := encodeChunk(codes, literals, f.Precision, opt.FlateLevel())
 		if err != nil {
 			return fmt.Errorf("sz: chunk %d: %w", c, err)
 		}
@@ -192,6 +149,7 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		Unpredictable:   unpred,
 		Chunks:          len(results),
 		Capacity:        capacity,
+		ValueRange:      vr,
 		MSE:             sumSq / float64(f.Len()),
 	}
 	if len(out) > 0 {
@@ -253,7 +211,7 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 	// count fixes it via parallel.Partition.
 	nchunks := len(h.ChunkLens)
 	offsets := make([]int, nchunks+1)
-	offsets[0] = h.headerLen
+	offsets[0] = h.PayloadOffset()
 	for i, l := range h.ChunkLens {
 		offsets[i+1] = offsets[i] + l
 	}
