@@ -2,11 +2,11 @@ package fixedpsnr
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 
 	"fixedpsnr/internal/codec"
-	"fixedpsnr/internal/parallel"
 )
 
 // Archive container: many compressed field streams in one blob, so a whole
@@ -69,25 +69,19 @@ type archiveEntry struct {
 // field gets its own Eq. 8 bound from its own value range — the paper's
 // batch use case.
 //
-// For snapshots too large to hold in memory at once, use ArchiveWriter
+// CompressFields is the one-shot wrapper over Encoder.EncodeBatch; hold
+// an Encoder directly for cancellation and cross-call buffer reuse. For
+// snapshots too large to hold in memory at once, use ArchiveWriter
 // instead: it produces the identical format one field at a time.
 func CompressFields(fields []*Field, opt Options) ([]byte, []*Result, error) {
 	if len(fields) == 0 {
 		return nil, nil, fmt.Errorf("fixedpsnr: no fields to archive")
 	}
-	perField := opt
-	perField.Workers = 1
-	streams := make([][]byte, len(fields))
-	results := make([]*Result, len(fields))
-	err := parallel.ForEach(len(fields), opt.Workers, func(i int) error {
-		blob, res, err := Compress(fields[i], perField)
-		if err != nil {
-			return fmt.Errorf("fixedpsnr: field %q: %w", fields[i].Name, err)
-		}
-		streams[i] = blob
-		results[i] = res
-		return nil
-	})
+	enc, err := NewEncoder(WithOptions(opt))
+	if err != nil {
+		return nil, nil, err
+	}
+	streams, results, err := enc.EncodeBatch(context.Background(), fields)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,6 +2,7 @@ package fixedpsnr
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ type ArchiveWriter struct {
 	w        io.Writer
 	off      int64
 	entries  []archiveEntry
+	names    map[string]struct{}
 	closed   bool
 	closeErr error
 }
@@ -39,16 +41,33 @@ func NewArchiveWriter(w io.Writer) (*ArchiveWriter, error) {
 	if _, err := w.Write(head); err != nil {
 		return nil, fmt.Errorf("fixedpsnr: archive preamble: %w", err)
 	}
-	return &ArchiveWriter{w: w, off: int64(len(head))}, nil
+	return &ArchiveWriter{w: w, off: int64(len(head)), names: make(map[string]struct{})}, nil
 }
 
 // Count reports the number of entries written so far.
 func (aw *ArchiveWriter) Count() int { return len(aw.entries) }
 
 // WriteField compresses one field under opt and appends the stream to the
-// archive.
+// archive. It is the one-shot form; WriteFieldEncoder adds cancellation
+// and buffer reuse for multi-field snapshots.
 func (aw *ArchiveWriter) WriteField(f *Field, opt Options) (*Result, error) {
 	blob, res, err := Compress(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := aw.writeStreamNamed(f.Name, blob); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteFieldEncoder compresses one field with the session encoder and
+// appends the stream to the archive, so a snapshot's fields ride one
+// Encoder: scratch buffers are reused field to field and a cancelled ctx
+// aborts the in-flight compression with ctx.Err(). The archive itself is
+// untouched by a failed call and can keep accepting fields.
+func (aw *ArchiveWriter) WriteFieldEncoder(ctx context.Context, enc *Encoder, f *Field) (*Result, error) {
+	blob, res, err := enc.Encode(ctx, f)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +89,9 @@ func (aw *ArchiveWriter) WriteStream(blob []byte) error {
 }
 
 // writeStreamNamed appends raw stream bytes under an explicit index name.
+// Duplicate names are rejected up front: the v2 tail index is a
+// name→offset map, so a second entry under the same name would silently
+// shadow the first for every index-based reader.
 func (aw *ArchiveWriter) writeStreamNamed(name string, blob []byte) error {
 	if aw.closed {
 		return fmt.Errorf("fixedpsnr: archive writer is closed")
@@ -77,9 +99,16 @@ func (aw *ArchiveWriter) writeStreamNamed(name string, blob []byte) error {
 	if len(aw.entries) >= maxArchiveEntries {
 		return fmt.Errorf("fixedpsnr: archive full (%d entries)", len(aw.entries))
 	}
+	if _, dup := aw.names[name]; dup {
+		return fmt.Errorf("fixedpsnr: archive already has a field named %q", name)
+	}
 	if _, err := aw.w.Write(blob); err != nil {
 		return fmt.Errorf("fixedpsnr: archive entry %q: %w", name, err)
 	}
+	if aw.names == nil {
+		aw.names = make(map[string]struct{})
+	}
+	aw.names[name] = struct{}{}
 	aw.entries = append(aw.entries, archiveEntry{name: name, off: aw.off, length: int64(len(blob))})
 	aw.off += int64(len(blob))
 	return nil

@@ -2,9 +2,12 @@ package fixedpsnr_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"fixedpsnr"
@@ -432,4 +435,105 @@ func FuzzOpenArchive(f *testing.F) {
 			ar.ExtractAt(i) //nolint:errcheck
 		}
 	})
+}
+
+// The v2 tail index maps names to offsets, so a duplicate field name
+// would silently shadow the earlier entry; the writer must reject it at
+// write time instead.
+func TestArchiveWriterRejectsDuplicateNames(t *testing.T) {
+	f := waveField("dup", 24, 24)
+	var buf bytes.Buffer
+	aw, err := fixedpsnr.NewArchiveWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fixedpsnr.Options{Mode: fixedpsnr.ModeAbs, ErrorBound: 1e-3}
+	if _, err := aw.WriteField(f, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.WriteField(f, opt); err == nil || !strings.Contains(err.Error(), "already has a field") {
+		t.Fatalf("duplicate WriteField err = %v", err)
+	}
+	stream, _, err := fixedpsnr.Compress(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.WriteStream(stream); err == nil {
+		t.Fatal("duplicate WriteStream accepted")
+	}
+	// The writer stays usable: a fresh name lands fine and the archive
+	// closes with exactly the non-duplicate entries.
+	g := waveField("dup2", 24, 24)
+	if _, err := aw.WriteField(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := fixedpsnr.OpenArchive(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Len() != 2 {
+		t.Fatalf("archive has %d entries, want 2", ar.Len())
+	}
+}
+
+// CompressFields inherits the duplicate-name rejection.
+func TestCompressFieldsRejectsDuplicateNames(t *testing.T) {
+	f := waveField("twin", 16, 16)
+	g := waveField("twin", 16, 16)
+	_, _, err := fixedpsnr.CompressFields([]*fixedpsnr.Field{f, g},
+		fixedpsnr.Options{Mode: fixedpsnr.ModeAbs, ErrorBound: 1e-3})
+	if err == nil {
+		t.Fatal("duplicate field names accepted")
+	}
+}
+
+// An ArchiveWriter riding an Encoder session must produce the same
+// archive as the one-shot WriteField path, and a cancelled context must
+// leave the writer usable.
+func TestArchiveWriterWriteFieldEncoder(t *testing.T) {
+	fields := []*fixedpsnr.Field{waveField("A", 30, 40), waveField("B", 20, 50)}
+	opt := fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 70, Workers: 1}
+
+	var oneShot bytes.Buffer
+	aw1, err := fixedpsnr.NewArchiveWriter(&oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fields {
+		if _, err := aw1.WriteField(f, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	enc, err := fixedpsnr.NewEncoder(fixedpsnr.WithOptions(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var session bytes.Buffer
+	aw2, err := fixedpsnr.NewArchiveWriter(&session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := aw2.WriteFieldEncoder(cancelled, enc, fields[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled WriteFieldEncoder err = %v", err)
+	}
+	for _, f := range fields {
+		if _, err := aw2.WriteFieldEncoder(context.Background(), enc, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneShot.Bytes(), session.Bytes()) {
+		t.Fatal("session-built archive differs from one-shot archive")
+	}
 }

@@ -9,6 +9,8 @@ package fixedpsnr_test
 // steady-state performance of the pipelines.
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -278,6 +280,84 @@ func benchmarkCapacity(b *testing.B, capacity int) {
 func BenchmarkCapacity_256(b *testing.B)   { benchmarkCapacity(b, 256) }
 func BenchmarkCapacity_4096(b *testing.B)  { benchmarkCapacity(b, 4096) }
 func BenchmarkCapacity_65536(b *testing.B) { benchmarkCapacity(b, 65536) }
+
+// --- Session API: one-shot vs reused Encoder --------------------------------
+
+// sessionBenchField is the 500×500 float32 field the PR-2 acceptance
+// benchmarks run on (BENCH_pr2.json in CI tracks these two).
+func sessionBenchField() *fixedpsnr.Field {
+	f := fixedpsnr.NewField("session-bench", fixedpsnr.Float32, 500, 500)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < 500; j++ {
+			v := math.Sin(float64(i)/23)*math.Cos(float64(j)/17) + 0.1*math.Sin(float64(i*j)/997)
+			f.Set2(i, j, float64(float32(v)))
+		}
+	}
+	return f
+}
+
+func BenchmarkOneShotCompress(b *testing.B) {
+	f := sessionBenchField()
+	opt := fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 80, Workers: 1}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixedpsnr.Compress(f, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncoderReuse(b *testing.B) {
+	f := sessionBenchField()
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(80),
+		fixedpsnr.WithWorkers(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := enc.Encode(ctx, f); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.Encode(ctx, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	fields := make([]*fixedpsnr.Field, 8)
+	for i := range fields {
+		f := fixedpsnr.NewField(fmt.Sprintf("f%d", i), fixedpsnr.Float32, 200, 200)
+		for j := range f.Data {
+			f.Data[j] = float64(float32(math.Sin(float64(j+i*31) / 19)))
+		}
+		fields[i] = f
+	}
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(80),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.EncodeBatch(ctx, fields); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Sanity: the benchmark field must actually hit its target, so that the
 // throughput numbers describe a working configuration.

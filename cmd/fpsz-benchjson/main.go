@@ -1,0 +1,128 @@
+// Command fpsz-benchjson converts `go test -bench -benchmem` text output
+// into a JSON benchmark record, so CI can emit machine-readable perf
+// artifacts (BENCH_pr2.json tracks the one-shot vs reused-Encoder
+// session benchmarks) and the perf trajectory accumulates across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'OneShot|EncoderReuse' -benchmem . |
+//	    fpsz-benchjson -out BENCH_pr2.json
+//
+// Lines that are not benchmark results are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output file (default stdin)")
+	out := flag.String("out", "-", "JSON output file (default stdout)")
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpsz-benchjson:", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName-8  100  11481571 ns/op  87.10 MB/s  7391472 B/op  59 allocs/op
+//
+// from mixed `go test` output.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: trimGOMAXPROCS(fields[0]), Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "MB/s":
+				res.MBPerSec = v
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			}
+		}
+		if seen {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimGOMAXPROCS strips the trailing "-N" procs suffix from a benchmark
+// name.
+func trimGOMAXPROCS(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

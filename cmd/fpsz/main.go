@@ -18,11 +18,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 
 	"fixedpsnr"
 	"fixedpsnr/internal/codec"
@@ -33,10 +37,20 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Compression runs under a signal-cancelled context: the first
+	// SIGINT/SIGTERM aborts the in-flight work within one slab per
+	// worker. Once that happens, unregister immediately so a second
+	// signal hits the restored default handler and force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	var err error
 	switch os.Args[1] {
 	case "compress":
-		err = compress(os.Args[2:])
+		err = compress(ctx, os.Args[2:])
 	case "decompress":
 		err = decompress(os.Args[2:])
 	case "inspect":
@@ -44,7 +58,7 @@ func main() {
 	case "verify":
 		err = verify(os.Args[2:])
 	case "archive":
-		err = archive(os.Args[2:])
+		err = archive(ctx, os.Args[2:])
 	case "list":
 		err = list(os.Args[2:])
 	case "extract":
@@ -54,6 +68,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "fpsz: unknown subcommand %q\n\n", os.Args[1])
 		usage()
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "fpsz: interrupted")
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpsz:", err)
@@ -73,7 +91,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func compress(args []string) error {
+func compress(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	var (
 		in         = fs.String("in", "", "input field file (SDF1)")
@@ -126,7 +144,11 @@ func compress(args []string) error {
 		return fmt.Errorf("compress: unknown mode %q", *mode)
 	}
 
-	blob, res, err := fixedpsnr.Compress(f, opt)
+	enc, err := fixedpsnr.NewEncoder(fixedpsnr.WithOptions(opt))
+	if err != nil {
+		return err
+	}
+	blob, res, err := enc.Encode(ctx, f)
 	if err != nil {
 		return err
 	}
@@ -153,11 +175,12 @@ func decompress(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -in and -out are required")
 	}
-	blob, err := os.ReadFile(*in)
+	src, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
-	f, info, err := fixedpsnr.Decompress(blob)
+	defer src.Close()
+	f, info, err := fixedpsnr.NewDecoder().DecodeFrom(context.Background(), bufio.NewReader(src))
 	if err != nil {
 		return err
 	}
@@ -240,7 +263,7 @@ func verify(args []string) error {
 // Fields stream through one at a time: each file is read, compressed, and
 // appended to the output archive before the next is loaded, so snapshots
 // larger than memory archive fine.
-func archive(args []string) error {
+func archive(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("archive", flag.ExitOnError)
 	var (
 		dir     = fs.String("dir", "", "directory of .sdf field files")
@@ -280,10 +303,15 @@ func archive(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := fixedpsnr.Options{
-		Mode:       fixedpsnr.ModePSNR,
-		TargetPSNR: *psnr,
-		Workers:    *workers,
+	// One Encoder session serves the whole snapshot: scratch buffers
+	// are reused field to field and Ctrl-C aborts the in-flight field.
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(*psnr),
+		fixedpsnr.WithWorkers(*workers),
+	)
+	if err != nil {
+		return err
 	}
 	var inBytes int
 	for _, p := range paths {
@@ -291,8 +319,11 @@ func archive(args []string) error {
 		if err != nil {
 			return fmt.Errorf("archive: %s: %w", p, err)
 		}
-		res, err := aw.WriteField(f, opt)
+		res, err := aw.WriteFieldEncoder(ctx, enc, f)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return err
+			}
 			return fmt.Errorf("archive: %s: %w", p, err)
 		}
 		inBytes += res.OriginalBytes

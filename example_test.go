@@ -1,6 +1,8 @@
 package fixedpsnr_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math"
 
@@ -62,6 +64,112 @@ func ExampleCompress_absoluteBound() {
 	g, _, _ := fixedpsnr.Decompress(stream)
 	d := fixedpsnr.CompareFields(f, g)
 	fmt.Printf("max error within bound: %v\n", d.MaxErr <= 1e-4)
+	// Output:
+	// max error within bound: true
+}
+
+// Hold one Encoder session and reuse it: scratch buffers persist across
+// calls and a context can cancel long compressions.
+func ExampleNewEncoder() {
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(80),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec := fixedpsnr.NewDecoder()
+	ctx := context.Background()
+
+	f := fixedpsnr.NewField("session-demo", fixedpsnr.Float32, 64, 64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			f.Set2(i, j, float64(float32(math.Sin(float64(i)/8)*math.Cos(float64(j)/5))))
+		}
+	}
+
+	// The session compresses any number of fields; buffers are reused
+	// call to call.
+	for pass := 0; pass < 3; pass++ {
+		stream, _, err := enc.Encode(ctx, f)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		g, _, err := dec.Decode(ctx, stream)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if pass == 2 {
+			d := fixedpsnr.CompareFields(f, g)
+			fmt.Printf("pass %d within 1 dB of 80: %v\n", pass, math.Abs(d.PSNR-80) < 1)
+		}
+	}
+	// Output:
+	// pass 2 within 1 dB of 80: true
+}
+
+// Compress a whole snapshot over one shared worker pool.
+func ExampleEncoder_EncodeBatch() {
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(70),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var fields []*fixedpsnr.Field
+	for _, name := range []string{"U", "V", "W"} {
+		f := fixedpsnr.NewField(name, fixedpsnr.Float64, 48, 48)
+		for i := range f.Data {
+			f.Data[i] = math.Sin(float64(i) / 11)
+		}
+		fields = append(fields, f)
+	}
+	streams, results, err := enc.EncodeBatch(context.Background(), fields)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, f := range fields {
+		fmt.Printf("%s: %d points, ratio > 1: %v\n",
+			f.Name, results[i].NPoints, len(streams[i]) > 0 && results[i].Ratio > 1)
+	}
+	// Output:
+	// U: 2304 points, ratio > 1: true
+	// V: 2304 points, ratio > 1: true
+	// W: 2304 points, ratio > 1: true
+}
+
+// Stream a compressed field through any io.Writer/io.Reader pair.
+func ExampleEncoder_EncodeTo() {
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModeAbs),
+		fixedpsnr.WithErrorBound(1e-3),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	f := fixedpsnr.NewField("pipe", fixedpsnr.Float64, 400)
+	for i := range f.Data {
+		f.Data[i] = math.Cos(float64(i) / 15)
+	}
+	var wire bytes.Buffer
+	if _, err := enc.EncodeTo(context.Background(), &wire, f); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	g, _, err := fixedpsnr.NewDecoder().DecodeFrom(context.Background(), &wire)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d := fixedpsnr.CompareFields(f, g)
+	fmt.Printf("max error within bound: %v\n", d.MaxErr <= 1e-3)
 	// Output:
 	// max error within bound: true
 }

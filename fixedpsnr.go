@@ -27,7 +27,21 @@
 //   - ModePWRel — pointwise relative bound (|x−x̃| ≤ rel·|x|), via
 //     log-domain compression (SZ family only).
 //
-// Quick start:
+// The primary API is the session pair Encoder/Decoder: reusable,
+// concurrency-safe objects built with functional options that thread a
+// context.Context through the pipelines (cancellation aborts within one
+// slab of work), reuse pooled scratch buffers across calls, and offer
+// io.Writer/io.Reader streaming plus batch compression:
+//
+//	enc, err := fixedpsnr.NewEncoder(
+//		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+//		fixedpsnr.WithTargetPSNR(80), // dB
+//	)
+//	stream, res, err := enc.Encode(ctx, f)
+//	g, info, err := fixedpsnr.NewDecoder().Decode(ctx, stream)
+//	d := fixedpsnr.CompareFields(f, g) // d.PSNR ≈ 80 dB
+//
+// One-shot quick start (a thin wrapper over the same core):
 //
 //	f := fixedpsnr.NewField("temperature", fixedpsnr.Float32, 100, 500, 500)
 //	// ... fill f.Data ...
@@ -37,10 +51,11 @@
 //	})
 //	// ...
 //	g, info, err := fixedpsnr.Decompress(stream)
-//	d := fixedpsnr.CompareFields(f, g) // d.PSNR ≈ 80 dB
 package fixedpsnr
 
 import (
+	"compress/flate"
+	"context"
 	"fmt"
 	"math"
 
@@ -164,6 +179,12 @@ type Options struct {
 	Mode Mode
 	// Compressor selects the pipeline (default CompressorSZ).
 	Compressor Compressor
+	// Codec, when non-empty, selects a registered pipeline by name and
+	// overrides Compressor — the hook through which codecs registered
+	// via the public fixedpsnr/codec package become reachable from this
+	// API. Decompression needs no selector: it routes by the codec byte
+	// in the stream header.
+	Codec string
 
 	// ErrorBound is the absolute bound for ModeAbs.
 	ErrorBound float64
@@ -195,6 +216,75 @@ type Options struct {
 	Level int
 	// BlockSize is the transform block edge (transform pipeline).
 	BlockSize int
+}
+
+// Validate checks the options for nonsense that no field could make
+// valid: a missing or non-finite bound for the selected mode, a
+// negative or NaN PSNR target, an unknown mode or pipeline, absurd
+// capacity or block sizes, and out-of-range DEFLATE levels. It is called
+// by every compression entry point — Compress, CompressFields, the
+// ArchiveWriter, and NewEncoder — so both the legacy and the session API
+// reject bad configurations with the same fixedpsnr-prefixed errors.
+//
+// A zero ErrorBound in ModeAbs passes: constant fields compress without
+// a bound, and the field-dependent check happens at plan time.
+func (opt Options) Validate() error {
+	badBound := func(name string, v float64) error {
+		return fmt.Errorf("fixedpsnr: %s must be positive and finite, got %g", name, v)
+	}
+	switch opt.Mode {
+	case ModeAbs:
+		if opt.ErrorBound < 0 || math.IsNaN(opt.ErrorBound) || math.IsInf(opt.ErrorBound, 0) {
+			return badBound("ErrorBound", opt.ErrorBound)
+		}
+	case ModeRel:
+		if !(opt.RelBound > 0) || math.IsInf(opt.RelBound, 0) {
+			return badBound("RelBound", opt.RelBound)
+		}
+	case ModePSNR:
+		if !(opt.TargetPSNR > 0) || math.IsInf(opt.TargetPSNR, 0) {
+			return badBound("TargetPSNR", opt.TargetPSNR)
+		}
+	case ModePWRel:
+		if !(opt.PWRelBound > 0) || opt.PWRelBound >= 1 {
+			return fmt.Errorf("fixedpsnr: PWRelBound must be in (0, 1), got %g", opt.PWRelBound)
+		}
+		if opt.codecName() != "sz" {
+			return fmt.Errorf("fixedpsnr: ModePWRel is only supported by the sz pipeline")
+		}
+	default:
+		return fmt.Errorf("fixedpsnr: unknown mode %v", opt.Mode)
+	}
+	if opt.Codec == "" && opt.Compressor.codecName() == "" {
+		return fmt.Errorf("fixedpsnr: unknown compressor %v", opt.Compressor)
+	}
+	// Quantization codes range over [0, Capacity), and the Huffman
+	// encoder's dense construction tables are sized by the largest code,
+	// so the capacity ceiling also bounds per-chunk encoder memory
+	// (~17 bytes/interval). 2^20 is 16× the SZ default of 65536 — far
+	// beyond any useful setting.
+	if opt.Capacity < 0 || opt.Capacity > 1<<20 {
+		return fmt.Errorf("fixedpsnr: Capacity %d outside [0, 2^20]", opt.Capacity)
+	}
+	if opt.Capacity != 0 && (opt.Capacity < 4 || opt.Capacity%2 != 0) {
+		return fmt.Errorf("fixedpsnr: Capacity must be an even number >= 4 (or 0 for the default), got %d", opt.Capacity)
+	}
+	if opt.BlockSize < 0 || opt.BlockSize > 1<<20 {
+		return fmt.Errorf("fixedpsnr: BlockSize %d outside [0, 2^20]", opt.BlockSize)
+	}
+	if opt.Level != 0 && (opt.Level < flate.HuffmanOnly || opt.Level > flate.BestCompression) {
+		return fmt.Errorf("fixedpsnr: DEFLATE Level %d outside [%d, %d]", opt.Level, flate.HuffmanOnly, flate.BestCompression)
+	}
+	return nil
+}
+
+// codecName resolves the registry key the options select: the explicit
+// Codec override when set, the Compressor mapping otherwise.
+func (opt Options) codecName() string {
+	if opt.Codec != "" {
+		return opt.Codec
+	}
+	return opt.Compressor.codecName()
 }
 
 // codecOptions lowers the public options plus a plan resolution into the
@@ -248,9 +338,29 @@ type Result struct {
 // Compress compresses the field according to the options and returns the
 // self-describing stream plus a result summary. The error-control mode is
 // resolved by the plan layer and the stream is produced by whichever
-// registered codec the Compressor selector names.
+// registered codec the options select.
+//
+// Compress is the one-shot form: it cannot be cancelled and allocates its
+// working buffers fresh every call. Servers and batch jobs should hold an
+// Encoder instead, which adds context cancellation, io.Writer streaming,
+// batch compression, and scratch-buffer reuse over the same pipeline.
 func Compress(f *Field, opt Options) ([]byte, *Result, error) {
+	return compress(context.Background(), f, opt, nil)
+}
+
+// compress is the shared compression core behind Compress and
+// Encoder.Encode: options are validated, the mode is resolved by the plan
+// layer, and the stream is produced by the selected registered codec with
+// ctx cancellation honored between slabs/blocks/refinement passes and
+// transient buffers drawn from sc (both may be Background/nil).
+func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch) ([]byte, *Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	_, _, vr := f.ValueRange()
@@ -268,35 +378,29 @@ func Compress(f *Field, opt Options) ([]byte, *Result, error) {
 
 	if res.PWRel {
 		// Pointwise-relative compression is a distinct log-domain
-		// pipeline offered by the SZ family only.
-		if opt.Compressor != CompressorSZ {
-			return nil, nil, fmt.Errorf("fixedpsnr: ModePWRel is only supported by CompressorSZ")
-		}
+		// pipeline offered by the SZ family only (enforced by Validate).
 		// The inner log-domain stream annotates its own value range.
-		blob, st, err := sz.CompressPWRel(f, opt.PWRelBound, opt.codecOptions(res, 0))
+		blob, st, err := sz.CompressPWRelCtx(ctx, f, opt.PWRelBound, opt.codecOptions(res, 0), sc)
 		if err != nil {
 			return nil, nil, err
 		}
 		return blob, resultFromStats(st, opt.PWRelBound, 0, math.NaN(), res.EstimatedPSNR), nil
 	}
 
-	name := opt.Compressor.codecName()
-	if name == "" {
-		return nil, nil, fmt.Errorf("fixedpsnr: unknown compressor %v", opt.Compressor)
-	}
+	name := opt.codecName()
 	c, ok := codec.ByName(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("fixedpsnr: codec %q is not registered", name)
 	}
 
 	copt := opt.codecOptions(res, vr)
-	blob, st, err := c.Compress(f, copt)
+	blob, st, err := c.Compress(ctx, f, copt, sc)
 	if err != nil {
 		return nil, nil, err
 	}
 	ebAbs, ebRel := res.EbAbs, res.EbRel
 	if opt.Calibrated && opt.Mode == ModePSNR {
-		blob, st, ebAbs, err = plan.Refine(f, c, copt, blob, st, res.TargetPSNR, vr)
+		blob, st, ebAbs, err = plan.Refine(ctx, f, c, copt, blob, st, res.TargetPSNR, vr, sc)
 		if err != nil {
 			return nil, nil, err
 		}

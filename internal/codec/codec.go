@@ -18,6 +18,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -40,7 +41,13 @@ type Codec interface {
 	// reconstruction MSE after Compress (Theorem 1 pipelines). The
 	// calibrated fixed-PSNR loop in internal/plan requires it.
 	MeasuresMSE() bool
-	Compress(f *field.Field, opt Options) ([]byte, *Stats, error)
+	// Compress encodes f under opt. Implementations must honor ctx
+	// cancellation between units of work (slabs, blocks, refinement
+	// passes) and return ctx.Err() promptly, and should draw transient
+	// buffers from scratch when it is non-nil so session callers reuse
+	// allocations across calls. Both ctx and scratch may be nil /
+	// context.Background() for one-shot use.
+	Compress(ctx context.Context, f *field.Field, opt Options, scratch *Scratch) ([]byte, *Stats, error)
 	Decompress(data []byte) (*field.Field, *Header, error)
 }
 

@@ -1,6 +1,7 @@
 package codec_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func TestDecompressRoutesByRegistry(t *testing.T) {
 	opt := codec.Options{ErrorBound: 1e-3, Workers: 1}
 	for _, name := range codec.Names() {
 		c, _ := codec.ByName(name)
-		blob, _, err := c.Compress(f, opt)
+		blob, _, err := c.Compress(context.Background(), f, opt, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -123,7 +124,7 @@ type fakeCodec struct {
 func (f fakeCodec) Name() string      { return f.name }
 func (f fakeCodec) IDs() []codec.ID   { return f.ids }
 func (f fakeCodec) MeasuresMSE() bool { return false }
-func (f fakeCodec) Compress(*field.Field, codec.Options) ([]byte, *codec.Stats, error) {
+func (f fakeCodec) Compress(context.Context, *field.Field, codec.Options, *codec.Scratch) ([]byte, *codec.Stats, error) {
 	return nil, nil, nil
 }
 func (f fakeCodec) Decompress([]byte) (*field.Field, *codec.Header, error) { return nil, nil, nil }

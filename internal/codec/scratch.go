@@ -1,0 +1,173 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+
+	"fixedpsnr/internal/huffman"
+)
+
+// Scratch is the reusable compression state a session-style caller (an
+// Encoder in the public API) threads through repeated Compress calls so
+// the hot path stops allocating its large transient buffers fresh every
+// time: quantization-code slices, reconstruction buffers, transform block
+// buffers, pre-DEFLATE staging bytes, output buffers, and DEFLATE writers
+// (whose internal window state dominates a flate.NewWriter call).
+//
+// All pools are backed by sync.Pool, so one Scratch is safe for
+// concurrent use by any number of goroutines — a single Encoder shared
+// across request handlers feeds every worker from the same Scratch.
+//
+// A nil *Scratch is valid everywhere: getters fall back to plain
+// allocation and puts become no-ops, which is exactly the behavior of the
+// one-shot (non-session) API.
+type Scratch struct {
+	ints   sync.Pool // *[]int
+	floats sync.Pool // *[]float64
+	bytes  sync.Pool // *[]byte
+	bufs   sync.Pool // *bytes.Buffer
+	flates sync.Pool // *pooledFlate
+	huffs  sync.Pool // *huffman.Scratch
+}
+
+// pooledFlate remembers the level a pooled DEFLATE writer was created
+// with; flate.Writer cannot change level on Reset.
+type pooledFlate struct {
+	w     *flate.Writer
+	level int
+}
+
+// NewScratch returns an empty scratch pool set.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Ints returns an int slice of length n. Contents are unspecified; the
+// caller must fully overwrite it.
+func (s *Scratch) Ints(n int) []int {
+	if s != nil {
+		if v, ok := s.ints.Get().(*[]int); ok && cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+// PutInts returns a slice obtained from Ints to the pool.
+func (s *Scratch) PutInts(p []int) {
+	if s == nil || cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	s.ints.Put(&p)
+}
+
+// Floats returns a float64 slice of length n. Contents are unspecified;
+// the caller must fully overwrite it.
+func (s *Scratch) Floats(n int) []float64 {
+	if s != nil {
+		if v, ok := s.floats.Get().(*[]float64); ok && cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloats returns a slice obtained from Floats to the pool.
+func (s *Scratch) PutFloats(p []float64) {
+	if s == nil || cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	s.floats.Put(&p)
+}
+
+// Bytes returns an empty byte slice with at least capHint capacity, for
+// append-style staging buffers.
+func (s *Scratch) Bytes(capHint int) []byte {
+	if s != nil {
+		if v, ok := s.bytes.Get().(*[]byte); ok {
+			if cap(*v) >= capHint {
+				return (*v)[:0]
+			}
+			// Too small for this request; drop it and allocate. Pool
+			// contents converge on the working-set size quickly.
+		}
+	}
+	return make([]byte, 0, capHint)
+}
+
+// PutBytes returns a slice obtained from Bytes to the pool. The caller
+// must no longer reference it (or any slice sharing its backing array).
+func (s *Scratch) PutBytes(p []byte) {
+	if s == nil || cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	s.bytes.Put(&p)
+}
+
+// Buffer returns a reset bytes.Buffer.
+func (s *Scratch) Buffer() *bytes.Buffer {
+	if s != nil {
+		if v, ok := s.bufs.Get().(*bytes.Buffer); ok {
+			v.Reset()
+			return v
+		}
+	}
+	return &bytes.Buffer{}
+}
+
+// PutBuffer returns a buffer obtained from Buffer to the pool. The caller
+// must have copied out any bytes it still needs.
+func (s *Scratch) PutBuffer(b *bytes.Buffer) {
+	if s == nil || b == nil {
+		return
+	}
+	s.bufs.Put(b)
+}
+
+// Huffman returns a reusable Huffman construction scratch (nil when s is
+// nil, which huffman.EncodeScratch accepts). Each instance serves one
+// encode at a time; get one per in-flight chunk and put it back after.
+func (s *Scratch) Huffman() *huffman.Scratch {
+	if s == nil {
+		return nil
+	}
+	if v, ok := s.huffs.Get().(*huffman.Scratch); ok {
+		return v
+	}
+	return huffman.NewScratch()
+}
+
+// PutHuffman returns a scratch obtained from Huffman to the pool.
+func (s *Scratch) PutHuffman(h *huffman.Scratch) {
+	if s == nil || h == nil {
+		return
+	}
+	s.huffs.Put(h)
+}
+
+// FlateWriter returns a DEFLATE writer at the given level targeting w,
+// reusing pooled writer state when the level matches.
+func (s *Scratch) FlateWriter(w io.Writer, level int) (*flate.Writer, error) {
+	if s != nil {
+		if v, ok := s.flates.Get().(*pooledFlate); ok {
+			if v.level == level {
+				v.w.Reset(w)
+				return v.w, nil
+			}
+			// Stale level (the session changed configuration): drop it.
+		}
+	}
+	return flate.NewWriter(w, level)
+}
+
+// PutFlateWriter returns a writer obtained from FlateWriter to the pool.
+// The caller must have called Close (or Flush) already.
+func (s *Scratch) PutFlateWriter(fw *flate.Writer, level int) {
+	if s == nil || fw == nil {
+		return
+	}
+	s.flates.Put(&pooledFlate{w: fw, level: level})
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -55,7 +56,7 @@ func Overhead(cfg Config) ([]OverheadRow, error) {
 			return nil, fmt.Errorf("experiment: sz codec not registered")
 		}
 		start = time.Now()
-		if _, _, err := c.Compress(f, codec.Options{ErrorBound: plan.EbAbs, Workers: cfg.Workers}); err != nil {
+		if _, _, err := c.Compress(context.Background(), f, codec.Options{ErrorBound: plan.EbAbs, Workers: cfg.Workers}, nil); err != nil {
 			return nil, err
 		}
 		compressNS := time.Since(start).Nanoseconds()

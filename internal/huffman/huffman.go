@@ -11,9 +11,9 @@
 package huffman
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 
 	"fixedpsnr/internal/bitstream"
@@ -24,66 +24,163 @@ import (
 // this module can produce while keeping codes in a uint64.
 const maxCodeLen = 62
 
-// node is a Huffman tree node used only during construction.
-type node struct {
+// enode is a Huffman tree node in the arena-allocated encoder tree:
+// children are arena indices, so the whole tree lives in one slice.
+type enode struct {
 	weight      int64
-	symbol      int // valid for leaves
-	left, right *node
+	symbol      int32 // leaf symbol; min subtree symbol on internal nodes
+	left, right int32 // arena indices, -1 for leaves
 }
 
-type nodeHeap []*node
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].weight != h[j].weight {
-		return h[i].weight < h[j].weight
-	}
-	// Tie-break on symbol to make construction deterministic.
-	return h[i].symbol < h[j].symbol
+// Scratch holds the Huffman encoder's construction state — frequency
+// table, node arena, heap, and the canonical symbol/length/code tables —
+// sized by the symbol alphabet, so sessions that encode many chunks
+// reuse one set instead of rebuilding maps and trees from the heap every
+// call. A nil *Scratch is valid and falls back to fresh allocation.
+// Scratch is not safe for concurrent use; pool instances and hand one to
+// each in-flight encode.
+type Scratch struct {
+	freq    []int64
+	present []int32
+	lenOf   []uint8
+	codes   []uint64
+	nodes   []enode
+	heap    []int32
+	stack   []int64
 }
-func (h nodeHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)       { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() any         { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
-func (h nodeHeap) Peek() *node       { return h[0] }
-func (h *nodeHeap) PushNode(n *node) { heap.Push(h, n) }
-func (h *nodeHeap) PopNode() *node   { return heap.Pop(h).(*node) }
-func (h *nodeHeap) Init()            { heap.Init((*nodeHeap)(h)) }
 
-// codeLengths computes the canonical code length for every symbol with a
-// non-zero frequency.
-func codeLengths(freq map[int]int64) map[int]int {
-	lengths := make(map[int]int, len(freq))
-	switch len(freq) {
-	case 0:
-		return lengths
-	case 1:
-		for s := range freq {
-			lengths[s] = 1
+// NewScratch returns an empty Huffman scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// freqBuf returns a zeroed dense frequency table of length n.
+func (s *Scratch) freqBuf(n int) []int64 {
+	if s == nil || cap(s.freq) < n {
+		buf := make([]int64, n)
+		if s != nil {
+			s.freq = buf
 		}
-		return lengths
+		return buf
 	}
-	h := make(nodeHeap, 0, len(freq))
-	for s, f := range freq {
-		h = append(h, &node{weight: f, symbol: s})
-	}
-	h.Init()
-	for h.Len() > 1 {
-		a := h.PopNode()
-		b := h.PopNode()
-		h.PushNode(&node{weight: a.weight + b.weight, symbol: min(a.symbol, b.symbol), left: a, right: b})
-	}
-	root := h.Peek()
-	var walk func(n *node, depth int)
-	walk = func(n *node, depth int) {
-		if n.left == nil && n.right == nil {
-			lengths[n.symbol] = depth
-			return
+	buf := s.freq[:n]
+	clear(buf)
+	return buf
+}
+
+// lenOfBuf returns a zeroed dense symbol→length table of length n.
+func (s *Scratch) lenOfBuf(n int) []uint8 {
+	if s == nil || cap(s.lenOf) < n {
+		buf := make([]uint8, n)
+		if s != nil {
+			s.lenOf = buf
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		return buf
 	}
-	walk(root, 0)
-	return lengths
+	buf := s.lenOf[:n]
+	clear(buf)
+	return buf
+}
+
+// codesBuf returns a dense symbol→code table of length n (contents
+// unspecified; only present symbols are written and read).
+func (s *Scratch) codesBuf(n int) []uint64 {
+	if s == nil || cap(s.codes) < n {
+		buf := make([]uint64, n)
+		if s != nil {
+			s.codes = buf
+		}
+		return buf
+	}
+	return s.codes[:n]
+}
+
+// presentBuf returns an empty present-symbol list with capacity hint n.
+func (s *Scratch) presentBuf(n int) []int32 {
+	if s == nil || cap(s.present) < n {
+		return make([]int32, 0, n)
+	}
+	return s.present[:0]
+}
+
+// nodesBuf returns an empty node arena with capacity hint n.
+func (s *Scratch) nodesBuf(n int) []enode {
+	if s == nil || cap(s.nodes) < n {
+		return make([]enode, 0, n)
+	}
+	return s.nodes[:0]
+}
+
+// heapBuf returns an empty index heap with capacity hint n.
+func (s *Scratch) heapBuf(n int) []int32 {
+	if s == nil || cap(s.heap) < n {
+		return make([]int32, 0, n)
+	}
+	return s.heap[:0]
+}
+
+// stackBuf returns an empty traversal stack with capacity hint n.
+func (s *Scratch) stackBuf(n int) []int64 {
+	if s == nil || cap(s.stack) < n {
+		return make([]int64, 0, n)
+	}
+	return s.stack[:0]
+}
+
+// keep stores the final slices back so grown buffers survive to the next
+// encode with this scratch.
+func (s *Scratch) keep(present []int32, nodes []enode, heap []int32, stack []int64) {
+	if s == nil {
+		return
+	}
+	s.present, s.nodes, s.heap, s.stack = present, nodes, heap, stack
+}
+
+// nodeLess orders the build heap: by weight, tie-broken on the minimum
+// subtree symbol so construction is deterministic.
+func nodeLess(nodes []enode, a, b int32) bool {
+	if nodes[a].weight != nodes[b].weight {
+		return nodes[a].weight < nodes[b].weight
+	}
+	return nodes[a].symbol < nodes[b].symbol
+}
+
+// heapPush adds arena index v to the index min-heap h.
+func heapPush(h []int32, nodes []enode, v int32) []int32 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nodeLess(nodes, h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes and returns the minimum arena index from h.
+func heapPop(h []int32, nodes []enode) ([]int32, int32) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && nodeLess(nodes, h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && nodeLess(nodes, h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
 }
 
 // canonical holds a canonical code: symbols sorted by (length, symbol) and
@@ -131,38 +228,123 @@ func buildCanonical(lengths map[int]int) (*canonical, error) {
 // Encode Huffman-encodes syms and returns a self-describing byte stream:
 // the canonical table followed by the packed code words. The alphabet is
 // implicit in the symbols themselves; symbols must be non-negative.
-func Encode(syms []int) ([]byte, error) {
-	freq := make(map[int]int64)
+func Encode(syms []int) ([]byte, error) { return EncodeScratch(nil, syms, nil) }
+
+// EncodeTo appends the encoded stream Encode would produce to dst and
+// returns the extended slice, so callers staging a larger container can
+// reuse one append buffer instead of copying a freshly allocated block.
+func EncodeTo(dst []byte, syms []int) ([]byte, error) { return EncodeScratch(dst, syms, nil) }
+
+// EncodeScratch is EncodeTo drawing every construction table — the dense
+// frequency counts, the arena-allocated Huffman tree, the heap, and the
+// canonical code tables — from sc, so repeated encodes (one per slab per
+// compression, in a long-lived session) stop rebuilding them from the
+// heap. A nil sc allocates fresh. The encoded bytes are identical
+// whatever sc is.
+func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
+	maxSym := 0
 	for _, s := range syms {
 		if s < 0 {
 			return nil, fmt.Errorf("huffman: negative symbol %d", s)
 		}
+		if s > maxSym {
+			maxSym = s
+		}
+	}
+	freq := sc.freqBuf(maxSym + 1)
+	present := sc.presentBuf(256)
+	for _, s := range syms {
+		if freq[s] == 0 {
+			present = append(present, int32(s))
+		}
 		freq[s]++
 	}
-	c, err := buildCanonical(codeLengths(freq))
-	if err != nil {
-		return nil, err
+	nsym := len(present)
+
+	// Code lengths per symbol (dense table; zero = absent).
+	lenOf := sc.lenOfBuf(maxSym + 1)
+	nodes := sc.nodesBuf(2 * nsym)
+	heap := sc.heapBuf(nsym)
+	stack := sc.stackBuf(2 * nsym)
+	switch nsym {
+	case 0:
+		// Empty input: emit the trivial header below.
+	case 1:
+		lenOf[present[0]] = 1
+	default:
+		for _, s := range present {
+			nodes = append(nodes, enode{weight: freq[s], symbol: s, left: -1, right: -1})
+		}
+		for i := range nodes {
+			heap = heapPush(heap, nodes, int32(i))
+		}
+		for len(heap) > 1 {
+			var a, b int32
+			heap, a = heapPop(heap, nodes)
+			heap, b = heapPop(heap, nodes)
+			nodes = append(nodes, enode{
+				weight: nodes[a].weight + nodes[b].weight,
+				symbol: min(nodes[a].symbol, nodes[b].symbol),
+				left:   a, right: b,
+			})
+			heap = heapPush(heap, nodes, int32(len(nodes)-1))
+		}
+		// Iterative depth-first walk assigning leaf depths; entries pack
+		// (arena index << 8 | depth), depth ≤ maxCodeLen < 256.
+		stack = append(stack, int64(heap[0])<<8)
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			idx, depth := int32(top>>8), int(top&0xff)
+			n := nodes[idx]
+			if n.left < 0 {
+				if depth > maxCodeLen {
+					sc.keep(present, nodes, heap, stack)
+					return nil, fmt.Errorf("huffman: code length %d exceeds maximum %d", depth, maxCodeLen)
+				}
+				lenOf[n.symbol] = uint8(depth)
+				continue
+			}
+			stack = append(stack, int64(n.left)<<8|int64(depth+1))
+			stack = append(stack, int64(n.right)<<8|int64(depth+1))
+		}
 	}
 
-	var hdr []byte
-	hdr = binary.AppendUvarint(hdr, uint64(len(syms)))
-	hdr = binary.AppendUvarint(hdr, uint64(len(c.symbols)))
-	for i, s := range c.symbols {
-		hdr = binary.AppendUvarint(hdr, uint64(s))
-		hdr = binary.AppendUvarint(hdr, uint64(c.lengths[i]))
+	// Canonical order: by (length, symbol).
+	slices.SortFunc(present, func(a, b int32) int {
+		if lenOf[a] != lenOf[b] {
+			return int(lenOf[a]) - int(lenOf[b])
+		}
+		return int(a - b)
+	})
+	codes := sc.codesBuf(maxSym + 1)
+	var code uint64
+	prevLen := uint8(0)
+	for _, s := range present {
+		l := lenOf[s]
+		code <<= uint(l - prevLen)
+		codes[s] = code
+		code++
+		prevLen = l
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(syms)))
+	dst = binary.AppendUvarint(dst, uint64(nsym))
+	for _, s := range present {
+		dst = binary.AppendUvarint(dst, uint64(s))
+		dst = binary.AppendUvarint(dst, uint64(lenOf[s]))
 	}
 
 	w := bitstream.NewWriter(len(syms) / 2)
 	for _, s := range syms {
-		w.WriteBits(c.codes[s], uint(c.lenOf[s]))
+		w.WriteBits(codes[s], uint(lenOf[s]))
 	}
 	body := w.Bytes()
 
-	out := make([]byte, 0, len(hdr)+len(body)+8)
-	out = append(out, hdr...)
-	out = binary.AppendUvarint(out, uint64(len(body)))
-	out = append(out, body...)
-	return out, nil
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	sc.keep(present, nodes, heap, stack)
+	return dst, nil
 }
 
 // Decode reverses Encode. It returns the decoded symbols and the number of

@@ -25,6 +25,7 @@ package otc
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -55,8 +56,8 @@ func (otcCodec) IDs() []codec.ID { return []codec.ID{codec.IDOTC} }
 // the pipeline does not track the data-domain distortion exactly.
 func (otcCodec) MeasuresMSE() bool { return false }
 
-func (otcCodec) Compress(f *field.Field, opt codec.Options) ([]byte, *codec.Stats, error) {
-	return Compress(f, opt)
+func (otcCodec) Compress(ctx context.Context, f *field.Field, opt codec.Options, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	return CompressCtx(ctx, f, opt, sc)
 }
 
 func (otcCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
@@ -311,6 +312,15 @@ func applyBlock(buf []float64, sizes []int, tr Transform, inverse bool) error {
 // Compress compresses the field by blockwise orthonormal DCT and uniform
 // coefficient quantization with bin width opt.Delta.
 func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
+	return CompressCtx(context.Background(), f, opt, nil)
+}
+
+// CompressCtx is Compress with cancellation and buffer reuse: workers
+// check ctx between transform blocks (a cancelled context aborts within
+// one block of work per worker and surfaces ctx.Err()), and the block
+// gather buffers plus the entropy-stage staging buffers and DEFLATE
+// writer come from sc when it is non-nil.
+func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scratch) ([]byte, *Stats, error) {
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -341,12 +351,13 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		literals []float64
 	}
 	outs := make([]blockOut, len(blocks))
-	err = parallel.ForEach(len(blocks), opt.Workers, func(bi int) error {
+	err = parallel.ForEachCtx(ctx, len(blocks), opt.Workers, func(bi int) error {
 		br := blocks[bi]
-		buf := make([]float64, br.n)
+		buf := sc.Floats(br.n)
 		gatherBlock(f.Data, f.Dims, br, buf)
 		sizes := br.size[:len(f.Dims)]
 		if err := forwardBlock(buf, sizes, opt.Transform); err != nil {
+			sc.PutFloats(buf)
 			return err
 		}
 		codes := make([]int, br.n)
@@ -360,6 +371,7 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 			}
 			codes[i] = code
 		}
+		sc.PutFloats(buf)
 		outs[bi] = blockOut{codes: codes, literals: literals}
 		return nil
 	})
@@ -374,7 +386,7 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		literals = append(literals, o.literals...)
 	}
 
-	payload, err := encodePayload(codes, literals, blockEdge(opt), opt.Transform, opt.FlateLevel())
+	payload, err := encodePayload(codes, literals, blockEdge(opt), opt.Transform, opt.FlateLevel(), sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -525,35 +537,48 @@ func Decompress(data []byte) (*field.Field, *codec.Header, error) {
 
 // encodePayload serializes the transform id, block size, Huffman-coded
 // coefficient codes, and literal coefficients (always float64),
-// DEFLATE-compressed.
-func encodePayload(codes []int, literals []float64, blockSize int, tr Transform, level int) ([]byte, error) {
-	hb, err := huffman.Encode(codes)
-	if err != nil {
-		return nil, err
-	}
-	raw := make([]byte, 0, len(hb)+len(literals)*8+16)
+// DEFLATE-compressed. Staging and output buffers plus the DEFLATE writer
+// come from sc (nil = fresh allocations); the returned payload is an
+// exact-size copy that shares no storage with the scratch pools.
+func encodePayload(codes []int, literals []float64, blockSize int, tr Transform, level int, sc *codec.Scratch) ([]byte, error) {
+	raw := sc.Bytes(len(codes)/2 + len(literals)*8 + 64)
 	raw = append(raw, byte(tr))
 	raw = binary.AppendUvarint(raw, uint64(blockSize))
 	raw = binary.AppendUvarint(raw, uint64(len(codes)))
-	raw = append(raw, hb...)
+	hs := sc.Huffman()
+	raw, err := huffman.EncodeScratch(raw, codes, hs)
+	sc.PutHuffman(hs)
+	if err != nil {
+		sc.PutBytes(raw)
+		return nil, err
+	}
 	raw = binary.AppendUvarint(raw, uint64(len(literals)))
 	var tmp [8]byte
 	for _, v := range literals {
 		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
 		raw = append(raw, tmp[:]...)
 	}
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, level)
+	buf := sc.Buffer()
+	fw, err := sc.FlateWriter(buf, level)
 	if err != nil {
+		sc.PutBytes(raw)
+		sc.PutBuffer(buf)
 		return nil, err
 	}
-	if _, err := fw.Write(raw); err != nil {
-		return nil, err
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	sc.PutBytes(raw)
+	if werr == nil {
+		werr = cerr
 	}
-	if err := fw.Close(); err != nil {
-		return nil, err
+	if werr != nil {
+		sc.PutBuffer(buf)
+		return nil, werr
 	}
-	return buf.Bytes(), nil
+	payload := append([]byte(nil), buf.Bytes()...)
+	sc.PutFlateWriter(fw, level)
+	sc.PutBuffer(buf)
+	return payload, nil
 }
 
 func decodePayload(payload []byte) (codes []int, literals []float64, blockSize int, tr Transform, err error) {

@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -21,8 +22,22 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // completion (fn implementations should be cheap to cancel via their own
 // state if that matters).
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: every worker checks ctx before
+// each iteration, so a cancelled context stops the loop within one unit
+// of work per worker and ForEachCtx returns ctx.Err(). Iterations already
+// in flight run to completion; none are abandoned half-done.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -32,6 +47,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -63,6 +81,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
 				if err := fn(i); err != nil {
 					record(err)
 					return

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int32
+	err := ForEachCtx(ctx, 100, 4, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("%d iterations ran under a pre-cancelled context", calls)
+	}
+}
+
+// Cancelling from inside iteration 0 must stop a single-worker loop
+// after exactly that one iteration: one unit of work, no more.
+func TestForEachCtxCancelStopsWithinOneUnit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls int32
+	err := ForEachCtx(ctx, 1000, 1, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("%d iterations ran after cancellation, want 1", calls)
+	}
+}
+
+// With w workers, each may finish the iteration it is in when the
+// context dies, but none may start another: at most w units run after
+// the cancel.
+func TestForEachCtxCancelBoundsParallelWork(t *testing.T) {
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls int32
+	err := ForEachCtx(ctx, 10_000, workers, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > workers {
+		t.Fatalf("%d iterations ran after cancellation, want <= %d", calls, workers)
+	}
+}
+
+// fn errors still win when the context stays live, exactly as ForEach.
+func TestForEachCtxPropagatesFnError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachCtx(context.Background(), 50, 4, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachCtxNilContext(t *testing.T) {
+	var calls int32
+	if err := ForEachCtx(nil, 10, 2, func(i int) error { //nolint:staticcheck // nil ctx tolerated by design
+		atomic.AddInt32(&calls, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("ran %d of 10", calls)
+	}
+}

@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"context"
+
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/core"
 	"fixedpsnr/internal/field"
@@ -24,7 +26,12 @@ const refineMaxPasses = 3
 // returns the final stream, stats, and the absolute bound it settled on.
 // Codecs without MSE measurement (and constant fields) pass through
 // unchanged.
-func Refine(f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *codec.Stats, target, vr float64) ([]byte, *codec.Stats, float64, error) {
+//
+// ctx is checked before every extra compression pass (and threaded into
+// the codec, which checks it between slabs), so a cancelled refinement
+// aborts promptly with ctx.Err(). sc supplies reusable scratch buffers to
+// each pass (nil = allocate fresh).
+func Refine(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *codec.Stats, target, vr float64, sc *codec.Scratch) ([]byte, *codec.Stats, float64, error) {
 	ebAbs := opt.ErrorBound
 	if !c.MeasuresMSE() || !(vr > 0) {
 		return blob, st, ebAbs, nil
@@ -36,6 +43,9 @@ func Refine(f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *c
 		if st.MSE == 0 {
 			break // lossless at this bound; nothing cheaper to try safely
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
 		next, err := core.NextDelta(d0, mse0, d1, mse1, targetMSE)
 		if err != nil {
 			break
@@ -44,7 +54,7 @@ func Refine(f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *c
 			d0, mse0 = d1, mse1
 		}
 		opt.ErrorBound = next / 2
-		nb, nst, nerr := c.Compress(f, opt)
+		nb, nst, nerr := c.Compress(ctx, f, opt, sc)
 		if nerr != nil {
 			return nil, nil, 0, nerr
 		}

@@ -1,6 +1,8 @@
 package sz
 
 import (
+	"context"
+
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
 )
@@ -70,8 +72,8 @@ func (szCodec) IDs() []codec.ID {
 
 func (szCodec) MeasuresMSE() bool { return true }
 
-func (szCodec) Compress(f *field.Field, opt codec.Options) ([]byte, *codec.Stats, error) {
-	return Compress(f, opt)
+func (szCodec) Compress(ctx context.Context, f *field.Field, opt codec.Options, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	return CompressCtx(ctx, f, opt, sc)
 }
 
 func (szCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {

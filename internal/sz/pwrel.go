@@ -3,11 +3,13 @@ package sz
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
 )
 
@@ -32,6 +34,13 @@ import (
 // domain (denormals) are handled like any other: ln|x| is finite for all
 // non-zero floats.
 func CompressPWRel(f *field.Field, ebRel float64, opt Options) ([]byte, *Stats, error) {
+	return CompressPWRelCtx(context.Background(), f, ebRel, opt, nil)
+}
+
+// CompressPWRelCtx is CompressPWRel with cancellation and buffer reuse:
+// ctx and sc are threaded into the inner log-domain Lorenzo compression,
+// and the mask DEFLATE writer comes from the scratch pool.
+func CompressPWRelCtx(ctx context.Context, f *field.Field, ebRel float64, opt Options, sc *codec.Scratch) ([]byte, *Stats, error) {
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -61,13 +70,13 @@ func CompressPWRel(f *field.Field, ebRel float64, opt Options) ([]byte, *Stats, 
 	innerOpt.ErrorBound = ebLog
 	innerOpt.Mode = ModePWRel
 	innerOpt.TargetPSNR = math.NaN()
-	inner, innerStats, err := Compress(logField, innerOpt)
+	inner, innerStats, err := CompressCtx(ctx, logField, innerOpt, sc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sz: pwrel inner compression: %w", err)
 	}
 
 	var maskBuf bytes.Buffer
-	fw, err := flate.NewWriter(&maskBuf, opt.FlateLevel())
+	fw, err := sc.FlateWriter(&maskBuf, opt.FlateLevel())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -80,6 +89,7 @@ func CompressPWRel(f *field.Field, ebRel float64, opt Options) ([]byte, *Stats, 
 	if err := fw.Close(); err != nil {
 		return nil, nil, err
 	}
+	sc.PutFlateWriter(fw, opt.FlateLevel())
 
 	payload := make([]byte, 0, 16+maskBuf.Len()+len(inner))
 	payload = appendFloat64(payload, ebRel)

@@ -28,6 +28,7 @@ package sz
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -55,6 +56,17 @@ const minChunkPoints = 1 << 14
 // Compress compresses the field under the given absolute error bound and
 // returns the encoded stream plus statistics.
 func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
+	return CompressCtx(context.Background(), f, opt, nil)
+}
+
+// CompressCtx is Compress with cancellation and buffer reuse: workers
+// check ctx between slabs (a cancelled context aborts within one slab of
+// work per worker and surfaces ctx.Err()), and the large per-slab
+// transients — quantization codes, the reconstruction buffer, the
+// pre-DEFLATE staging bytes, and the DEFLATE writer — come from scratch
+// when it is non-nil, so a session reusing one scratch across calls stops
+// paying those allocations on the hot path.
+func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scratch) ([]byte, *Stats, error) {
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -94,12 +106,16 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 		sumSq         float64
 	}
 	results := make([]chunkResult, len(bounds))
-	err = parallel.ForEach(len(bounds), opt.Workers, func(c int) error {
+	err = parallel.ForEachCtx(ctx, len(bounds), opt.Workers, func(c int) error {
 		lo, hi := bounds[c][0], bounds[c][1]
 		sub := f.Data[lo*inner : hi*inner]
 		subDims := append([]int{hi - lo}, f.Dims[1:]...)
-		codes, literals, sumSq := compressCore(sub, subDims, q)
-		payload, err := encodeChunk(codes, literals, f.Precision, opt.FlateLevel())
+		codes := sc.Ints(len(sub))
+		recon := sc.Floats(len(sub))
+		literals, sumSq := compressCore(sub, subDims, q, codes, recon)
+		sc.PutFloats(recon)
+		payload, err := encodeChunk(codes, literals, f.Precision, opt.FlateLevel(), sc)
+		sc.PutInts(codes)
 		if err != nil {
 			return fmt.Errorf("sz: chunk %d: %w", c, err)
 		}
@@ -273,14 +289,14 @@ func chunkRowBounds(rows int, opt Options) [][2]int {
 	return out
 }
 
-// compressCore runs prediction + quantization over one slab and returns
-// the quantization codes (one per point; 0 marks a literal), the literal
-// values in scan order, and the exact sum of squared reconstruction
-// errors over the slab (non-finite pointwise errors excluded).
-func compressCore(data []float64, dims []int, q *quantizer.Quantizer) (codes []int, literals []float64, sumSq float64) {
-	n := len(data)
-	codes = make([]int, n)
-	recon := make([]float64, n)
+// compressCore runs prediction + quantization over one slab, filling the
+// caller-supplied codes buffer (one code per point; 0 marks a literal)
+// and using recon as the reconstructed-value working buffer (both must
+// have length len(data); prior contents are ignored and overwritten). It
+// returns the literal values in scan order and the exact sum of squared
+// reconstruction errors over the slab (non-finite pointwise errors
+// excluded).
+func compressCore(data []float64, dims []int, q *quantizer.Quantizer, codes []int, recon []float64) (literals []float64, sumSq float64) {
 	switch len(dims) {
 	case 1:
 		compress1D(data, codes, recon, &literals, q)
@@ -296,7 +312,7 @@ func compressCore(data []float64, dims []int, q *quantizer.Quantizer) (codes []i
 			sumSq += e * e
 		}
 	}
-	return codes, literals, sumSq
+	return literals, sumSq
 }
 
 func quantizeStep(v, pred float64, q *quantizer.Quantizer, literals *[]float64) (code int, recon float64) {
@@ -483,30 +499,44 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 }
 
 // encodeChunk serializes one slab: Huffman-coded quantization codes, then
-// the literal values, DEFLATE-compressed as a whole.
-func encodeChunk(codes []int, literals []float64, prec field.Precision, level int) ([]byte, error) {
-	hb, err := huffman.Encode(codes)
+// the literal values, DEFLATE-compressed as a whole. The staging buffer,
+// output buffer, and DEFLATE writer come from sc (nil = fresh
+// allocations); the returned payload is an exact-size copy that shares no
+// storage with the scratch pools.
+func encodeChunk(codes []int, literals []float64, prec field.Precision, level int, sc *codec.Scratch) ([]byte, error) {
+	raw := sc.Bytes(len(codes)/2 + len(literals)*8 + 64)
+	raw = binary.AppendUvarint(raw, uint64(len(codes)))
+	hs := sc.Huffman()
+	raw, err := huffman.EncodeScratch(raw, codes, hs)
+	sc.PutHuffman(hs)
 	if err != nil {
+		sc.PutBytes(raw)
 		return nil, err
 	}
-	raw := make([]byte, 0, len(hb)+len(literals)*8+16)
-	raw = binary.AppendUvarint(raw, uint64(len(codes)))
-	raw = append(raw, hb...)
 	raw = binary.AppendUvarint(raw, uint64(len(literals)))
 	raw = appendLiterals(raw, literals, prec)
 
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, level)
+	buf := sc.Buffer()
+	fw, err := sc.FlateWriter(buf, level)
 	if err != nil {
+		sc.PutBytes(raw)
+		sc.PutBuffer(buf)
 		return nil, err
 	}
-	if _, err := fw.Write(raw); err != nil {
-		return nil, err
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	sc.PutBytes(raw)
+	if werr == nil {
+		werr = cerr
 	}
-	if err := fw.Close(); err != nil {
-		return nil, err
+	if werr != nil {
+		sc.PutBuffer(buf)
+		return nil, werr
 	}
-	return buf.Bytes(), nil
+	payload := append([]byte(nil), buf.Bytes()...)
+	sc.PutFlateWriter(fw, level)
+	sc.PutBuffer(buf)
+	return payload, nil
 }
 
 // decodeChunk reverses encodeChunk.

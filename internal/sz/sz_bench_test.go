@@ -32,17 +32,21 @@ func BenchmarkCompressCore3D(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	codes := make([]int, f.Len())
+	recon := make([]float64, f.Len())
 	b.SetBytes(int64(f.Len() * 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		compressCore(f.Data, f.Dims, q)
+		compressCore(f.Data, f.Dims, q, codes, recon)
 	}
 }
 
 func BenchmarkDecompressCore3D(b *testing.B) {
 	f := benchField3D(b)
 	q, _ := quantizer.New(1e-4, quantizer.DefaultCapacity)
-	codes, literals, _ := compressCore(f.Data, f.Dims, q)
+	codes := make([]int, f.Len())
+	recon := make([]float64, f.Len())
+	literals, _ := compressCore(f.Data, f.Dims, q, codes, recon)
 	out := make([]float64, f.Len())
 	b.SetBytes(int64(f.Len() * 8))
 	b.ResetTimer()

@@ -227,7 +227,9 @@ func TestEquationOneIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	codes, literals, _ := compressCore(f.Data, f.Dims, q)
+	codes := make([]int, f.Len())
+	work := make([]float64, f.Len())
+	literals, _ := compressCore(f.Data, f.Dims, q, codes, work)
 
 	recon := make([]float64, f.Len())
 	if err := decompressCore(recon, codes, literals, f.Dims, q); err != nil {
@@ -272,7 +274,9 @@ func TestTheoremOneMSEEquality(t *testing.T) {
 	f := randomField(t, "thm1", 0.08, 35, 28)
 	eb := 1e-3
 	q, _ := quantizer.New(eb, 4096)
-	codes, literals, _ := compressCore(f.Data, f.Dims, q)
+	codes := make([]int, f.Len())
+	work := make([]float64, f.Len())
+	literals, _ := compressCore(f.Data, f.Dims, q, codes, work)
 	recon := make([]float64, f.Len())
 	if err := decompressCore(recon, codes, literals, f.Dims, q); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,191 @@
+package fixedpsnr
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/parallel"
+)
+
+// Encoder is a reusable, concurrency-safe compression session: one
+// configuration, validated once, plus pooled scratch state (quantization
+// codes, reconstruction buffers, transform blocks, staging bytes, DEFLATE
+// writers) that is reused across calls so steady-state encoding stops
+// allocating its large transients. A server holds one Encoder per
+// configuration and shares it across request handlers; every method may
+// be called from any number of goroutines concurrently.
+//
+//	enc, err := fixedpsnr.NewEncoder(
+//		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+//		fixedpsnr.WithTargetPSNR(80),
+//	)
+//	stream, res, err := enc.Encode(ctx, f)
+//
+// Every method takes a context.Context: cancellation aborts the
+// compression within one slab/block of work per worker and surfaces
+// ctx.Err().
+//
+// The one-shot Compress remains as a thin wrapper for scripts and tests;
+// it is exactly Encode with context.Background() and no buffer reuse.
+type Encoder struct {
+	opt     Options
+	scratch *codec.Scratch
+}
+
+// Option configures an Encoder (functional options for NewEncoder).
+type Option func(*Options)
+
+// WithMode selects the error-control mode.
+func WithMode(m Mode) Option { return func(o *Options) { o.Mode = m } }
+
+// WithCompressor selects the compression pipeline.
+func WithCompressor(c Compressor) Option { return func(o *Options) { o.Compressor = c } }
+
+// WithCodecName selects a registered pipeline by registry name,
+// overriding WithCompressor — the hook for codecs registered through the
+// public fixedpsnr/codec package.
+func WithCodecName(name string) Option { return func(o *Options) { o.Codec = name } }
+
+// WithErrorBound sets the absolute bound for ModeAbs.
+func WithErrorBound(eb float64) Option { return func(o *Options) { o.ErrorBound = eb } }
+
+// WithRelBound sets the value-range-relative bound for ModeRel.
+func WithRelBound(rel float64) Option { return func(o *Options) { o.RelBound = rel } }
+
+// WithTargetPSNR sets the PSNR target in dB for ModePSNR.
+func WithTargetPSNR(db float64) Option { return func(o *Options) { o.TargetPSNR = db } }
+
+// WithPWRelBound sets the pointwise relative bound for ModePWRel.
+func WithPWRelBound(rel float64) Option { return func(o *Options) { o.PWRelBound = rel } }
+
+// WithCalibrated toggles the calibrated fixed-PSNR refinement loop.
+func WithCalibrated(on bool) Option { return func(o *Options) { o.Calibrated = on } }
+
+// WithCapacity sets the quantization interval count (0 = default).
+func WithCapacity(n int) Option { return func(o *Options) { o.Capacity = n } }
+
+// WithAutoCapacity estimates the capacity from the data (SZ pipeline).
+func WithAutoCapacity(on bool) Option { return func(o *Options) { o.AutoCapacity = on } }
+
+// WithWorkers bounds compression concurrency (0 = all CPUs).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithChunkRows forces the parallel slab height (SZ pipeline).
+func WithChunkRows(n int) Option { return func(o *Options) { o.ChunkRows = n } }
+
+// WithLevel sets the DEFLATE level (0 = fastest).
+func WithLevel(level int) Option { return func(o *Options) { o.Level = level } }
+
+// WithBlockSize sets the transform block edge (transform pipeline).
+func WithBlockSize(n int) Option { return func(o *Options) { o.BlockSize = n } }
+
+// WithOptions replaces the whole option set at once — the migration path
+// from code that already builds an Options value for Compress:
+//
+//	enc, err := fixedpsnr.NewEncoder(fixedpsnr.WithOptions(opt))
+//
+// Later Option arguments still apply on top of it.
+func WithOptions(opt Options) Option { return func(o *Options) { *o = opt } }
+
+// NewEncoder builds a compression session from functional options,
+// validating the configuration once up front. The zero configuration is
+// ModeAbs with no bound — valid only for constant fields — so most
+// callers set at least a mode and its bound.
+func NewEncoder(opts ...Option) (*Encoder, error) {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{opt: o, scratch: codec.NewScratch()}, nil
+}
+
+// Options returns a copy of the session configuration.
+func (e *Encoder) Options() Options { return e.opt }
+
+// Encode compresses one field and returns the self-describing stream
+// plus a result summary. Cancelling ctx aborts the compression within
+// one slab/block of work per worker and returns ctx.Err().
+func (e *Encoder) Encode(ctx context.Context, f *Field) ([]byte, *Result, error) {
+	return compress(ctx, f, e.opt, e.scratch)
+}
+
+// EncodeTo compresses one field and writes the stream to w, for callers
+// that sink straight into a file, socket, or ArchiveWriter without
+// keeping the blob. The bytes written are identical to Encode's.
+func (e *Encoder) EncodeTo(ctx context.Context, w io.Writer, f *Field) (*Result, error) {
+	blob, res, err := e.Encode(ctx, f)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(blob); err != nil {
+		return nil, fmt.Errorf("fixedpsnr: writing stream: %w", err)
+	}
+	return res, nil
+}
+
+// EncodeBatch compresses many fields over one shared worker pool — the
+// snapshot workload: the session's Workers bound caps total concurrency
+// across the batch, each field is compressed single-threaded within it,
+// and all fields share the session's scratch pools. Results are returned
+// per field, in order. The first error (or ctx.Err() on cancellation)
+// aborts the batch; in-flight fields finish, unstarted ones never run.
+func (e *Encoder) EncodeBatch(ctx context.Context, fields []*Field) ([][]byte, []*Result, error) {
+	if len(fields) == 0 {
+		return nil, nil, fmt.Errorf("fixedpsnr: no fields to encode")
+	}
+	perField := e.opt
+	perField.Workers = 1
+	streams := make([][]byte, len(fields))
+	results := make([]*Result, len(fields))
+	err := parallel.ForEachCtx(ctx, len(fields), e.opt.Workers, func(i int) error {
+		blob, res, err := compress(ctx, fields[i], perField, e.scratch)
+		if err != nil {
+			return fmt.Errorf("fixedpsnr: field %q: %w", fields[i].Name, err)
+		}
+		streams[i] = blob
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return streams, results, nil
+}
+
+// Decoder is the decompression session paired with Encoder. Decoding
+// routes by the codec byte in each stream header through the codec
+// registry, so one Decoder reads streams from any registered pipeline.
+// It is stateless and safe for concurrent use.
+type Decoder struct{}
+
+// NewDecoder builds a decompression session.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Decode reconstructs a field from any stream produced by an Encoder (or
+// Compress). A cancelled ctx returns ctx.Err() without touching data.
+func (d *Decoder) Decode(ctx context.Context, data []byte) (*Field, *StreamInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return codec.Decompress(data)
+}
+
+// DecodeFrom reads one complete compressed stream from r and
+// reconstructs the field — the inverse of EncodeTo. The reader is
+// consumed to EOF; framing (knowing where one stream ends when several
+// are concatenated) is the archive container's job, not this method's.
+func (d *Decoder) DecodeFrom(ctx context.Context, r io.Reader) (*Field, *StreamInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fixedpsnr: reading stream: %w", err)
+	}
+	return d.Decode(ctx, data)
+}
