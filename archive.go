@@ -197,6 +197,18 @@ func ExtractField(data []byte, name string) (*Field, *StreamInfo, error) {
 	return ar.Extract(name)
 }
 
+// ExtractRegion decompresses only the sub-block starting at off with
+// extents ext of the named field from an archive: the tail index locates
+// the entry, the entry's chunk table locates the chunks, and only the
+// intersecting chunks are decoded.
+func ExtractRegion(data []byte, name string, off, ext []int) (*Field, *StreamInfo, error) {
+	ar, err := openArchiveBytes(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ar.ExtractRegion(name, off, ext)
+}
+
 // parseArchiveIndex decodes a v2 tail index block.
 func parseArchiveIndex(b []byte, dataEnd int64) ([]archiveEntry, error) {
 	if len(b) < 5 {

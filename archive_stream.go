@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -371,6 +372,52 @@ func (ar *ArchiveReader) Extract(name string) (*Field, *StreamInfo, error) {
 		}
 	}
 	return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
+}
+
+// ExtractRegion decompresses only the sub-block starting at off with
+// extents ext of the named entry. The access is chunk-granular end to
+// end: the tail index locates the entry, the entry's header prefix
+// supplies the chunk table, and only the payload byte ranges of the
+// chunks the region intersects are read from the underlying ReaderAt —
+// on a file-backed archive a small region of a huge field costs a few
+// reads, not an entry scan. Streams without chunk-granular access fall
+// back to reading and decoding the whole entry, then cropping.
+func (ar *ArchiveReader) ExtractRegion(name string, off, ext []int) (*Field, *StreamInfo, error) {
+	for i, e := range ar.entries {
+		if e.name == name {
+			return ar.ExtractRegionAt(i, off, ext)
+		}
+	}
+	return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
+}
+
+// ExtractRegionAt is ExtractRegion by entry index.
+func (ar *ArchiveReader) ExtractRegionAt(i int, off, ext []int) (*Field, *StreamInfo, error) {
+	h, err := ar.Info(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := ar.entries[i]
+	f, err := codec.DecompressRegionFrom(h, func(ci int) ([]byte, error) {
+		ck := h.Chunks[ci]
+		lo := int64(h.PayloadOffset() + ck.Off)
+		if lo+int64(ck.Len) > e.length {
+			return nil, fmt.Errorf("chunk payload [%d,+%d) outside entry of %d bytes", lo, ck.Len, e.length)
+		}
+		return ar.readRange(e.off+lo, int64(ck.Len))
+	}, off, ext)
+	if errors.Is(err, codec.ErrNotChunked) {
+		// Whole-entry fallback for streams without chunk access.
+		full, _, ferr := ar.ExtractAt(i)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		f, err = full.Slice(off, ext)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("fixedpsnr: entry %d (%q): %w", i, e.name, err)
+	}
+	return f, h, nil
 }
 
 // DecompressAll reconstructs every entry, in order, parallelizing across

@@ -1,0 +1,197 @@
+// Command fpsz-chunkbench benchmarks the chunked encoder end to end on a
+// synthetic 3-D field and emits a machine-readable JSON record
+// (BENCH_pr3.json in CI), so the perf trajectory tracks compression
+// ratio, achieved PSNR, encode throughput, and — new with the chunked
+// container — peak memory.
+//
+// The encode runs through Encoder.EncodeFrom with a generator-backed
+// FieldReader: the input field is synthesized row by row and never
+// materialized, which is exactly the out-of-core path the chunked
+// pipeline exists for. The decode + PSNR verification then materializes
+// the field once for comparison.
+//
+// Usage:
+//
+//	fpsz-chunkbench -dims 256x384x384 -psnr 80 -out BENCH_pr3.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"fixedpsnr"
+)
+
+// Record is the JSON benchmark record.
+type Record struct {
+	Name          string  `json:"name"`
+	Dims          []int   `json:"dims"`
+	Points        int     `json:"points"`
+	TargetPSNR    float64 `json:"target_psnr_db"`
+	MeasuredPSNR  float64 `json:"measured_psnr_db"`
+	Ratio         float64 `json:"ratio"`
+	BitRate       float64 `json:"bit_rate"`
+	Chunks        int     `json:"chunks"`
+	ChunkPoints   int     `json:"chunk_points"`
+	EncodeSeconds float64 `json:"encode_seconds"`
+	EncodeMBps    float64 `json:"encode_mb_per_s"`
+	PeakRSSBytes  int64   `json:"peak_rss_bytes"`
+	HeapSysBytes  uint64  `json:"heap_sys_bytes"`
+}
+
+// synthReader generates the benchmark field on the fly: smooth structure
+// (separable trigonometric modes) with a deterministic high-frequency
+// perturbation, single-precision rounded, value range known analytically
+// enough for a declared [-2, 2] envelope.
+type synthReader struct {
+	dims []int
+	pos  int
+	n    int
+}
+
+func synthValue(i int, dims []int) float64 {
+	plane := dims[1] * dims[2]
+	x := i / plane
+	rem := i % plane
+	y := rem / dims[2]
+	z := rem % dims[2]
+	v := math.Sin(float64(x)/17)*math.Cos(float64(y)/23) +
+		0.5*math.Sin(float64(z)/11) +
+		0.05*math.Sin(float64(i)/3)
+	return float64(float32(v))
+}
+
+func (r *synthReader) Spec() (fixedpsnr.FieldSpec, error) {
+	return fixedpsnr.FieldSpec{
+		Name:      "chunkbench",
+		Precision: fixedpsnr.Float32,
+		Dims:      r.dims,
+		Min:       -2,
+		Max:       2,
+		HasRange:  true,
+	}, nil
+}
+
+func (r *synthReader) ReadValues(dst []float64) (int, error) {
+	if r.pos >= r.n {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > r.n-r.pos {
+		n = r.n - r.pos
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = synthValue(r.pos+i, r.dims)
+	}
+	r.pos += n
+	return n, nil
+}
+
+func main() {
+	var (
+		dimsArg     = flag.String("dims", "256x384x384", "synthetic field grid")
+		psnr        = flag.Float64("psnr", 80, "target PSNR in dB")
+		chunkPoints = flag.Int("chunkpoints", fixedpsnr.DefaultChunkPoints, "chunk size in points")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		out         = flag.String("out", "-", "JSON output path (default stdout)")
+	)
+	flag.Parse()
+
+	dims, err := parseDims(*dimsArg)
+	if err != nil {
+		fatal(err)
+	}
+	n := dims[0] * dims[1] * dims[2]
+
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(*psnr),
+		fixedpsnr.WithChunkPoints(*chunkPoints),
+		fixedpsnr.WithWorkers(*workers),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	blob, res, err := enc.EncodeFrom(context.Background(), &synthReader{dims: dims, n: n})
+	if err != nil {
+		fatal(err)
+	}
+	encodeSecs := time.Since(start).Seconds()
+
+	// Verify: decode and compare against the regenerated original.
+	recon, info, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		fatal(err)
+	}
+	orig := fixedpsnr.NewField("chunkbench", fixedpsnr.Float32, dims...)
+	for i := range orig.Data {
+		orig.Data[i] = synthValue(i, dims)
+	}
+	d := fixedpsnr.CompareFields(orig, recon)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := Record{
+		Name:          "chunked_encode_" + *dimsArg,
+		Dims:          dims,
+		Points:        n,
+		TargetPSNR:    *psnr,
+		MeasuredPSNR:  d.PSNR,
+		Ratio:         res.Ratio,
+		BitRate:       res.BitRate,
+		Chunks:        len(info.Chunks),
+		ChunkPoints:   *chunkPoints,
+		EncodeSeconds: encodeSecs,
+		EncodeMBps:    float64(res.OriginalBytes) / (1 << 20) / encodeSecs,
+		PeakRSSBytes:  peakRSSBytes(),
+		HeapSysBytes:  ms.HeapSys,
+	}
+
+	blobJSON, err := json.MarshalIndent([]Record{rec}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blobJSON = append(blobJSON, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blobJSON)
+		return
+	}
+	if err := os.WriteFile(*out, blobJSON, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %.2f dB (target %g), ratio %.2f, %.1f MB/s, peak RSS %.1f MB -> %s\n",
+		rec.Name, rec.MeasuredPSNR, rec.TargetPSNR, rec.Ratio, rec.EncodeMBps,
+		float64(rec.PeakRSSBytes)/(1<<20), *out)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("dims %q: want 3 dimensions", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("dims %q: bad dimension %q", s, p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpsz-chunkbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package main
+
+// peakRSSBytes is unavailable on this platform; the JSON record carries
+// 0 and consumers fall back to heap_sys_bytes.
+func peakRSSBytes() int64 { return 0 }

@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package main
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSBytes reports the process's peak resident set size via
+// getrusage. Linux reports ru_maxrss in kilobytes, Darwin in bytes.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	if runtime.GOOS == "darwin" {
+		return ru.Maxrss
+	}
+	return ru.Maxrss * 1024
+}

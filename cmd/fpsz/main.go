@@ -26,6 +26,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"fixedpsnr"
@@ -53,7 +55,7 @@ func main() {
 		err = compress(ctx, os.Args[2:])
 	case "decompress":
 		err = decompress(os.Args[2:])
-	case "inspect":
+	case "inspect", "info":
 		err = inspect(os.Args[2:])
 	case "verify":
 		err = verify(os.Args[2:])
@@ -87,7 +89,8 @@ func usage() {
   fpsz verify     -in <stream.fpsz> -orig <field.sdf>
   fpsz archive    -dir <dir-of-sdf> -out <snapshot.fpsa> [-psnr <dB>]
   fpsz list       -in <snapshot.fpsa>
-  fpsz extract    -in <snapshot.fpsa> -field <name> -out <field.sdf>`)
+  fpsz extract    -in <snapshot.fpsa> -field <name> -out <field.sdf> [-region off:ext,...]
+  fpsz info       alias of inspect; -chunks prints the per-chunk index`)
 	os.Exit(2)
 }
 
@@ -104,6 +107,7 @@ func compress(ctx context.Context, args []string) error {
 		autoCap    = fs.Bool("autocap", false, "estimate capacity from the data")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		level      = fs.Int("level", 0, "DEFLATE level (0 = fastest)")
+		chunkPts   = fs.Int("chunkpoints", 0, "target chunk size in points for random-access streams (0 = default tiling)")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -120,6 +124,7 @@ func compress(ctx context.Context, args []string) error {
 		AutoCapacity: *autoCap,
 		Workers:      *workers,
 		Level:        *level,
+		ChunkPoints:  *chunkPts,
 	}
 	switch *compressor {
 	case "sz":
@@ -194,6 +199,7 @@ func decompress(args []string) error {
 func inspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("in", "", "compressed stream")
+	chunksFlag := fs.Bool("chunks", false, "also print the per-chunk index (rows, offsets, stats)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("inspect: -in is required")
@@ -207,6 +213,7 @@ func inspect(args []string) error {
 		return err
 	}
 	fmt.Printf("name:        %s\n", h.Name)
+	fmt.Printf("version:     %d\n", h.Version)
 	fmt.Printf("codec:       %v\n", h.Codec)
 	fmt.Printf("mode:        %v\n", h.Mode)
 	fmt.Printf("precision:   %v\n", h.Precision)
@@ -215,8 +222,20 @@ func inspect(args []string) error {
 	fmt.Printf("target PSNR: %g dB\n", h.TargetPSNR)
 	fmt.Printf("value range: %g\n", h.ValueRange)
 	fmt.Printf("capacity:    %d\n", h.Capacity)
-	fmt.Printf("chunks:      %d\n", len(h.ChunkLens))
+	fmt.Printf("chunks:      %d\n", len(h.Chunks))
 	fmt.Printf("stream size: %d bytes\n", len(blob))
+	if *chunksFlag {
+		fmt.Printf("%5s %10s %10s %10s %10s %12s %12s\n",
+			"chunk", "rows", "offset", "bytes", "ebAbs", "mse", "range")
+		for ci, c := range h.Chunks {
+			eb := c.EbAbs
+			if eb == 0 {
+				eb = h.EbAbs
+			}
+			fmt.Printf("%5d %4d+%-5d %10d %10d %10.4g %12.6g %12.6g\n",
+				ci, c.RowStart, c.Rows, c.Off, c.Len, eb, c.MSE, c.Max-c.Min)
+		}
+	}
 	return nil
 }
 
@@ -266,10 +285,11 @@ func verify(args []string) error {
 func archive(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("archive", flag.ExitOnError)
 	var (
-		dir     = fs.String("dir", "", "directory of .sdf field files")
-		out     = fs.String("out", "", "output archive (.fpsa)")
-		psnr    = fs.Float64("psnr", 80, "target PSNR in dB")
-		workers = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		dir      = fs.String("dir", "", "directory of .sdf field files")
+		out      = fs.String("out", "", "output archive (.fpsa)")
+		psnr     = fs.Float64("psnr", 80, "target PSNR in dB")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		chunkPts = fs.Int("chunkpoints", 0, "target chunk size in points for random-access streams (0 = default tiling)")
 	)
 	fs.Parse(args)
 	if *dir == "" || *out == "" {
@@ -309,6 +329,7 @@ func archive(ctx context.Context, args []string) error {
 		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
 		fixedpsnr.WithTargetPSNR(*psnr),
 		fixedpsnr.WithWorkers(*workers),
+		fixedpsnr.WithChunkPoints(*chunkPts),
 	)
 	if err != nil {
 		return err
@@ -378,14 +399,17 @@ func list(args []string) error {
 	return nil
 }
 
-// extract pulls one field out of an archive. On a v2 archive this reads
-// only the tail index and the requested entry, however large the archive.
+// extract pulls one field — or, with -region, one sub-block of it — out
+// of an archive. On a v2 archive this reads only the tail index and the
+// requested entry; with -region on a chunked stream, only the entry's
+// header and the chunks the region intersects are read.
 func extract(args []string) error {
 	fs := flag.NewFlagSet("extract", flag.ExitOnError)
 	var (
-		in       = fs.String("in", "", "archive file (.fpsa)")
-		fieldArg = fs.String("field", "", "field name")
-		out      = fs.String("out", "", "output field file (.sdf)")
+		in        = fs.String("in", "", "archive file (.fpsa)")
+		fieldArg  = fs.String("field", "", "field name")
+		out       = fs.String("out", "", "output field file (.sdf)")
+		regionArg = fs.String("region", "", `sub-block "off:ext[,off:ext...]" per dimension, e.g. 10:4,0:384,0:384`)
 	)
 	fs.Parse(args)
 	if *in == "" || *fieldArg == "" || *out == "" {
@@ -396,13 +420,44 @@ func extract(args []string) error {
 		return err
 	}
 	defer ar.Close()
-	f, _, err := ar.Extract(*fieldArg)
-	if err != nil {
-		return err
+	var f *fixedpsnr.Field
+	if *regionArg != "" {
+		off, ext, err := parseRegion(*regionArg)
+		if err != nil {
+			return fmt.Errorf("extract: %w", err)
+		}
+		f, _, err = ar.ExtractRegion(*fieldArg, off, ext)
+		if err != nil {
+			return err
+		}
+	} else {
+		f, _, err = ar.Extract(*fieldArg)
+		if err != nil {
+			return err
+		}
 	}
 	if err := fieldio.WriteFile(*out, f); err != nil {
 		return err
 	}
 	fmt.Printf("extracted %s %v -> %s\n", f.Name, f.Dims, *out)
 	return nil
+}
+
+// parseRegion parses "off:ext,off:ext,..." into offset and extent
+// vectors.
+func parseRegion(s string) (off, ext []int, err error) {
+	for _, part := range strings.Split(s, ",") {
+		o, e, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("region %q: want off:ext per dimension", s)
+		}
+		ov, err1 := strconv.Atoi(strings.TrimSpace(o))
+		ev, err2 := strconv.Atoi(strings.TrimSpace(e))
+		if err1 != nil || err2 != nil || ov < 0 || ev <= 0 {
+			return nil, nil, fmt.Errorf("region %q: bad component %q", s, part)
+		}
+		off = append(off, ov)
+		ext = append(ext, ev)
+	}
+	return off, ext, nil
 }

@@ -35,6 +35,14 @@ import (
 type (
 	// Codec is one compression pipeline behind the registry.
 	Codec = icodec.Codec
+	// ChunkCodec is the optional interface of pipelines that compress
+	// and decompress one row-slab chunk at a time, unlocking streaming
+	// encodes, region decodes, and selective recompression.
+	ChunkCodec = icodec.ChunkCodec
+	// ChunkInfo is one entry of a chunked stream's per-chunk index.
+	ChunkInfo = icodec.ChunkInfo
+	// ChunkStats is the per-chunk outcome a ChunkCodec reports.
+	ChunkStats = icodec.ChunkStats
 	// ID is the stream codec byte recorded in every header.
 	ID = icodec.ID
 	// Header is the self-describing stream header.

@@ -1,0 +1,317 @@
+package fixedpsnr
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/parallel"
+	"fixedpsnr/internal/plan"
+	"fixedpsnr/internal/quantizer"
+)
+
+// FieldSpec describes a field whose values arrive incrementally through
+// a FieldReader: everything the encoder must know before the first value.
+type FieldSpec struct {
+	// Name identifies the field.
+	Name string
+	// Precision is the storage precision of the values.
+	Precision Precision
+	// Dims holds the grid dimensions, slowest-varying first (rank 1–3).
+	Dims []int
+	// Min and Max are the field's value range when known. HPC writers
+	// usually have it (simulation outputs carry min/max attributes);
+	// ModeRel and ModePSNR require it, because the relative bound and
+	// the Eq. 8 bound are derived from the range before any value is
+	// read. ModeAbs works without it.
+	Min, Max float64
+	// HasRange reports whether Min/Max are meaningful.
+	HasRange bool
+}
+
+// FieldReader supplies a field's values incrementally, in row-major
+// order, so the streaming encoder never needs the whole field in memory.
+// Implementations are read exactly once, front to back.
+type FieldReader interface {
+	// Spec returns the field's metadata. It is called once, before any
+	// values are read.
+	Spec() (FieldSpec, error)
+	// ReadValues fills dst with the next values in row-major order and
+	// returns how many were written (any number ≥ 1 while values
+	// remain). It returns io.EOF — with 0 — once the field's
+	// Dims-implied point count has been delivered.
+	ReadValues(dst []float64) (int, error)
+}
+
+// fieldDataReader adapts an in-memory Field to the FieldReader
+// interface; its Spec carries the measured value range.
+type fieldDataReader struct {
+	f   *Field
+	pos int
+}
+
+// NewFieldReader wraps an in-memory field as a FieldReader (its value
+// range is measured up front), so code paths built on EncodeFrom also
+// accept fields that happen to fit in memory.
+func NewFieldReader(f *Field) FieldReader { return &fieldDataReader{f: f} }
+
+func (r *fieldDataReader) Spec() (FieldSpec, error) {
+	if err := r.f.Validate(); err != nil {
+		return FieldSpec{}, err
+	}
+	min, max, _ := r.f.ValueRange()
+	return FieldSpec{
+		Name:      r.f.Name,
+		Precision: r.f.Precision,
+		Dims:      append([]int(nil), r.f.Dims...),
+		Min:       min,
+		Max:       max,
+		HasRange:  true,
+	}, nil
+}
+
+func (r *fieldDataReader) ReadValues(dst []float64) (int, error) {
+	if r.pos >= len(r.f.Data) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.f.Data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// EncodeFrom compresses a field that streams through fr chunk by chunk:
+// rows are read into a bounded window of chunk buffers and compressed
+// concurrently, so peak memory is O(chunk size × workers) rather than
+// O(field) — the out-of-core encode path for fields larger than RAM. The
+// output is a standard chunked stream, byte-compatible with Encode's
+// given the same chunk tiling.
+//
+// Constraints that follow from single-pass streaming: ModeRel and
+// ModePSNR need the value range up front (FieldSpec.HasRange), because
+// the bound is derived from it before the first value arrives; ModePWRel
+// and AutoCapacity need the whole field and are rejected; the Calibrated
+// refinement would need to re-read the input and is ignored. The chunk
+// size comes from ChunkPoints (DefaultChunkPoints when zero); ChunkRows
+// overrides it.
+func (e *Encoder) EncodeFrom(ctx context.Context, fr FieldReader) ([]byte, *Result, error) {
+	opt := e.opt
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if opt.Mode == ModePWRel {
+		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support ModePWRel (needs the whole field)")
+	}
+	if opt.AutoCapacity {
+		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support AutoCapacity (needs the whole field)")
+	}
+	spec, err := fr.Spec()
+	if err != nil {
+		return nil, nil, fmt.Errorf("fixedpsnr: field spec: %w", err)
+	}
+	if len(spec.Dims) == 0 || len(spec.Dims) > 3 {
+		return nil, nil, fmt.Errorf("fixedpsnr: unsupported rank %d (want 1..3)", len(spec.Dims))
+	}
+	for _, d := range spec.Dims {
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("fixedpsnr: non-positive dimension %d in %v", d, spec.Dims)
+		}
+	}
+	vr := 0.0
+	if spec.HasRange {
+		vr = spec.Max - spec.Min
+	}
+	if (opt.Mode == ModeRel || opt.Mode == ModePSNR) && !spec.HasRange {
+		return nil, nil, fmt.Errorf("fixedpsnr: %v needs FieldSpec.HasRange — the bound derives from the value range before any value is read", opt.Mode)
+	}
+	if opt.Mode == ModeAbs && !(opt.ErrorBound > 0) && !(spec.HasRange && vr == 0) {
+		return nil, nil, fmt.Errorf("fixedpsnr: ModeAbs requires a positive ErrorBound")
+	}
+
+	res, err := plan.Request{
+		Mode:       opt.Mode,
+		ErrorBound: opt.ErrorBound,
+		RelBound:   opt.RelBound,
+		TargetPSNR: opt.TargetPSNR,
+		PWRelBound: opt.PWRelBound,
+	}.Resolve(vr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if spec.HasRange && vr == 0 {
+		return encodeConstantFrom(fr, spec, opt, res)
+	}
+
+	name := opt.codecName()
+	c, ok := codec.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("fixedpsnr: codec %q is not registered", name)
+	}
+	cc, ok := c.(codec.ChunkCodec)
+	if !ok {
+		return nil, nil, fmt.Errorf("fixedpsnr: codec %q cannot compress chunk-by-chunk: %w", name, codec.ErrNotChunked)
+	}
+	if name != "sz" && name != "otc" {
+		// EncodeFrom assembles the container itself and must stamp the
+		// stream ID the chunks decode under; custom pipelines own their
+		// IDs and go through Encode.
+		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom supports the built-in pipelines, not %q", name)
+	}
+
+	copt := opt.codecOptions(res, vr)
+	if copt.ChunkPoints == 0 && copt.ChunkRows == 0 {
+		copt.ChunkPoints = DefaultChunkPoints
+	}
+	// The codec's own planner (otc aligns chunks to its block edge) must
+	// drive the tiling so EncodeFrom stays byte-identical to Encode.
+	spans := codec.PlanChunkSpans(cc, spec.Dims, copt)
+	inner := 1
+	for _, d := range spec.Dims[1:] {
+		inner *= d
+	}
+
+	payloads := make([][]byte, len(spans))
+	chunks := make([]codec.ChunkInfo, len(spans))
+	// The Group's semaphore is the bounded window: the reader blocks in
+	// Go once `workers` chunks are in flight, so at most workers+1 chunk
+	// buffers exist at any moment, all drawn from the session's pools.
+	g := parallel.NewGroup(opt.Workers)
+	for ci := range spans {
+		if err := ctx.Err(); err != nil {
+			g.Wait()
+			return nil, nil, err
+		}
+		if g.Err() != nil {
+			break
+		}
+		rows := spans[ci][1] - spans[ci][0]
+		buf := e.scratch.Floats(rows * inner)
+		if err := readFull(fr, buf); err != nil {
+			g.Wait()
+			return nil, nil, fmt.Errorf("fixedpsnr: reading chunk %d: %w", ci, err)
+		}
+		ci := ci
+		g.Go(func() error {
+			defer e.scratch.PutFloats(buf)
+			dims := append([]int{rows}, spec.Dims[1:]...)
+			payload, cst, err := cc.CompressChunk(ctx, buf, dims, spec.Precision, copt, e.scratch)
+			if err != nil {
+				return fmt.Errorf("fixedpsnr: chunk %d: %w", ci, err)
+			}
+			payloads[ci] = payload
+			chunks[ci] = codec.ChunkInfo{
+				Rows:          rows,
+				Unpredictable: cst.Unpredictable,
+				MSE:           cst.MSE,
+				Min:           cst.Min,
+				Max:           cst.Max,
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, nil, err
+	}
+
+	h := &codec.Header{
+		Codec:      streamIDFor(name),
+		Precision:  spec.Precision,
+		Mode:       res.StreamMode,
+		Name:       spec.Name,
+		Dims:       append([]int(nil), spec.Dims...),
+		EbAbs:      res.EbAbs,
+		TargetPSNR: res.TargetPSNR,
+		ValueRange: vr,
+		Capacity:   copt.Capacity,
+		Chunks:     chunks,
+	}
+	if h.Capacity == 0 {
+		h.Capacity = quantizer.DefaultCapacity
+	}
+	out, err := codec.AssembleStream(h, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	npts := h.NPoints()
+	st := codec.StatsFromChunks(h, len(out), npts*spec.Precision.Bytes())
+	return out, resultFromStats(st, res.EbAbs, res.EbRel, res.TargetPSNR, res.EstimatedPSNR), nil
+}
+
+// streamIDFor maps a built-in registry name to the stream ID its chunked
+// streams carry. Custom ChunkCodecs are reached through Encode (they
+// produce their own headers); EncodeFrom assembles the container itself
+// and supports the built-in pipelines.
+func streamIDFor(name string) codec.ID {
+	if name == "otc" {
+		return codec.IDOTC
+	}
+	return codec.IDLorenzo
+}
+
+// readFull fills buf completely from fr.
+func readFull(fr FieldReader, buf []float64) error {
+	for off := 0; off < len(buf); {
+		n, err := fr.ReadValues(buf[off:])
+		off += n
+		if err != nil {
+			if err == io.EOF && off == len(buf) {
+				return nil
+			}
+			if err == io.EOF {
+				return fmt.Errorf("short field: %w", io.ErrUnexpectedEOF)
+			}
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("reader returned no data without error")
+		}
+	}
+	return nil
+}
+
+// encodeConstantFrom handles the zero-range case: the stream is a
+// constant header carrying the first value; the reader is drained to
+// honor the read-once contract.
+func encodeConstantFrom(fr FieldReader, spec FieldSpec, opt Options, res plan.Resolution) ([]byte, *Result, error) {
+	var first [1]float64
+	n, err := fr.ReadValues(first[:])
+	if err != nil && err != io.EOF {
+		return nil, nil, err
+	}
+	if n == 0 {
+		first[0] = spec.Min
+	}
+	// Drain the remainder so the reader's stream position is consistent.
+	sink := make([]float64, 4096)
+	for {
+		_, err := fr.ReadValues(sink)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	h := &codec.Header{
+		Codec:      codec.IDConstant,
+		Precision:  spec.Precision,
+		Mode:       res.StreamMode,
+		Name:       spec.Name,
+		Dims:       append([]int(nil), spec.Dims...),
+		ConstValue: first[0],
+	}
+	out := h.Marshal()
+	npts := h.NPoints()
+	st := &codec.Stats{
+		OriginalBytes:   npts * spec.Precision.Bytes(),
+		CompressedBytes: len(out),
+		NPoints:         npts,
+		Chunks:          1,
+	}
+	if len(out) > 0 {
+		st.Ratio = float64(st.OriginalBytes) / float64(len(out))
+		st.BitRate = 8 * float64(len(out)) / float64(npts)
+	}
+	return out, resultFromStats(st, res.EbAbs, res.EbRel, res.TargetPSNR, res.EstimatedPSNR), nil
+}

@@ -44,8 +44,11 @@ func (storeCodec) Compress(ctx context.Context, f *codec.Field, opt codec.Option
 		TargetPSNR: math.NaN(),
 		ValueRange: opt.ValueRange,
 		Capacity:   4, // container minimum; unused by this pipeline
-		ChunkLens:  []int{8 * f.Len()},
-		ChunkRows:  []int{f.Dims[0]},
+		Chunks: []codec.ChunkInfo{{
+			Rows: f.Dims[0],
+			Len:  8 * f.Len(),
+			MSE:  0, // lossless
+		}},
 	}
 	out := h.Marshal()
 	for _, v := range f.Data {

@@ -9,8 +9,11 @@
 //     and archives out;
 //   - internal/plan — error-control planning: every mode is converted to
 //     the absolute bound a codec runs with (Eq. 8 for fixed PSNR), plus
-//     the calibrated refinement loop;
-//   - internal/codec — the codec registry and shared stream container;
+//     the calibrated refinement loop (chunk-aware: the global MSE is
+//     aggregated from per-chunk MSEs and only stale chunks recompress);
+//   - internal/codec — the codec registry and the shared chunked stream
+//     container (per-chunk index with offsets and statistics, enabling
+//     random-access region decodes and bounded-memory streaming);
 //   - internal/sz and internal/otc — the registered pipelines: an
 //     SZ-style prediction-based compressor (Lorenzo predictor,
 //     error-controlled uniform quantization, Huffman, DEFLATE) and a
@@ -30,8 +33,10 @@
 // The primary API is the session pair Encoder/Decoder: reusable,
 // concurrency-safe objects built with functional options that thread a
 // context.Context through the pipelines (cancellation aborts within one
-// slab of work), reuse pooled scratch buffers across calls, and offer
-// io.Writer/io.Reader streaming plus batch compression:
+// chunk of work), reuse pooled scratch buffers across calls, and offer
+// io.Writer/io.Reader streaming, batch compression, bounded-memory
+// streaming encodes (EncodeFrom), and random-access region decodes
+// (DecodeRegion) over the chunked container:
 //
 //	enc, err := fixedpsnr.NewEncoder(
 //		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
@@ -102,6 +107,20 @@ func CompareFields(orig, recon *Field) Distortion {
 
 // StreamInfo describes a compressed stream's header.
 type StreamInfo = codec.Header
+
+// ChunkInfo is one entry of a chunked stream's per-chunk index: the rows
+// it covers, where its payload lives, and the statistics (exact MSE,
+// value range) measured when it was compressed.
+type ChunkInfo = codec.ChunkInfo
+
+// Chunked-container sizing (see Options.ChunkPoints).
+const (
+	// MinChunkPoints is the smallest accepted ChunkPoints value.
+	MinChunkPoints = codec.MinChunkPoints
+	// DefaultChunkPoints is the chunk size EncodeFrom uses when
+	// ChunkPoints is zero.
+	DefaultChunkPoints = codec.DefaultChunkPoints
+)
 
 // Plan is the bound derivation produced by fixed-PSNR planning.
 type Plan = core.Plan
@@ -210,8 +229,23 @@ type Options struct {
 	AutoCapacity bool
 	// Workers bounds compression concurrency (0 = all CPUs).
 	Workers int
-	// ChunkRows forces the parallel slab height (SZ pipeline).
+	// ChunkRows forces the chunk height (rows along the slowest
+	// dimension); zero defers to ChunkPoints.
 	ChunkRows int
+	// ChunkPoints is the target chunk size in points for the chunked
+	// container: the field is tiled into ChunkPoints-sized row slabs
+	// along the slowest dimension, each independently decodable, which
+	// is what DecodeRegion, archive ExtractRegion, and the streaming
+	// EncodeFrom are built on. Zero keeps a Workers-derived tiling for
+	// in-memory encodes (and DefaultChunkPoints for EncodeFrom).
+	//
+	// ChunkPoints interacts with Capacity: every chunk carries its own
+	// Huffman table over [0, Capacity) plus a chunk-table entry, so the
+	// per-chunk overhead grows with Capacity while the payload shrinks
+	// with the chunk. Values below MinChunkPoints (16384) are rejected —
+	// below that floor the fixed overhead dominates even at the default
+	// capacity.
+	ChunkPoints int
 	// Level is the DEFLATE level (0 = fastest).
 	Level int
 	// BlockSize is the transform block edge (transform pipeline).
@@ -272,6 +306,13 @@ func (opt Options) Validate() error {
 	if opt.BlockSize < 0 || opt.BlockSize > 1<<20 {
 		return fmt.Errorf("fixedpsnr: BlockSize %d outside [0, 2^20]", opt.BlockSize)
 	}
+	// Each chunk pays a Huffman table sized by Capacity plus a chunk-table
+	// entry; below MinChunkPoints that fixed overhead dominates the
+	// payload (see the ChunkPoints field docs for the Capacity
+	// interaction).
+	if opt.ChunkPoints != 0 && opt.ChunkPoints < MinChunkPoints {
+		return fmt.Errorf("fixedpsnr: ChunkPoints %d below minimum %d (0 selects the default)", opt.ChunkPoints, MinChunkPoints)
+	}
 	if opt.Level != 0 && (opt.Level < flate.HuffmanOnly || opt.Level > flate.BestCompression) {
 		return fmt.Errorf("fixedpsnr: DEFLATE Level %d outside [%d, %d]", opt.Level, flate.HuffmanOnly, flate.BestCompression)
 	}
@@ -296,6 +337,7 @@ func (opt Options) codecOptions(res plan.Resolution, vr float64) codec.Options {
 		AutoCapacity: opt.AutoCapacity,
 		Workers:      opt.Workers,
 		ChunkRows:    opt.ChunkRows,
+		ChunkPoints:  opt.ChunkPoints,
 		Level:        opt.Level,
 		BlockSize:    opt.BlockSize,
 		Transform:    opt.Compressor.transform(),
@@ -455,6 +497,18 @@ func CompressFixedPSNR(f *Field, targetPSNR float64) ([]byte, *Result, error) {
 // here the moment they register.
 func Decompress(data []byte) (*Field, *StreamInfo, error) {
 	return codec.Decompress(data)
+}
+
+// DecompressRegion reconstructs only the axis-aligned sub-block starting
+// at off with extents ext (one entry per dimension) from a compressed
+// stream. On chunked (version 3) streams only the chunks the region's
+// row window intersects are decoded, so the cost scales with the region,
+// not the field; the result is byte-identical to slicing a full
+// Decompress. Streams without chunk-granular access (legacy
+// single-payload, pointwise-relative, custom codecs) fall back to a full
+// decode plus crop.
+func DecompressRegion(data []byte, off, ext []int) (*Field, *StreamInfo, error) {
+	return codec.DecompressRegion(data, off, ext)
 }
 
 // Inspect parses a stream header without decompressing the payload.

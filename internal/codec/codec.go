@@ -19,6 +19,7 @@ package codec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,6 +51,40 @@ type Codec interface {
 	Compress(ctx context.Context, f *field.Field, opt Options, scratch *Scratch) ([]byte, *Stats, error)
 	Decompress(data []byte) (*field.Field, *Header, error)
 }
+
+// ChunkCodec is the optional interface of pipelines that operate one
+// row-slab chunk at a time. It is what the chunked container's advanced
+// paths are built on: the streaming encoder (bounded-memory EncodeFrom)
+// compresses chunks as they arrive, region decoding touches only the
+// chunks a request intersects, and the calibrated fixed-PSNR refinement
+// recompresses only the chunks whose error contribution is stale.
+//
+// Both built-in pipelines implement it. A registered Codec that does not
+// is still fully usable through Compress/Decompress; the chunk-granular
+// entry points fall back to whole-field operation (region decodes crop a
+// full reconstruction) or report ErrNotChunked (streaming encode).
+type ChunkCodec interface {
+	Codec
+	// CompressChunk compresses one chunk: data holds the chunk's values
+	// in row-major order and dims are the chunk's dimensions (dims[0] is
+	// the chunk's row extent; the rest match the field). opt carries the
+	// resolved configuration — in particular ErrorBound and Capacity are
+	// final (no AutoCapacity resolution happens at chunk level). The
+	// returned payload must be decodable by DecompressChunk.
+	CompressChunk(ctx context.Context, data []float64, dims []int, prec field.Precision, opt Options, scratch *Scratch) ([]byte, ChunkStats, error)
+	// DecompressChunk reverses CompressChunk: payload is chunk ci's
+	// payload bytes (exactly h.Chunks[ci].Len of them), h the parsed
+	// stream header, and dst the chunk's destination values
+	// (h.ChunkPoints(ci) of them). It returns ErrNotChunked for stream
+	// IDs the pipeline cannot decode chunk-by-chunk.
+	DecompressChunk(payload []byte, h *Header, ci int, dst []float64) error
+}
+
+// ErrNotChunked reports that a stream cannot be decoded chunk by chunk
+// (its codec is not a ChunkCodec, or the stream ID is one the pipeline
+// only decodes whole, like the log-domain pointwise-relative streams).
+// Region decoding falls back to a full decode plus crop when it sees it.
+var ErrNotChunked = errors.New("codec: stream does not support chunk-granular access")
 
 var (
 	regMu  sync.RWMutex

@@ -165,8 +165,10 @@ func TestHeaderMarshalParseRoundTrip(t *testing.T) {
 		TargetPSNR: 64,
 		ValueRange: 2.5,
 		Capacity:   1024,
-		ChunkLens:  []int{9, 11},
-		ChunkRows:  []int{2, 2},
+		Chunks: []codec.ChunkInfo{
+			{Rows: 2, Off: 0, Len: 9, Unpredictable: 3, EbAbs: 0, MSE: 2.5e-7, Min: -1, Max: 1.5},
+			{Rows: 2, Off: 9, Len: 11, Unpredictable: 0, EbAbs: 5e-4, MSE: 1e-7, Min: 0, Max: 0.5},
+		},
 	}
 	raw := append(h.Marshal(), make([]byte, 20)...) // payload space
 	g, err := codec.ParseHeader(raw)
@@ -178,10 +180,113 @@ func TestHeaderMarshalParseRoundTrip(t *testing.T) {
 		g.ValueRange != h.ValueRange || g.Capacity != h.Capacity {
 		t.Fatalf("round trip mismatch: %+v vs %+v", g, h)
 	}
+	if g.Version != codec.Version {
+		t.Fatalf("Version = %d, want %d", g.Version, codec.Version)
+	}
+	if len(g.Chunks) != 2 {
+		t.Fatalf("Chunks = %d, want 2", len(g.Chunks))
+	}
+	for i := range g.Chunks {
+		want := h.Chunks[i]
+		want.RowStart = i * 2
+		if g.Chunks[i] != want {
+			t.Fatalf("chunk %d = %+v, want %+v", i, g.Chunks[i], want)
+		}
+	}
+	if g.ChunkBound(0) != h.EbAbs || g.ChunkBound(1) != 5e-4 {
+		t.Fatalf("ChunkBound = %g, %g", g.ChunkBound(0), g.ChunkBound(1))
+	}
 	if g.NPoints() != 4*6*8 {
 		t.Fatalf("NPoints = %d", g.NPoints())
 	}
 	if g.PayloadOffset() != len(raw)-20 {
 		t.Fatalf("PayloadOffset = %d, want %d", g.PayloadOffset(), len(raw)-20)
+	}
+	// The aggregate is the point-weighted mean of the chunk MSEs; both
+	// chunks cover the same point count here.
+	if agg := g.AggregateMSE(); math.Abs(agg-(2.5e-7+1e-7)/2) > 1e-20 {
+		t.Fatalf("AggregateMSE = %g", agg)
+	}
+}
+
+func TestHeaderLegacyVersionsReadable(t *testing.T) {
+	h := &codec.Header{
+		Codec:      codec.IDLorenzo,
+		Precision:  field.Float64,
+		Mode:       codec.ModeAbs,
+		Name:       "legacy",
+		Dims:       []int{6, 10},
+		EbAbs:      1e-3,
+		TargetPSNR: math.NaN(),
+		ValueRange: 1,
+		Capacity:   65536,
+		Chunks: []codec.ChunkInfo{
+			{Rows: 3, Len: 7},
+			{Rows: 3, Len: 5},
+		},
+	}
+	for _, version := range []byte{codec.VersionLegacy, codec.VersionLegacy2} {
+		raw, err := h.MarshalLegacy(version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, make([]byte, 12)...) // payload space
+		g, err := codec.ParseHeader(raw)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if g.Version != version {
+			t.Fatalf("Version = %d, want %d", g.Version, version)
+		}
+		if len(g.Chunks) != 2 ||
+			g.Chunks[0].Rows != 3 || g.Chunks[0].Off != 0 || g.Chunks[0].Len != 7 ||
+			g.Chunks[1].Off != 7 || g.Chunks[1].RowStart != 3 {
+			t.Fatalf("v%d chunks = %+v", version, g.Chunks)
+		}
+		// Legacy chunk statistics are unmeasured.
+		if !math.IsNaN(g.Chunks[0].MSE) || !math.IsNaN(g.AggregateMSE()) {
+			t.Fatalf("v%d: legacy chunk MSE should be NaN", version)
+		}
+	}
+	// Per-chunk bounds are unrepresentable in the legacy layout.
+	h.Chunks[1].EbAbs = 1e-4
+	if _, err := h.MarshalLegacy(codec.VersionLegacy); err == nil {
+		t.Fatal("MarshalLegacy accepted a per-chunk bound")
+	}
+	if _, err := h.MarshalLegacy(7); err == nil {
+		t.Fatal("MarshalLegacy accepted version 7")
+	}
+}
+
+func TestParseHeaderRejectsBadChunkTables(t *testing.T) {
+	mk := func(mut func(h *codec.Header)) []byte {
+		h := &codec.Header{
+			Codec: codec.IDLorenzo, Precision: field.Float64, Name: "bad",
+			Dims: []int{8, 4}, EbAbs: 1e-3, TargetPSNR: math.NaN(),
+			ValueRange: 1, Capacity: 65536,
+			Chunks: []codec.ChunkInfo{{Rows: 4, Off: 0, Len: 6}, {Rows: 4, Off: 6, Len: 6}},
+		}
+		mut(h)
+		return append(h.Marshal(), make([]byte, 64)...)
+	}
+	cases := map[string]func(h *codec.Header){
+		"overlapping payloads": func(h *codec.Header) { h.Chunks[1].Off = 3 },
+		"rows exceed dims":     func(h *codec.Header) { h.Chunks[1].Rows = 40 },
+		"rows fall short":      func(h *codec.Header) { h.Chunks[1].Rows = 1 },
+		"zero-row chunk":       func(h *codec.Header) { h.Chunks[1].Rows = 0 },
+		// Marshal writes uint64(-4) = 2^64-4; the parser must reject the
+		// overflow rather than wrap to a negative row count that panics
+		// every downstream slicer.
+		"rows uvarint overflow": func(h *codec.Header) { h.Chunks[0].Rows = -4; h.Chunks[1].Rows = 12 },
+	}
+	for name, mut := range cases {
+		if _, err := codec.ParseHeader(mk(mut)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Out-of-bounds payload extent: header valid, stream too short.
+	ok := mk(func(*codec.Header) {})
+	if _, err := codec.ParseHeader(ok[:len(ok)-60]); err == nil {
+		t.Error("truncated payloads: accepted")
 	}
 }

@@ -9,10 +9,11 @@ import (
 	"fixedpsnr/internal/field"
 )
 
-// Stream layout (all integers are unsigned varints unless noted):
+// Stream layout, version 3 (all integers are unsigned varints unless
+// noted):
 //
 //	magic   "FPSZ"            4 bytes
-//	version                   1 byte
+//	version                   1 byte  (= 3)
 //	codec                     1 byte  (IDLorenzo, IDConstant, ...)
 //	precision                 1 byte  (0 = float32, 1 = float64)
 //	mode                      1 byte  (informational: how the bound was set)
@@ -23,17 +24,48 @@ import (
 //	valueRange                8 bytes IEEE-754 LE (vr of the original data)
 //	capacity                  uvarint (quantization intervals 2n)
 //	nchunks                   uvarint
-//	chunk compressed lengths  uvarint × nchunks
+//	chunk table               nchunks × chunk entry (below)
 //	chunk payloads            concatenated codec-specific streams
 //
+// One chunk entry:
+//
+//	rows                      uvarint (extent along dims[0])
+//	off                       uvarint (payload offset from PayloadOffset)
+//	len                       uvarint (compressed payload bytes)
+//	unpredictable             uvarint (points stored as literals)
+//	ebAbs                     8 bytes IEEE-754 LE (0 = header ebAbs)
+//	mse                       8 bytes IEEE-754 LE (NaN = unmeasured)
+//	min, max                  8 bytes IEEE-754 LE each (chunk value range)
+//
+// Chunks tile the field along the slowest dimension: chunk i covers rows
+// [Σ rows_j (j<i), +rows_i) at full extent in every other dimension, and
+// every chunk is independently decodable — that is what random-access
+// region decoding and the streaming encoder are built on. Offsets must be
+// non-overlapping and non-decreasing; gaps are permitted (a rewriter may
+// leave dead bytes), overlap is rejected.
+//
+// Versions 1 and 2 are the legacy whole-field layout: the chunk table is
+// a bare (len, rows) pair per chunk with no offsets and no per-chunk
+// statistics. Version 2 is accepted as an alias of the version-1 layout
+// (the byte was reserved during the session-API era and stamped by some
+// interim writers); both remain readable forever, writers emit version 3.
+//
 // The constant codec replaces everything from capacity onward with a
-// single 8-byte value.
+// single 8-byte value in every version.
 
 // Magic identifies a fixed-PSNR compressed stream.
 var Magic = [4]byte{'F', 'P', 'S', 'Z'}
 
-// Version is the current stream format version.
-const Version = 1
+// Version is the current stream format version (the chunked container).
+const Version = 3
+
+// Legacy stream format versions that remain readable.
+const (
+	// VersionLegacy is the original whole-field container layout.
+	VersionLegacy = 1
+	// VersionLegacy2 is accepted as an alias of the version-1 layout.
+	VersionLegacy2 = 2
+)
 
 // ID identifies the compression pipeline used for a stream payload. The
 // byte value is recorded in the stream header and routes decompression
@@ -131,8 +163,43 @@ func (t Transform) String() string {
 	}
 }
 
+// ChunkInfo is one entry of the per-chunk index: where the chunk's
+// payload lives, which rows it covers, and the statistics measured when
+// it was compressed. The index is what makes chunk-granular random
+// access (DecodeRegion, archive ExtractRegion) and selective
+// recompression during calibrated refinement possible without touching
+// any other chunk.
+type ChunkInfo struct {
+	// Rows is the chunk's extent along Dims[0]; chunks cover the full
+	// extent of every other dimension.
+	Rows int
+	// Off is the payload byte offset relative to Header.PayloadOffset.
+	Off int
+	// Len is the compressed payload length in bytes.
+	Len int
+	// Unpredictable counts points (or coefficients) stored as literals
+	// (0 for legacy streams, which did not record it).
+	Unpredictable int
+	// EbAbs is the absolute bound this chunk was quantized with; 0 means
+	// the header-level EbAbs. Selective recompression writes per-chunk
+	// bounds when it keeps some chunks at a previous pass's bound.
+	EbAbs float64
+	// MSE is the exact reconstruction MSE of this chunk, measured during
+	// compression (Theorem 1 pipelines); NaN when unmeasured (transform
+	// pipelines, legacy streams).
+	MSE float64
+	// Min and Max are the chunk's value range (NaN when unmeasured).
+	Min, Max float64
+	// RowStart is the first row this chunk covers. It is derived from
+	// the Rows prefix sum at parse/assembly time, never serialized.
+	RowStart int
+}
+
 // Header describes a compressed stream.
 type Header struct {
+	// Version is the stream format version this header was parsed from;
+	// Marshal always emits the current Version.
+	Version    uint8
 	Codec      ID
 	Precision  field.Precision
 	Mode       Mode
@@ -142,8 +209,8 @@ type Header struct {
 	TargetPSNR float64 // NaN unless Mode == ModePSNR
 	ValueRange float64 // vr of the original data (recorded for inspection)
 	Capacity   int     // quantization intervals (2n)
-	ChunkLens  []int   // compressed byte length of each chunk
-	ChunkRows  []int   // rows (along Dims[0]) covered by each chunk
+	// Chunks is the per-chunk index (empty for IDConstant streams).
+	Chunks []ChunkInfo
 	// ConstValue holds the value of a constant field (IDConstant).
 	ConstValue float64
 	// headerLen is the byte offset where chunk payloads begin.
@@ -162,6 +229,65 @@ func (h *Header) NPoints() int {
 		n *= d
 	}
 	return n
+}
+
+// InnerPoints returns the number of points per row along Dims[0] (the
+// product of the non-slowest dimensions).
+func (h *Header) InnerPoints() int {
+	n := 1
+	for _, d := range h.Dims[1:] {
+		n *= d
+	}
+	return n
+}
+
+// ChunkDims returns the dims of chunk ci: its row extent followed by the
+// field's inner dimensions.
+func (h *Header) ChunkDims(ci int) []int {
+	return append([]int{h.Chunks[ci].Rows}, h.Dims[1:]...)
+}
+
+// ChunkPoints returns the number of points in chunk ci.
+func (h *Header) ChunkPoints(ci int) int {
+	return h.Chunks[ci].Rows * h.InnerPoints()
+}
+
+// ChunkBound returns the absolute bound chunk ci was quantized with: its
+// per-chunk bound when recorded, the header bound otherwise.
+func (h *Header) ChunkBound(ci int) float64 {
+	if eb := h.Chunks[ci].EbAbs; eb > 0 {
+		return eb
+	}
+	return h.EbAbs
+}
+
+// AggregateMSE computes the field MSE as the point-count-weighted mean of
+// the per-chunk MSEs — the global accounting the fixed-PSNR guarantee is
+// defined on (Eqs. 4–5 hold for the whole field, not per chunk). It
+// returns NaN when any chunk's MSE is unmeasured, and 0 for constant
+// streams.
+func (h *Header) AggregateMSE() float64 {
+	if h.Codec == IDConstant {
+		return 0
+	}
+	if len(h.Chunks) == 0 {
+		return math.NaN()
+	}
+	inner := h.InnerPoints()
+	var sumSq float64
+	var n int
+	for _, c := range h.Chunks {
+		if math.IsNaN(c.MSE) {
+			return math.NaN()
+		}
+		pts := c.Rows * inner
+		sumSq += c.MSE * float64(pts)
+		n += pts
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sumSq / float64(n)
 }
 
 // AppendFloat64 appends v as 8 bytes IEEE-754 little-endian.
@@ -195,12 +321,12 @@ var headerParses atomic.Int64
 // HeaderParses returns the number of ParseHeader calls so far.
 func HeaderParses() int64 { return headerParses.Load() }
 
-// Marshal serializes the header. All registered codecs share this
-// container format so that inspection tooling works uniformly.
-func (h *Header) Marshal() []byte {
-	out := make([]byte, 0, 64+len(h.Name))
+// marshalPrefix emits the fields shared by every version up to and
+// including the dims.
+func (h *Header) marshalPrefix(version byte) []byte {
+	out := make([]byte, 0, 64+len(h.Name)+48*len(h.Chunks))
 	out = append(out, Magic[:]...)
-	out = append(out, Version)
+	out = append(out, version)
 	out = append(out, byte(h.Codec))
 	out = append(out, byte(h.Precision))
 	out = append(out, byte(h.Mode))
@@ -210,34 +336,85 @@ func (h *Header) Marshal() []byte {
 	for _, d := range h.Dims {
 		out = binary.AppendUvarint(out, uint64(d))
 	}
-	if h.Codec == IDConstant {
-		out = AppendFloat64(out, h.ConstValue)
-		return out
-	}
+	return out
+}
+
+// marshalScalars emits the bound/annotation block shared by every
+// version (or the constant value, which ends the header).
+func (h *Header) marshalScalars(out []byte) []byte {
 	out = AppendFloat64(out, h.EbAbs)
 	out = AppendFloat64(out, h.TargetPSNR)
 	out = AppendFloat64(out, h.ValueRange)
 	out = binary.AppendUvarint(out, uint64(h.Capacity))
-	out = binary.AppendUvarint(out, uint64(len(h.ChunkLens)))
-	for i, l := range h.ChunkLens {
-		out = binary.AppendUvarint(out, uint64(l))
-		out = binary.AppendUvarint(out, uint64(h.ChunkRows[i]))
+	return out
+}
+
+// Marshal serializes the header in the current (version 3, chunked)
+// format. All registered codecs share this container format so that
+// inspection tooling and random access work uniformly. Chunk offsets and
+// lengths must already be final; AssembleStream fills them from the
+// payload slices and calls Marshal.
+func (h *Header) Marshal() []byte {
+	out := h.marshalPrefix(Version)
+	if h.Codec == IDConstant {
+		return AppendFloat64(out, h.ConstValue)
+	}
+	out = h.marshalScalars(out)
+	out = binary.AppendUvarint(out, uint64(len(h.Chunks)))
+	for _, c := range h.Chunks {
+		out = binary.AppendUvarint(out, uint64(c.Rows))
+		out = binary.AppendUvarint(out, uint64(c.Off))
+		out = binary.AppendUvarint(out, uint64(c.Len))
+		out = binary.AppendUvarint(out, uint64(c.Unpredictable))
+		out = AppendFloat64(out, c.EbAbs)
+		out = AppendFloat64(out, c.MSE)
+		out = AppendFloat64(out, c.Min)
+		out = AppendFloat64(out, c.Max)
 	}
 	return out
 }
 
+// MarshalLegacy serializes the header in the legacy (version 1 or 2)
+// layout: a bare (len, rows) chunk table with no offsets or statistics.
+// It exists so compatibility fixtures and migration tests can produce
+// old-format streams; production writers always emit the current version
+// via Marshal. Per-chunk bounds cannot be represented and must be unset.
+func (h *Header) MarshalLegacy(version byte) ([]byte, error) {
+	if version != VersionLegacy && version != VersionLegacy2 {
+		return nil, fmt.Errorf("codec: MarshalLegacy supports versions %d and %d, got %d",
+			VersionLegacy, VersionLegacy2, version)
+	}
+	for i, c := range h.Chunks {
+		if c.EbAbs != 0 {
+			return nil, fmt.Errorf("codec: chunk %d has a per-chunk bound; legacy layout cannot record it", i)
+		}
+	}
+	out := h.marshalPrefix(version)
+	if h.Codec == IDConstant {
+		return AppendFloat64(out, h.ConstValue), nil
+	}
+	out = h.marshalScalars(out)
+	out = binary.AppendUvarint(out, uint64(len(h.Chunks)))
+	for _, c := range h.Chunks {
+		out = binary.AppendUvarint(out, uint64(c.Len))
+		out = binary.AppendUvarint(out, uint64(c.Rows))
+	}
+	return out, nil
+}
+
 // ParseHeader decodes the header of a compressed stream without touching
 // the chunk payloads. It validates the magic, version, structural sanity
-// of the dimensions, and that the stream is long enough to hold the
-// payloads the header declares.
+// of the dimensions and chunk table, and that the stream is long enough
+// to hold the payloads the header declares.
 func ParseHeader(data []byte) (*Header, error) {
 	return parseHeader(data, true)
 }
 
 // ParseHeaderPrefix decodes a header from a stream prefix: identical to
 // ParseHeader except that the declared chunk payloads need not be present
-// in data. Callers that only want metadata (archive listings) use it to
-// read a bounded prefix instead of a whole entry.
+// in data. Callers that only want metadata (archive listings, chunk
+// tables for region reads) use it to read a bounded prefix instead of a
+// whole entry.
 func ParseHeaderPrefix(data []byte) (*Header, error) {
 	return parseHeader(data, false)
 }
@@ -252,10 +429,13 @@ func parseHeader(data []byte, requirePayload bool) (*Header, error) {
 		return nil, fmt.Errorf("codec: bad magic %q", b[:4])
 	}
 	b = b[4:]
-	if b[0] != Version {
-		return nil, fmt.Errorf("codec: unsupported version %d", b[0])
+	version := b[0]
+	switch version {
+	case VersionLegacy, VersionLegacy2, Version:
+	default:
+		return nil, fmt.Errorf("codec: unsupported version %d", version)
 	}
-	h := &Header{}
+	h := &Header{Version: version}
 	h.Codec = ID(b[1])
 	h.Precision = field.Precision(b[2])
 	h.Mode = Mode(b[3])
@@ -329,31 +509,123 @@ func parseHeader(data []byte, requirePayload bool) (*Header, error) {
 	if nchunks == 0 || nchunks > 1<<20 {
 		return nil, fmt.Errorf("codec: bad chunk count %d", nchunks)
 	}
-	h.ChunkLens = make([]int, nchunks)
-	h.ChunkRows = make([]int, nchunks)
-	sum := 0
+	h.Chunks = make([]ChunkInfo, nchunks)
+	if version == Version {
+		b, err = parseChunkTable(h, b)
+	} else {
+		b, err = parseLegacyChunkTable(h, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.headerLen = len(data) - len(b)
+	if requirePayload {
+		need := 0
+		for _, c := range h.Chunks {
+			if end := c.Off + c.Len; end > need {
+				need = end
+			}
+		}
+		if len(b) < need {
+			return nil, fmt.Errorf("codec: chunk payloads truncated (%d < %d)", len(b), need)
+		}
+	}
+	return h, nil
+}
+
+// parseChunkTable decodes the version-3 chunk index and validates its
+// invariants: per-chunk rows cover Dims[0] exactly, offsets are
+// non-overlapping and non-decreasing, and no entry's extent overflows.
+func parseChunkTable(h *Header, b []byte) ([]byte, error) {
 	rowSum := 0
-	for i := range h.ChunkLens {
-		var l, r uint64
-		l, b, err = ReadUvarint(b)
-		if err != nil {
+	prevEnd := 0
+	var err error
+	for i := range h.Chunks {
+		var rows, off, length, unpred uint64
+		if rows, b, err = ReadUvarint(b); err != nil {
 			return nil, err
 		}
-		r, b, err = ReadUvarint(b)
-		if err != nil {
+		if off, b, err = ReadUvarint(b); err != nil {
 			return nil, err
 		}
-		h.ChunkLens[i] = int(l)
-		h.ChunkRows[i] = int(r)
-		sum += int(l)
-		rowSum += int(r)
+		if length, b, err = ReadUvarint(b); err != nil {
+			return nil, err
+		}
+		if unpred, b, err = ReadUvarint(b); err != nil {
+			return nil, err
+		}
+		c := &h.Chunks[i]
+		if c.EbAbs, b, err = ReadFloat64(b); err != nil {
+			return nil, err
+		}
+		if c.MSE, b, err = ReadFloat64(b); err != nil {
+			return nil, err
+		}
+		if c.Min, b, err = ReadFloat64(b); err != nil {
+			return nil, err
+		}
+		if c.Max, b, err = ReadFloat64(b); err != nil {
+			return nil, err
+		}
+		if rows > 1<<50 || off > 1<<50 || length > 1<<50 || unpred > 1<<50 {
+			return nil, fmt.Errorf("codec: chunk %d entry overflows", i)
+		}
+		if rows == 0 || int(rows) > h.Dims[0]-rowSum {
+			return nil, fmt.Errorf("codec: chunk %d covers %d rows with %d remaining", i, rows, h.Dims[0]-rowSum)
+		}
+		if int(off) < prevEnd {
+			return nil, fmt.Errorf("codec: chunk %d payload [%d,+%d) overlaps previous end %d", i, off, length, prevEnd)
+		}
+		c.Rows = int(rows)
+		c.Off = int(off)
+		c.Len = int(length)
+		c.Unpredictable = int(unpred)
+		c.RowStart = rowSum
+		rowSum += int(rows)
+		prevEnd = int(off) + int(length)
 	}
 	if rowSum != h.Dims[0] {
 		return nil, fmt.Errorf("codec: chunk rows sum to %d, want %d", rowSum, h.Dims[0])
 	}
-	h.headerLen = len(data) - len(b)
-	if requirePayload && len(b) < sum {
-		return nil, fmt.Errorf("codec: chunk payloads truncated (%d < %d)", len(b), sum)
+	return b, nil
+}
+
+// parseLegacyChunkTable decodes the version-1/2 (len, rows) pair table
+// into the unified chunk index: offsets come from the running length sum
+// and the per-chunk statistics are marked unmeasured.
+func parseLegacyChunkTable(h *Header, b []byte) ([]byte, error) {
+	rowSum := 0
+	off := 0
+	var err error
+	for i := range h.Chunks {
+		var length, rows uint64
+		if length, b, err = ReadUvarint(b); err != nil {
+			return nil, err
+		}
+		if rows, b, err = ReadUvarint(b); err != nil {
+			return nil, err
+		}
+		if length > 1<<50 || rows > 1<<50 {
+			return nil, fmt.Errorf("codec: chunk %d entry overflows", i)
+		}
+		if rows == 0 {
+			return nil, fmt.Errorf("codec: chunk %d covers no rows", i)
+		}
+		h.Chunks[i] = ChunkInfo{
+			Rows:     int(rows),
+			Off:      off,
+			Len:      int(length),
+			EbAbs:    0,
+			MSE:      math.NaN(),
+			Min:      math.NaN(),
+			Max:      math.NaN(),
+			RowStart: rowSum,
+		}
+		off += int(length)
+		rowSum += int(rows)
 	}
-	return h, nil
+	if rowSum != h.Dims[0] {
+		return nil, fmt.Errorf("codec: chunk rows sum to %d, want %d", rowSum, h.Dims[0])
+	}
+	return b, nil
 }

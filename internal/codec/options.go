@@ -19,9 +19,15 @@ type Options struct {
 	AutoCapacity bool
 	// Workers bounds compression concurrency (non-positive: all CPUs).
 	Workers int
-	// ChunkRows forces the slab height along the slowest dimension
-	// (SZ pipeline). Zero picks a slab height from Workers.
+	// ChunkRows forces the chunk height along the slowest dimension.
+	// Zero defers to ChunkPoints (or a Workers-derived spread).
 	ChunkRows int
+	// ChunkPoints is the target chunk size in points; chunks are
+	// ChunkPoints/inner rows tall (at least one row). Zero keeps the
+	// Workers-derived spread for in-memory encodes and
+	// DefaultChunkPoints for the streaming encoder. Values below
+	// MinChunkPoints are rejected by validation.
+	ChunkPoints int
 	// Level is the DEFLATE level (0 selects flate.BestSpeed, matching
 	// SZ's use of fast gzip).
 	Level int
@@ -55,7 +61,7 @@ type Stats struct {
 	BitRate         float64 // compressed bits per value
 	NPoints         int
 	Unpredictable   int // points (or coefficients) stored as literals
-	Chunks          int // parallel slabs (SZ pipeline)
+	Chunks          int // independently decodable container chunks
 	Blocks          int // transform blocks (otc pipeline)
 	Capacity        int // quantization intervals actually used
 	// ValueRange is the measured value range of the compressed field.

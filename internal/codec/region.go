@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/parallel"
+)
+
+// Region decoding: reconstruct an axis-aligned sub-block of a field from
+// a compressed stream, decoding only the chunks the region intersects.
+// Because chunks tile the slowest dimension and each chunk restarts its
+// pipeline state, the result is byte-identical to slicing a full decode;
+// the cost scales with the intersected rows, not the field.
+
+// DecompressRegion reconstructs the sub-block starting at off with
+// extents ext from a compressed stream. Chunk-capable streams decode only
+// the intersecting chunks; other streams (legacy single-payload, custom
+// codecs, pointwise-relative) fall back to a full decode plus crop, so
+// the call succeeds on every registered stream.
+func DecompressRegion(data []byte, off, ext []int) (*field.Field, *Header, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := DecompressRegionFrom(h, func(ci int) ([]byte, error) {
+		return ChunkPayload(data, h, ci)
+	}, off, ext)
+	if errors.Is(err, ErrNotChunked) {
+		full, _, ferr := Decompress(data)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		out, err = full.Slice(off, ext)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, h, nil
+}
+
+// DecompressRegionFrom is the chunk-granular core of DecompressRegion
+// for callers that can fetch individual chunk payloads without holding
+// the whole stream — the archive reader passes a closure that ReadAts
+// only the needed byte ranges. It returns ErrNotChunked when the stream
+// cannot be decoded chunk by chunk; such callers fall back to fetching
+// the whole entry.
+func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, ext []int) (*field.Field, error) {
+	if err := field.ValidateRegion(h.Dims, off, ext); err != nil {
+		return nil, err
+	}
+	if h.Codec == IDConstant {
+		out := field.New(h.Name, h.Precision, ext...)
+		for i := range out.Data {
+			out.Data[i] = h.ConstValue
+		}
+		return out, nil
+	}
+	c, ok := Lookup(h.Codec)
+	if !ok {
+		return nil, fmt.Errorf("codec: no registered codec for stream ID %v", h.Codec)
+	}
+	cc, ok := c.(ChunkCodec)
+	if !ok {
+		return nil, ErrNotChunked
+	}
+
+	rowLo, rowHi := off[0], off[0]+ext[0]
+	var hit []int
+	for ci := range h.Chunks {
+		ck := &h.Chunks[ci]
+		if ck.RowStart < rowHi && ck.RowStart+ck.Rows > rowLo {
+			hit = append(hit, ci)
+		}
+	}
+	if len(hit) == 0 {
+		return nil, fmt.Errorf("codec: region rows [%d,%d) intersect no chunk", rowLo, rowHi)
+	}
+
+	out := field.New(h.Name, h.Precision, ext...)
+	inner := h.InnerPoints()
+	dstOff := make([]int, len(ext))
+	err := parallel.ForEach(len(hit), 0, func(i int) error {
+		ci := hit[i]
+		ck := h.Chunks[ci]
+		pl, err := payload(ci)
+		if err != nil {
+			return fmt.Errorf("codec: chunk %d: %w", ci, err)
+		}
+		slab := make([]float64, ck.Rows*inner)
+		if err := cc.DecompressChunk(pl, h, ci, slab); err != nil {
+			return err
+		}
+		// Intersect the chunk's rows with the requested row window, then
+		// crop the inner dimensions while copying into the output block.
+		lo, hi := ck.RowStart, ck.RowStart+ck.Rows
+		if lo < rowLo {
+			lo = rowLo
+		}
+		if hi > rowHi {
+			hi = rowHi
+		}
+		srcOff := append([]int{lo - ck.RowStart}, off[1:]...)
+		dOff := append([]int{lo - rowLo}, dstOff[1:]...)
+		cext := append([]int{hi - lo}, ext[1:]...)
+		field.CopyRegion(out.Data, ext, dOff, slab, h.ChunkDims(ci), srcOff, cext)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

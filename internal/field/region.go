@@ -1,0 +1,69 @@
+package field
+
+import "fmt"
+
+// Region helpers: an axis-aligned sub-block of a field, described by a
+// per-dimension offset and extent. Regions are how the chunked container
+// exposes random access — a decoder reads only the chunks a region
+// intersects — and how tests assert that a region decode is byte-
+// identical to the matching slice of a full reconstruction.
+
+// ValidateRegion checks that (off, ext) describes a non-empty sub-block
+// of a field with the given dims: matching rank, non-negative offsets,
+// positive extents, and off+ext within each dimension.
+func ValidateRegion(dims, off, ext []int) error {
+	if len(off) != len(dims) || len(ext) != len(dims) {
+		return fmt.Errorf("field: region rank %d/%d does not match field rank %d", len(off), len(ext), len(dims))
+	}
+	for a := range dims {
+		if off[a] < 0 || ext[a] <= 0 || off[a] > dims[a]-ext[a] {
+			return fmt.Errorf("field: region [%d,+%d) outside dimension %d of size %d", off[a], ext[a], a, dims[a])
+		}
+	}
+	return nil
+}
+
+// Slice copies the sub-block starting at off with the given extents into
+// a new field of dims ext. The name and precision carry over.
+func (f *Field) Slice(off, ext []int) (*Field, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateRegion(f.Dims, off, ext); err != nil {
+		return nil, err
+	}
+	out := New(f.Name, f.Precision, ext...)
+	CopyRegion(out.Data, ext, make([]int, len(ext)), f.Data, f.Dims, off, ext)
+	return out, nil
+}
+
+// CopyRegion copies an ext-shaped block from src (shape srcDims, block
+// origin srcOff) into dst (shape dstDims, block origin dstOff). All
+// slices are row-major; rank must be 1–3 and the block must fit inside
+// both arrays — callers validate with ValidateRegion first. Rows along
+// the fastest dimension move with copy, so the inner loop is a memmove.
+func CopyRegion(dst []float64, dstDims, dstOff []int, src []float64, srcDims, srcOff, ext []int) {
+	switch len(ext) {
+	case 1:
+		copy(dst[dstOff[0]:dstOff[0]+ext[0]], src[srcOff[0]:srcOff[0]+ext[0]])
+	case 2:
+		sCols, dCols := srcDims[1], dstDims[1]
+		for i := 0; i < ext[0]; i++ {
+			s := (srcOff[0]+i)*sCols + srcOff[1]
+			d := (dstOff[0]+i)*dCols + dstOff[1]
+			copy(dst[d:d+ext[1]], src[s:s+ext[1]])
+		}
+	case 3:
+		sPlane, dPlane := srcDims[1]*srcDims[2], dstDims[1]*dstDims[2]
+		sCols, dCols := srcDims[2], dstDims[2]
+		for i := 0; i < ext[0]; i++ {
+			for j := 0; j < ext[1]; j++ {
+				s := (srcOff[0]+i)*sPlane + (srcOff[1]+j)*sCols + srcOff[2]
+				d := (dstOff[0]+i)*dPlane + (dstOff[1]+j)*dCols + dstOff[2]
+				copy(dst[d:d+ext[2]], src[s:s+ext[2]])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("field: CopyRegion rank %d", len(ext)))
+	}
+}

@@ -1,0 +1,77 @@
+package field
+
+import "testing"
+
+func seqField(dims ...int) *Field {
+	f := New("seq", Float64, dims...)
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	return f
+}
+
+func TestValidateRegion(t *testing.T) {
+	dims := []int{4, 6, 8}
+	good := [][2][]int{
+		{{0, 0, 0}, {4, 6, 8}},
+		{{1, 2, 3}, {2, 2, 2}},
+		{{3, 5, 7}, {1, 1, 1}},
+	}
+	for _, g := range good {
+		if err := ValidateRegion(dims, g[0], g[1]); err != nil {
+			t.Errorf("ValidateRegion(%v, %v) = %v", g[0], g[1], err)
+		}
+	}
+	bad := [][2][]int{
+		{{0, 0}, {4, 6}},        // rank mismatch
+		{{-1, 0, 0}, {1, 1, 1}}, // negative offset
+		{{0, 0, 0}, {0, 1, 1}},  // zero extent
+		{{2, 0, 0}, {3, 1, 1}},  // off+ext past dim
+		{{4, 0, 0}, {1, 1, 1}},  // offset at dim
+	}
+	for _, b := range bad {
+		if err := ValidateRegion(dims, b[0], b[1]); err == nil {
+			t.Errorf("ValidateRegion(%v, %v) accepted", b[0], b[1])
+		}
+	}
+}
+
+func TestSliceMatchesManualIndexing(t *testing.T) {
+	f := seqField(5, 6, 7)
+	off := []int{1, 2, 3}
+	ext := []int{3, 2, 4}
+	g, err := f.Slice(off, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != f.Name || g.Precision != f.Precision {
+		t.Fatal("metadata not carried over")
+	}
+	for i := 0; i < ext[0]; i++ {
+		for j := 0; j < ext[1]; j++ {
+			for k := 0; k < ext[2]; k++ {
+				want := f.At3(off[0]+i, off[1]+j, off[2]+k)
+				if got := g.At3(i, j, k); got != want {
+					t.Fatalf("slice[%d,%d,%d] = %g, want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCopyRegionRanks(t *testing.T) {
+	// 1-D
+	src := []float64{0, 1, 2, 3, 4}
+	dst := make([]float64, 3)
+	CopyRegion(dst, []int{3}, []int{0}, src, []int{5}, []int{1}, []int{3})
+	if dst[0] != 1 || dst[2] != 3 {
+		t.Fatalf("1-D copy = %v", dst)
+	}
+	// 2-D into an offset destination
+	f := seqField(4, 5)
+	out := make([]float64, 4*5)
+	CopyRegion(out, []int{4, 5}, []int{1, 1}, f.Data, f.Dims, []int{2, 2}, []int{2, 3})
+	if out[1*5+1] != f.At2(2, 2) || out[2*5+3] != f.At2(3, 4) {
+		t.Fatalf("2-D copy landed wrong: %v", out)
+	}
+}

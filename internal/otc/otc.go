@@ -64,6 +64,35 @@ func (otcCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
 	return Decompress(data)
 }
 
+// CompressChunk implements codec.ChunkCodec: one row slab through the
+// blockwise transform pipeline. Blocks are cut to the chunk boundary, so
+// every chunk is independently decodable.
+func (otcCodec) CompressChunk(ctx context.Context, data []float64, dims []int, prec field.Precision, opt codec.Options, sc *codec.Scratch) ([]byte, codec.ChunkStats, error) {
+	copt := opt
+	if copt.Capacity == 0 {
+		copt.Capacity = quantizer.DefaultCapacity
+	}
+	if !(copt.ErrorBound > 0) || math.IsInf(copt.ErrorBound, 0) || math.IsNaN(copt.ErrorBound) {
+		return nil, codec.ChunkStats{}, fmt.Errorf("otc: error bound (half bin width) must be positive and finite, got %g", copt.ErrorBound)
+	}
+	q, err := quantizer.New(copt.ErrorBound, copt.Capacity)
+	if err != nil {
+		return nil, codec.ChunkStats{}, err
+	}
+	return compressChunk(ctx, data, dims, copt, q, sc)
+}
+
+// DecompressChunk implements codec.ChunkCodec for OTC streams.
+func (otcCodec) DecompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) error {
+	if h.Codec != codec.IDOTC {
+		return codec.ErrNotChunked
+	}
+	if len(dst) != h.ChunkPoints(ci) {
+		return fmt.Errorf("otc: chunk %d dst has %d points, want %d", ci, len(dst), h.ChunkPoints(ci))
+	}
+	return decompressChunk(payload, h, ci, dst)
+}
+
 func init() { codec.Register(otcCodec{}) }
 
 // Transform selects the orthonormal block transform (shared type; see
@@ -320,6 +349,13 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 // one block of work per worker and surfaces ctx.Err()), and the block
 // gather buffers plus the entropy-stage staging buffers and DEFLATE
 // writer come from sc when it is non-nil.
+//
+// When Options.ChunkPoints or ChunkRows is set the field is tiled into
+// independently decodable chunks along the slowest dimension (blocks are
+// cut at chunk boundaries, preserving orthonormality), enabling
+// random-access region decodes of transform streams; the default keeps
+// one chunk covering the whole field, which matches the historical block
+// layout exactly.
 func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scratch) ([]byte, *Stats, error) {
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
@@ -338,6 +374,8 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 	if capacity == 0 {
 		capacity = quantizer.DefaultCapacity
 	}
+	copt := opt
+	copt.Capacity = capacity
 	// quantizer.New takes the half-width (error bound) convention;
 	// the coefficient bin width is δ = 2·ErrorBound.
 	q, err := quantizer.New(opt.ErrorBound, capacity)
@@ -345,17 +383,102 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 		return nil, nil, err
 	}
 
-	blocks := blockGrid(f.Dims, blockEdge(opt))
+	spans := chunkSpans(f.Dims, opt)
+	inner := 1
+	for _, d := range f.Dims[1:] {
+		inner *= d
+	}
+	payloads := make([][]byte, len(spans))
+	chunks := make([]codec.ChunkInfo, len(spans))
+	totalBlocks := 0
+	// Chunks run serially; the block loop inside each chunk is parallel,
+	// so the default single-chunk layout keeps its full concurrency.
+	for c, span := range spans {
+		lo, hi := span[0], span[1]
+		sub := f.Data[lo*inner : hi*inner]
+		subDims := append([]int{hi - lo}, f.Dims[1:]...)
+		payload, cst, err := compressChunk(ctx, sub, subDims, copt, q, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		payloads[c] = payload
+		chunks[c] = codec.ChunkInfo{
+			Rows:          hi - lo,
+			Unpredictable: cst.Unpredictable,
+			MSE:           cst.MSE,
+			Min:           cst.Min,
+			Max:           cst.Max,
+		}
+		totalBlocks += len(blockGrid(subDims, blockEdge(opt)))
+	}
+
+	h := &codec.Header{
+		Codec:      codec.IDOTC,
+		Precision:  f.Precision,
+		Mode:       opt.Mode,
+		Name:       f.Name,
+		Dims:       f.Dims,
+		EbAbs:      opt.ErrorBound,
+		TargetPSNR: opt.TargetPSNR,
+		ValueRange: opt.ValueRange,
+		Capacity:   capacity,
+		Chunks:     chunks,
+	}
+	if h.TargetPSNR == 0 && opt.Mode != codec.ModePSNR {
+		h.TargetPSNR = math.NaN()
+	}
+	out, err := codec.AssembleStream(h, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := codec.StatsFromChunks(h, len(out), f.SizeBytes())
+	st.ValueRange = vr
+	st.Blocks = totalBlocks
+	st.MSE = math.NaN() // not measured by this pipeline
+	return out, st, nil
+}
+
+// ChunkSpans implements codec.ChunkPlanner, so every container
+// assembler (CompressCtx here, the public streaming encoder) tiles
+// identically for the same options.
+func (otcCodec) ChunkSpans(dims []int, opt codec.Options) [][2]int {
+	return chunkSpans(dims, opt)
+}
+
+// chunkSpans tiles dims[0] for this pipeline: a single whole-field chunk
+// by default, explicit ChunkRows verbatim, and ChunkPoints rounded up to
+// a multiple of the block edge so chunk boundaries do not shear
+// transform blocks.
+func chunkSpans(dims []int, opt Options) [][2]int {
+	if opt.ChunkRows > 0 {
+		return parallel.Chunks(dims[0], opt.ChunkRows)
+	}
+	if opt.ChunkPoints <= 0 {
+		return [][2]int{{0, dims[0]}}
+	}
+	rows := codec.RowsForChunkPoints(dims, opt.ChunkPoints)
+	b := blockEdge(opt)
+	if rem := rows % b; rem != 0 && rows+b-rem <= dims[0] {
+		rows += b - rem
+	}
+	return parallel.Chunks(dims[0], rows)
+}
+
+// compressChunk transforms, quantizes, and entropy-codes one row slab.
+// Blocks within the chunk run in parallel under opt.Workers.
+func compressChunk(ctx context.Context, data []float64, dims []int, opt Options, q *quantizer.Quantizer, sc *codec.Scratch) ([]byte, codec.ChunkStats, error) {
+	var cst codec.ChunkStats
+	blocks := blockGrid(dims, blockEdge(opt))
 	type blockOut struct {
 		codes    []int
 		literals []float64
 	}
 	outs := make([]blockOut, len(blocks))
-	err = parallel.ForEachCtx(ctx, len(blocks), opt.Workers, func(bi int) error {
+	err := parallel.ForEachCtx(ctx, len(blocks), opt.Workers, func(bi int) error {
 		br := blocks[bi]
 		buf := sc.Floats(br.n)
-		gatherBlock(f.Data, f.Dims, br, buf)
-		sizes := br.size[:len(f.Dims)]
+		gatherBlock(data, dims, br, buf)
+		sizes := br.size[:len(dims)]
 		if err := forwardBlock(buf, sizes, opt.Transform); err != nil {
 			sc.PutFloats(buf)
 			return err
@@ -376,7 +499,7 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, cst, err
 	}
 
 	var codes []int
@@ -385,43 +508,14 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 		codes = append(codes, o.codes...)
 		literals = append(literals, o.literals...)
 	}
-
 	payload, err := encodePayload(codes, literals, blockEdge(opt), opt.Transform, opt.FlateLevel(), sc)
 	if err != nil {
-		return nil, nil, err
+		return nil, cst, err
 	}
-
-	h := &codec.Header{
-		Codec:      codec.IDOTC,
-		Precision:  f.Precision,
-		Mode:       opt.Mode,
-		Name:       f.Name,
-		Dims:       f.Dims,
-		EbAbs:      opt.ErrorBound,
-		TargetPSNR: opt.TargetPSNR,
-		ValueRange: opt.ValueRange,
-		Capacity:   capacity,
-		ChunkLens:  []int{len(payload)},
-		ChunkRows:  []int{f.Dims[0]},
-	}
-	if h.TargetPSNR == 0 && opt.Mode != codec.ModePSNR {
-		h.TargetPSNR = math.NaN()
-	}
-	out := append(h.Marshal(), payload...)
-
-	st := &Stats{
-		OriginalBytes:   f.SizeBytes(),
-		CompressedBytes: len(out),
-		NPoints:         f.Len(),
-		Unpredictable:   len(literals),
-		Blocks:          len(blocks),
-		Capacity:        capacity,
-		ValueRange:      vr,
-		MSE:             math.NaN(), // not measured by this pipeline
-	}
-	st.Ratio = float64(st.OriginalBytes) / float64(len(out))
-	st.BitRate = 8 * float64(len(out)) / float64(f.Len())
-	return out, st, nil
+	cst.Unpredictable = len(literals)
+	cst.MSE = math.NaN() // quantization happens in the transform domain
+	cst.Min, cst.Max = codec.ValueBounds(data)
+	return payload, cst, nil
 }
 
 func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
@@ -462,29 +556,39 @@ func Decompress(data []byte) (*field.Field, *codec.Header, error) {
 	if h.Codec != codec.IDOTC {
 		return nil, nil, fmt.Errorf("otc: stream has codec %v, not %v", h.Codec, codec.IDOTC)
 	}
-	if len(h.ChunkLens) != 1 {
-		return nil, nil, fmt.Errorf("otc: expected a single payload, got %d", len(h.ChunkLens))
+	out := field.New(h.Name, h.Precision, h.Dims...)
+	inner := h.InnerPoints()
+	for ci := range h.Chunks {
+		payload, err := codec.ChunkPayload(data, h, ci)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo := h.Chunks[ci].RowStart
+		hi := lo + h.Chunks[ci].Rows
+		if err := decompressChunk(payload, h, ci, out.Data[lo*inner:hi*inner]); err != nil {
+			return nil, nil, err
+		}
 	}
-	payload := data[h.PayloadOffset():]
-	if len(payload) < h.ChunkLens[0] {
-		return nil, nil, fmt.Errorf("otc: payload truncated")
-	}
-	payload = payload[:h.ChunkLens[0]]
+	return out, h, nil
+}
 
+// decompressChunk reverses compressChunk for chunk ci, reconstructing
+// into dst (the chunk's points). Blocks within the chunk run in
+// parallel.
+func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) error {
 	codes, literals, blockSize, tr, err := decodePayload(payload)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	if len(codes) != h.NPoints() {
-		return nil, nil, fmt.Errorf("otc: %d codes for %d points", len(codes), h.NPoints())
+	dims := h.ChunkDims(ci)
+	if len(codes) != len(dst) {
+		return fmt.Errorf("otc: chunk %d has %d codes for %d points", ci, len(codes), len(dst))
 	}
-	q, err := quantizer.New(h.EbAbs, h.Capacity)
+	q, err := quantizer.New(h.ChunkBound(ci), h.Capacity)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-
-	out := field.New(h.Name, h.Precision, h.Dims...)
-	blocks := blockGrid(h.Dims, blockSize)
+	blocks := blockGrid(dims, blockSize)
 
 	// Pre-compute per-block offsets into the code/literal streams. The
 	// literal offsets depend on the code stream, so this pass is serial;
@@ -506,10 +610,10 @@ func Decompress(data []byte) (*field.Field, *codec.Header, error) {
 	codeOff[len(blocks)] = pos
 	litOff[len(blocks)] = lit
 	if lit != len(literals) {
-		return nil, nil, fmt.Errorf("otc: literal count mismatch (%d vs %d)", lit, len(literals))
+		return fmt.Errorf("otc: literal count mismatch (%d vs %d)", lit, len(literals))
 	}
 
-	err = parallel.ForEach(len(blocks), 0, func(bi int) error {
+	return parallel.ForEach(len(blocks), 0, func(bi int) error {
 		br := blocks[bi]
 		buf := make([]float64, br.n)
 		li := litOff[bi]
@@ -522,17 +626,13 @@ func Decompress(data []byte) (*field.Field, *codec.Header, error) {
 			}
 			buf[i] = q.Reconstruct(c)
 		}
-		sizes := br.size[:len(h.Dims)]
+		sizes := br.size[:len(dims)]
 		if err := inverseBlock(buf, sizes, tr); err != nil {
 			return err
 		}
-		scatterBlock(out.Data, h.Dims, br, buf)
+		scatterBlock(dst, dims, br, buf)
 		return nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, h, nil
 }
 
 // encodePayload serializes the transform id, block size, Huffman-coded

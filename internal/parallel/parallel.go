@@ -159,6 +159,15 @@ func (g *Group) Wait() error {
 	return g.firstErr
 }
 
+// Err returns the first error observed so far without waiting. Producers
+// feeding a Group through Go use it to stop scheduling work that a
+// failed task has already doomed.
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
 // Chunks splits n items into chunks of at most chunkSize and returns the
 // half-open [lo, hi) boundaries. chunkSize ≤ 0 yields a single chunk.
 func Chunks(n, chunkSize int) [][2]int {

@@ -2,10 +2,13 @@ package plan
 
 import (
 	"context"
+	"fmt"
+	"math"
 
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/core"
 	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/parallel"
 )
 
 // refineTolDB is the calibrated mode's acceptance band around the target.
@@ -22,13 +25,26 @@ const refineMaxPasses = 3
 // recompressed, up to three extra passes. High targets exit after the
 // first pass at no extra cost.
 //
+// The fixed-PSNR guarantee is global: the field MSE the loop steers on is
+// the point-count-weighted mean of the per-chunk MSEs recorded in the
+// stream's chunk table (falling back to the aggregate in Stats for
+// streams without measured chunk statistics). On chunked streams from a
+// codec.ChunkCodec, each extra pass recompresses only the chunks whose
+// error contribution is stale at the new bound — a chunk whose recorded
+// MSE is already zero reconstructs exactly at any bound, so its payload
+// is kept verbatim and its previous bound is pinned in its chunk entry.
+//
+// A secant step that repeats the previous bin width (d1 == d0) would loop
+// without progress; Refine reports it as an explicit error instead of
+// silently accepting an off-target stream.
+//
 // blob and st are the first pass's output at opt.ErrorBound. Refine
 // returns the final stream, stats, and the absolute bound it settled on.
 // Codecs without MSE measurement (and constant fields) pass through
 // unchanged.
 //
 // ctx is checked before every extra compression pass (and threaded into
-// the codec, which checks it between slabs), so a cancelled refinement
+// the codec, which checks it between chunks), so a cancelled refinement
 // aborts promptly with ctx.Err(). sc supplies reusable scratch buffers to
 // each pass (nil = allocate fresh).
 func Refine(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *codec.Stats, target, vr float64, sc *codec.Scratch) ([]byte, *codec.Stats, float64, error) {
@@ -37,10 +53,11 @@ func Refine(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Option
 		return blob, st, ebAbs, nil
 	}
 	targetMSE := core.MSEForPSNR(target, vr)
-	d0, mse0 := 2*opt.ErrorBound, st.MSE
+	mse := measuredMSE(blob, st)
+	d0, mse0 := 2*opt.ErrorBound, mse
 	var d1, mse1 float64
-	for pass := 0; pass < refineMaxPasses && !core.WithinTolerance(st.MSE, target, vr, refineTolDB); pass++ {
-		if st.MSE == 0 {
+	for pass := 0; pass < refineMaxPasses && !core.WithinTolerance(mse, target, vr, refineTolDB); pass++ {
+		if mse == 0 {
 			break // lossless at this bound; nothing cheaper to try safely
 		}
 		if err := ctx.Err(); err != nil {
@@ -50,17 +67,123 @@ func Refine(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Option
 		if err != nil {
 			break
 		}
+		cur := d1
+		if cur == 0 {
+			cur = d0
+		}
+		if next == cur {
+			// The secant step proposes the bin width it just measured
+			// (the degenerate d1 == d0 case — e.g. a distortion curve
+			// that does not respond to the bound). Accepting the stream
+			// silently would misreport the calibration, so fail loudly.
+			actual := -10*math.Log10(mse) + 20*math.Log10(vr)
+			return nil, nil, 0, fmt.Errorf(
+				"plan: calibrated refinement stalled: secant step repeats δ=%g (measured %.2f dB vs target %.2f dB)",
+				next, actual, target)
+		}
 		if d1 > 0 {
 			d0, mse0 = d1, mse1
 		}
 		opt.ErrorBound = next / 2
-		nb, nst, nerr := c.Compress(ctx, f, opt, sc)
+		nb, nst, nerr := recompress(ctx, f, c, opt, blob, sc)
 		if nerr != nil {
 			return nil, nil, 0, nerr
 		}
 		blob, st = nb, nst
 		ebAbs = next / 2
-		d1, mse1 = next, st.MSE
+		mse = measuredMSE(blob, st)
+		d1, mse1 = next, mse
 	}
 	return blob, st, ebAbs, nil
+}
+
+// measuredMSE returns the field MSE the refinement loop steers on: the
+// point-count-weighted aggregate of the per-chunk MSEs in the stream's
+// chunk table when every chunk is measured, the codec's Stats.MSE
+// otherwise.
+func measuredMSE(blob []byte, st *codec.Stats) float64 {
+	if h, err := codec.ParseHeader(blob); err == nil {
+		if agg := h.AggregateMSE(); !math.IsNaN(agg) {
+			return agg
+		}
+	}
+	return st.MSE
+}
+
+// recompress produces a stream at the (new) bound in opt. For chunked
+// streams from a ChunkCodec it recompresses only the stale chunks —
+// those whose recorded MSE contribution would change at the new bound —
+// and reuses the rest verbatim, pinning their previous bound in their
+// chunk entries; otherwise it falls back to a full Compress pass.
+func recompress(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Options, prev []byte, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	cc, ok := c.(codec.ChunkCodec)
+	if !ok {
+		return c.Compress(ctx, f, opt, sc)
+	}
+	h, err := codec.ParseHeader(prev)
+	if err != nil || len(h.Chunks) == 0 || math.IsNaN(h.AggregateMSE()) {
+		return c.Compress(ctx, f, opt, sc)
+	}
+
+	inner := h.InnerPoints()
+	copt := opt
+	copt.Capacity = h.Capacity // keep the container's quantizer geometry across passes
+	payloads := make([][]byte, len(h.Chunks))
+	chunks := make([]codec.ChunkInfo, len(h.Chunks))
+	err = parallel.ForEachCtx(ctx, len(h.Chunks), opt.Workers, func(ci int) error {
+		ck := h.Chunks[ci]
+		if ck.MSE == 0 {
+			// Exact reconstruction at the previous bound: the chunk's
+			// error contribution is already final, so keep the payload
+			// and record the bound it was actually quantized with.
+			pl, err := codec.ChunkPayload(prev, h, ci)
+			if err != nil {
+				return err
+			}
+			payloads[ci] = pl
+			ck.EbAbs = h.ChunkBound(ci)
+			chunks[ci] = ck
+			return nil
+		}
+		lo := ck.RowStart
+		sub := f.Data[lo*inner : (lo+ck.Rows)*inner]
+		pl, cst, err := cc.CompressChunk(ctx, sub, h.ChunkDims(ci), h.Precision, copt, sc)
+		if err != nil {
+			return err
+		}
+		payloads[ci] = pl
+		chunks[ci] = codec.ChunkInfo{
+			Rows:          ck.Rows,
+			Unpredictable: cst.Unpredictable,
+			MSE:           cst.MSE,
+			Min:           cst.Min,
+			Max:           cst.Max,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nh := &codec.Header{
+		Codec:      h.Codec,
+		Precision:  h.Precision,
+		Mode:       h.Mode,
+		Name:       h.Name,
+		Dims:       h.Dims,
+		EbAbs:      opt.ErrorBound,
+		TargetPSNR: h.TargetPSNR,
+		ValueRange: h.ValueRange,
+		Capacity:   h.Capacity,
+		Chunks:     chunks,
+	}
+	out, err := codec.AssembleStream(nh, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := codec.StatsFromChunks(nh, len(out), f.SizeBytes())
+	if h.ValueRange > 0 {
+		st.ValueRange = h.ValueRange
+	}
+	return out, st, nil
 }

@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/field"
+)
+
+// flatCodec measures an MSE that never responds to the bound — the
+// degenerate case where two refinement passes measure the same (δ, MSE)
+// point and the secant step repeats itself (d1 == d0).
+type flatCodec struct {
+	mse          float64
+	compressions int
+}
+
+func (c *flatCodec) Name() string      { return "flat" }
+func (c *flatCodec) IDs() []codec.ID   { return []codec.ID{250} }
+func (c *flatCodec) MeasuresMSE() bool { return true }
+
+func (c *flatCodec) Compress(ctx context.Context, f *field.Field, opt codec.Options, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	c.compressions++
+	return []byte{0xFA}, &codec.Stats{MSE: c.mse, ValueRange: 1}, nil
+}
+
+func (c *flatCodec) Decompress([]byte) (*field.Field, *codec.Header, error) {
+	return nil, nil, nil
+}
+
+// TestRefineStallIsAnError: when two equal passes make the secant step
+// propose the bin width it just measured, Refine must fail loudly rather
+// than silently accept an off-target stream.
+func TestRefineStallIsAnError(t *testing.T) {
+	f := field.New("flat", field.Float64, 4, 4)
+	c := &flatCodec{mse: 1e-2} // 20 dB at vr=1, far from the 40 dB target
+	opt := codec.Options{ErrorBound: 0.01}
+	blob, st, err := c.Compress(context.Background(), f, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = Refine(context.Background(), f, c, opt, blob, st, 40, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want refinement-stalled error", err)
+	}
+	// The first extra pass moves the bound and measures the same MSE;
+	// the next secant step then repeats δ and the stall is detected
+	// before any further compression (1 initial + 1 extra).
+	if c.compressions != 2 {
+		t.Fatalf("compressions = %d, want 2 (initial + one extra pass, then stall)", c.compressions)
+	}
+}
+
+// TestRefineWithinToleranceExitsClean: a first pass already inside the
+// band never recompresses and never errors.
+func TestRefineWithinToleranceExitsClean(t *testing.T) {
+	f := field.New("ok", field.Float64, 4, 4)
+	target := 40.0
+	mse := math.Pow(10, -target/10) // exactly on target at vr=1
+	c := &flatCodec{mse: mse}
+	opt := codec.Options{ErrorBound: 0.01}
+	blob, st, err := c.Compress(context.Background(), f, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, nst, eb, err := Refine(context.Background(), f, c, opt, blob, st, target, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.compressions != 1 || eb != opt.ErrorBound || &nb[0] != &blob[0] || nst.MSE != mse {
+		t.Fatalf("within-tolerance pass must be a no-op (compressions=%d)", c.compressions)
+	}
+}

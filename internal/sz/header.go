@@ -2,9 +2,12 @@ package sz
 
 import (
 	"context"
+	"fmt"
+	"math"
 
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/quantizer"
 )
 
 // The stream container (header layout, codec identifiers, parsing) lives
@@ -78,6 +81,36 @@ func (szCodec) Compress(ctx context.Context, f *field.Field, opt codec.Options, 
 
 func (szCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
 	return Decompress(data)
+}
+
+// CompressChunk implements codec.ChunkCodec: one row slab through the
+// full Lorenzo pipeline. ctx is checked once up front; a chunk is the
+// cancellation granularity of this pipeline.
+func (szCodec) CompressChunk(ctx context.Context, data []float64, dims []int, prec field.Precision, opt codec.Options, sc *codec.Scratch) ([]byte, codec.ChunkStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, codec.ChunkStats{}, err
+	}
+	copt := opt
+	if copt.Capacity == 0 {
+		copt.Capacity = quantizer.DefaultCapacity
+	}
+	if !(copt.ErrorBound > 0) || math.IsInf(copt.ErrorBound, 0) || math.IsNaN(copt.ErrorBound) {
+		return nil, codec.ChunkStats{}, fmt.Errorf("sz: error bound must be positive and finite, got %g", copt.ErrorBound)
+	}
+	return compressChunk(data, dims, prec, copt, sc)
+}
+
+// DecompressChunk implements codec.ChunkCodec for Lorenzo streams.
+// Constant and log-domain (pointwise-relative) streams are only decoded
+// whole and report ErrNotChunked.
+func (szCodec) DecompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) error {
+	if h.Codec != codec.IDLorenzo {
+		return codec.ErrNotChunked
+	}
+	if len(dst) != h.ChunkPoints(ci) {
+		return fmt.Errorf("sz: chunk %d dst has %d points, want %d", ci, len(dst), h.ChunkPoints(ci))
+	}
+	return decompressChunk(payload, h, ci, dst)
 }
 
 func init() { codec.Register(szCodec{}) }

@@ -108,8 +108,13 @@ func CompressPWRelCtx(ctx context.Context, f *field.Field, ebRel float64, opt Op
 		TargetPSNR: math.NaN(),
 		ValueRange: vr,
 		Capacity:   innerStats.Capacity,
-		ChunkLens:  []int{len(payload)},
-		ChunkRows:  []int{f.Dims[0]},
+		Chunks: []codec.ChunkInfo{{
+			Rows: f.Dims[0],
+			Len:  len(payload),
+			MSE:  math.NaN(), // log-domain streams do not track data-domain MSE
+			Min:  math.NaN(),
+			Max:  math.NaN(),
+		}},
 	}
 	if h.Capacity == 0 {
 		h.Capacity = 4 // constant inner stream; keep header valid
@@ -143,14 +148,13 @@ func DecompressPWRel(data []byte) (*field.Field, *Header, error) {
 	if h.Codec != CodecLogLorenzo {
 		return nil, nil, fmt.Errorf("sz: stream has codec %v, not %v", h.Codec, CodecLogLorenzo)
 	}
-	if len(h.ChunkLens) != 1 {
+	if len(h.Chunks) != 1 {
 		return nil, nil, fmt.Errorf("sz: pwrel stream should have one payload chunk")
 	}
-	payload := data[h.PayloadOffset():]
-	if len(payload) < h.ChunkLens[0] {
-		return nil, nil, fmt.Errorf("sz: pwrel payload truncated")
+	payload, err := codec.ChunkPayload(data, h, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: pwrel payload: %w", err)
 	}
-	payload = payload[:h.ChunkLens[0]]
 
 	_, payload, err = readFloat64(payload) // ebRel (informational)
 	if err != nil {

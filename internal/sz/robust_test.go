@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/datagen"
 	"fixedpsnr/internal/field"
 	"fixedpsnr/internal/stats"
@@ -81,8 +82,7 @@ func TestParseHeaderRejectsOverflowDims(t *testing.T) {
 		Dims:      []int{1 << 40, 1 << 40, 1 << 40},
 		EbAbs:     1,
 		Capacity:  65536,
-		ChunkLens: []int{1},
-		ChunkRows: []int{1 << 40},
+		Chunks:    []codec.ChunkInfo{{Rows: 1 << 40, Len: 1}},
 	}
 	blob := h.Marshal()
 	if _, err := ParseHeader(blob); err == nil {

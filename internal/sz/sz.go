@@ -43,15 +43,12 @@ import (
 
 // Options is the unified codec configuration (see codec.Options). The SZ
 // pipeline reads ErrorBound, Capacity, AutoCapacity, Workers, ChunkRows,
-// Level, and the header annotations; BlockSize and Transform are ignored.
+// ChunkPoints, Level, and the header annotations; BlockSize and
+// Transform are ignored.
 type Options = codec.Options
 
 // Stats is the unified compression outcome report (see codec.Stats).
 type Stats = codec.Stats
-
-// minChunkPoints is the smallest slab size worth paying a Huffman table
-// for; slabs are merged up to at least this many points.
-const minChunkPoints = 1 << 14
 
 // Compress compresses the field under the given absolute error bound and
 // returns the encoded stream plus statistics.
@@ -60,12 +57,19 @@ func Compress(f *field.Field, opt Options) ([]byte, *Stats, error) {
 }
 
 // CompressCtx is Compress with cancellation and buffer reuse: workers
-// check ctx between slabs (a cancelled context aborts within one slab of
-// work per worker and surfaces ctx.Err()), and the large per-slab
+// check ctx between chunks (a cancelled context aborts within one chunk
+// of work per worker and surfaces ctx.Err()), and the large per-chunk
 // transients — quantization codes, the reconstruction buffer, the
 // pre-DEFLATE staging bytes, and the DEFLATE writer — come from scratch
 // when it is non-nil, so a session reusing one scratch across calls stops
 // paying those allocations on the hot path.
+//
+// The field is tiled into independent chunks along the slowest dimension
+// (codec.ChunkSpans); each chunk restarts the predictor, compresses
+// through CompressChunk, and lands in the container's chunk table with
+// its exact MSE and value range, so streams are random-access at chunk
+// granularity and the global fixed-PSNR accounting can aggregate
+// per-chunk distortion.
 func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scratch) ([]byte, *Stats, error) {
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
@@ -89,37 +93,33 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 	if capacity == 0 {
 		capacity = quantizer.DefaultCapacity
 	}
-	q, err := quantizer.New(opt.ErrorBound, capacity)
-	if err != nil {
-		return nil, nil, err
-	}
+	copt := opt
+	copt.Capacity = capacity
 
-	bounds := chunkRowBounds(f.Dims[0], opt)
+	spans := codec.ChunkSpans(f.Dims, opt)
 	inner := 1
 	for _, d := range f.Dims[1:] {
 		inner *= d
 	}
 
-	type chunkResult struct {
-		payload       []byte
-		unpredictable int
-		sumSq         float64
-	}
-	results := make([]chunkResult, len(bounds))
-	err = parallel.ForEachCtx(ctx, len(bounds), opt.Workers, func(c int) error {
-		lo, hi := bounds[c][0], bounds[c][1]
+	payloads := make([][]byte, len(spans))
+	chunks := make([]codec.ChunkInfo, len(spans))
+	err := parallel.ForEachCtx(ctx, len(spans), opt.Workers, func(c int) error {
+		lo, hi := spans[c][0], spans[c][1]
 		sub := f.Data[lo*inner : hi*inner]
 		subDims := append([]int{hi - lo}, f.Dims[1:]...)
-		codes := sc.Ints(len(sub))
-		recon := sc.Floats(len(sub))
-		literals, sumSq := compressCore(sub, subDims, q, codes, recon)
-		sc.PutFloats(recon)
-		payload, err := encodeChunk(codes, literals, f.Precision, opt.FlateLevel(), sc)
-		sc.PutInts(codes)
+		payload, cst, err := compressChunk(sub, subDims, f.Precision, copt, sc)
 		if err != nil {
 			return fmt.Errorf("sz: chunk %d: %w", c, err)
 		}
-		results[c] = chunkResult{payload: payload, unpredictable: len(literals), sumSq: sumSq}
+		payloads[c] = payload
+		chunks[c] = codec.ChunkInfo{
+			Rows:          hi - lo,
+			Unpredictable: cst.Unpredictable,
+			MSE:           cst.MSE,
+			Min:           cst.Min,
+			Max:           cst.Max,
+		}
 		return nil
 	})
 	if err != nil {
@@ -136,43 +136,43 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 		TargetPSNR: opt.TargetPSNR,
 		ValueRange: opt.ValueRange,
 		Capacity:   capacity,
-		ChunkLens:  make([]int, len(results)),
-		ChunkRows:  make([]int, len(results)),
+		Chunks:     chunks,
 	}
 	if h.TargetPSNR == 0 && opt.Mode != ModePSNR {
 		h.TargetPSNR = math.NaN()
 	}
-	total := 0
-	unpred := 0
-	var sumSq float64
-	for i, r := range results {
-		h.ChunkLens[i] = len(r.payload)
-		h.ChunkRows[i] = bounds[i][1] - bounds[i][0]
-		total += len(r.payload)
-		unpred += r.unpredictable
-		sumSq += r.sumSq
+	out, err := codec.AssembleStream(h, payloads)
+	if err != nil {
+		return nil, nil, err
 	}
-	out := h.Marshal()
-	out = append(out, make([]byte, 0, total)...)
-	for _, r := range results {
-		out = append(out, r.payload...)
-	}
-
-	st := &Stats{
-		OriginalBytes:   f.SizeBytes(),
-		CompressedBytes: len(out),
-		NPoints:         f.Len(),
-		Unpredictable:   unpred,
-		Chunks:          len(results),
-		Capacity:        capacity,
-		ValueRange:      vr,
-		MSE:             sumSq / float64(f.Len()),
-	}
-	if len(out) > 0 {
-		st.Ratio = float64(st.OriginalBytes) / float64(len(out))
-		st.BitRate = 8 * float64(len(out)) / float64(f.Len())
-	}
+	st := codec.StatsFromChunks(h, len(out), f.SizeBytes())
+	st.ValueRange = vr
 	return out, st, nil
+}
+
+// compressChunk runs the full per-chunk pipeline — Lorenzo prediction,
+// quantization, Huffman, DEFLATE — over one row slab and reports the
+// chunk's exact statistics. opt.Capacity and opt.ErrorBound must be
+// resolved (positive) already.
+func compressChunk(data []float64, dims []int, prec field.Precision, opt Options, sc *codec.Scratch) ([]byte, codec.ChunkStats, error) {
+	var cst codec.ChunkStats
+	q, err := quantizer.New(opt.ErrorBound, opt.Capacity)
+	if err != nil {
+		return nil, cst, err
+	}
+	codes := sc.Ints(len(data))
+	recon := sc.Floats(len(data))
+	literals, sumSq := compressCore(data, dims, q, codes, recon)
+	sc.PutFloats(recon)
+	payload, err := encodeChunk(codes, literals, prec, opt.FlateLevel(), sc)
+	sc.PutInts(codes)
+	if err != nil {
+		return nil, cst, err
+	}
+	cst.Unpredictable = len(literals)
+	cst.MSE = sumSq / float64(len(data))
+	cst.Min, cst.Max = codec.ValueBounds(data)
+	return payload, cst, nil
 }
 
 // compressConstant encodes a field whose value range is zero.
@@ -203,9 +203,8 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	out := field.New(h.Name, h.Precision, h.Dims...)
-
 	if h.Codec == CodecConstant {
+		out := field.New(h.Name, h.Precision, h.Dims...)
 		for i := range out.Data {
 			out.Data[i] = h.ConstValue
 		}
@@ -218,44 +217,16 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 		return nil, nil, fmt.Errorf("sz: cannot decode codec %v here", h.Codec)
 	}
 
-	q, err := quantizer.New(h.EbAbs, h.Capacity)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Re-derive the slab partition used at compression time: the chunk
-	// count fixes it via parallel.Partition.
-	nchunks := len(h.ChunkLens)
-	offsets := make([]int, nchunks+1)
-	offsets[0] = h.PayloadOffset()
-	for i, l := range h.ChunkLens {
-		offsets[i+1] = offsets[i] + l
-	}
-	if offsets[nchunks] > len(data) {
-		return nil, nil, fmt.Errorf("sz: stream truncated")
-	}
-	inner := 1
-	for _, d := range h.Dims[1:] {
-		inner *= d
-	}
-
-	rowStart := make([]int, nchunks+1)
-	for i, r := range h.ChunkRows {
-		rowStart[i+1] = rowStart[i] + r
-	}
-	err = parallel.ForEach(nchunks, 0, func(c int) error {
-		lo, hi := rowStart[c], rowStart[c+1]
-		payload := data[offsets[c]:offsets[c+1]]
-		codes, literals, err := decodeChunk(payload, h.Precision)
+	out := field.New(h.Name, h.Precision, h.Dims...)
+	inner := h.InnerPoints()
+	err = parallel.ForEach(len(h.Chunks), 0, func(c int) error {
+		payload, err := codec.ChunkPayload(data, h, c)
 		if err != nil {
-			return fmt.Errorf("sz: chunk %d: %w", c, err)
+			return err
 		}
-		subDims := append([]int{hi - lo}, h.Dims[1:]...)
-		want := (hi - lo) * inner
-		if len(codes) != want {
-			return fmt.Errorf("sz: chunk %d has %d codes, want %d", c, len(codes), want)
-		}
-		return decompressCore(out.Data[lo*inner:hi*inner], codes, literals, subDims, q)
+		lo := h.Chunks[c].RowStart
+		hi := lo + h.Chunks[c].Rows
+		return decompressChunk(payload, h, c, out.Data[lo*inner:hi*inner])
 	})
 	if err != nil {
 		return nil, nil, err
@@ -263,30 +234,23 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 	return out, h, nil
 }
 
-// chunkRowBounds partitions dims[0] into slabs according to the options.
-func chunkRowBounds(rows int, opt Options) [][2]int {
-	if opt.ChunkRows > 0 {
-		return parallel.Chunks(rows, opt.ChunkRows)
+// decompressChunk reverses compressChunk for chunk c of a parsed Lorenzo
+// stream, reconstructing into dst (the chunk's points). Per-chunk bounds
+// written by selective recompression take precedence over the header
+// bound.
+func decompressChunk(payload []byte, h *Header, c int, dst []float64) error {
+	q, err := quantizer.New(h.ChunkBound(c), h.Capacity)
+	if err != nil {
+		return err
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
+	codes, literals, err := decodeChunk(payload, h.Precision)
+	if err != nil {
+		return fmt.Errorf("sz: chunk %d: %w", c, err)
 	}
-	if workers <= 1 || rows == 1 {
-		return [][2]int{{0, rows}}
+	if len(codes) != len(dst) {
+		return fmt.Errorf("sz: chunk %d has %d codes, want %d", c, len(codes), len(dst))
 	}
-	n := workers
-	if n > rows {
-		n = rows
-	}
-	var out [][2]int
-	for w := 0; w < n; w++ {
-		lo, hi := parallel.Partition(rows, n, w)
-		if lo < hi {
-			out = append(out, [2]int{lo, hi})
-		}
-	}
-	return out
+	return decompressCore(dst, codes, literals, h.ChunkDims(c), q)
 }
 
 // compressCore runs prediction + quantization over one slab, filling the

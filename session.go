@@ -72,8 +72,15 @@ func WithAutoCapacity(on bool) Option { return func(o *Options) { o.AutoCapacity
 // WithWorkers bounds compression concurrency (0 = all CPUs).
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
-// WithChunkRows forces the parallel slab height (SZ pipeline).
+// WithChunkRows forces the chunk height in rows along the slowest
+// dimension.
 func WithChunkRows(n int) Option { return func(o *Options) { o.ChunkRows = n } }
+
+// WithChunkPoints sets the target chunk size in points for the chunked
+// container (see Options.ChunkPoints). Chunked streams decode
+// region-by-region through Decoder.DecodeRegion and stream through
+// Encoder.EncodeFrom with bounded memory.
+func WithChunkPoints(n int) Option { return func(o *Options) { o.ChunkPoints = n } }
 
 // WithLevel sets the DEFLATE level (0 = fastest).
 func WithLevel(level int) Option { return func(o *Options) { o.Level = level } }
@@ -173,6 +180,20 @@ func (d *Decoder) Decode(ctx context.Context, data []byte) (*Field, *StreamInfo,
 		return nil, nil, err
 	}
 	return codec.Decompress(data)
+}
+
+// DecodeRegion reconstructs only the axis-aligned sub-block starting at
+// off with extents ext (one entry per dimension) from a compressed
+// stream — random access over the chunked container. Only the chunks the
+// region's row window intersects are decoded, so latency and memory
+// scale with the region, not the field, and the output is byte-identical
+// to the matching slice of a full Decode. Streams without chunk-granular
+// access fall back to a full decode plus crop.
+func (d *Decoder) DecodeRegion(ctx context.Context, data []byte, off, ext []int) (*Field, *StreamInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return codec.DecompressRegion(data, off, ext)
 }
 
 // DecodeFrom reads one complete compressed stream from r and
