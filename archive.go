@@ -67,7 +67,8 @@ type archiveEntry struct {
 // single-threaded so the speedup comes from field-level parallelism,
 // which matches the multi-field snapshot workload). In ModePSNR every
 // field gets its own Eq. 8 bound from its own value range — the paper's
-// batch use case.
+// batch use case; in ModeRatio every field is steered to the shared
+// TargetRatio, so the whole snapshot lands on it too.
 //
 // CompressFields is the one-shot wrapper over Encoder.EncodeBatch; hold
 // an Encoder directly for cancellation and cross-call buffer reuse. For

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fixedpsnr/internal/experiment"
+)
+
+// experimentsMain regenerates the paper's tables and figures plus the
+// extension studies on the synthetic stand-in data sets.
+func experimentsMain(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	var (
+		name    = fs.String("experiment", "all", "experiment to run (table1, figure1, figure2, table2, overhead, baseline, transform, ablation, ratio, decimation, calibration, fixedratio, all)")
+		csvPath = fs.String("csv", "", "also write machine-readable CSV to this path (table2, figure1, figure2)")
+		fields  = fs.Bool("fields", false, "print per-field tables where applicable")
+		workers = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		nyxDims = fs.String("nyx", "", "NYX grid, e.g. 64x64x64")
+		atmDims = fs.String("atm", "", "ATM grid, e.g. 180x360")
+		hurDims = fs.String("hurricane", "", "Hurricane grid, e.g. 25x125x125")
+	)
+	fs.Parse(args)
+
+	cfg := experiment.Config{Workers: *workers}
+	var err error
+	if cfg.NYXDims, err = parseDims(*nyxDims, 3); err != nil {
+		return err
+	}
+	if cfg.ATMDims, err = parseDims(*atmDims, 2); err != nil {
+		return err
+	}
+	if cfg.HurricaneDims, err = parseDims(*hurDims, 3); err != nil {
+		return err
+	}
+	return run(os.Stdout, *name, cfg, *csvPath, *fields)
+}
+
+func run(w io.Writer, name string, cfg experiment.Config, csvPath string, fields bool) error {
+	var csvW *os.File
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvW = f
+	}
+
+	all := name == "all"
+	ran := false
+
+	if all || name == "table1" {
+		ran = true
+		experiment.RenderTable1(w, experiment.Table1(cfg))
+		fmt.Fprintln(w)
+	}
+	if all || name == "figure1" {
+		ran = true
+		r, err := experiment.Figure1(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderFigure1(w, r)
+		fmt.Fprintln(w)
+		if csvW != nil && name == "figure1" {
+			if err := experiment.CSVFigure1(csvW, r); err != nil {
+				return err
+			}
+		}
+	}
+	if all || name == "figure2" {
+		ran = true
+		r, err := experiment.Figure2(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderFigure2(w, r)
+		if fields {
+			experiment.RenderFigure2Fields(w, r)
+		}
+		fmt.Fprintln(w)
+		if csvW != nil && name == "figure2" {
+			if err := experiment.CSVFigure2(csvW, r); err != nil {
+				return err
+			}
+		}
+	}
+	if all || name == "table2" {
+		ran = true
+		r, err := experiment.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderTable2(w, r)
+		fmt.Fprintln(w)
+		if csvW != nil && name == "table2" {
+			if err := experiment.CSVTable2(csvW, r); err != nil {
+				return err
+			}
+		}
+	}
+	if all || name == "overhead" {
+		ran = true
+		rows, err := experiment.Overhead(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderOverhead(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || name == "baseline" {
+		ran = true
+		rows, err := experiment.Baseline(cfg, nil)
+		if err != nil {
+			return err
+		}
+		experiment.RenderBaseline(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || name == "transform" {
+		ran = true
+		cells, err := experiment.TransformExperiment(cfg, nil)
+		if err != nil {
+			return err
+		}
+		experiment.RenderTransform(w, cells)
+		fmt.Fprintln(w)
+	}
+	if all || name == "ablation" {
+		ran = true
+		rows, err := experiment.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderAblation(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || name == "ratio" {
+		ran = true
+		cells, err := experiment.RatioSweep(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderRatio(w, cells)
+		fmt.Fprintln(w)
+	}
+	if all || name == "decimation" {
+		ran = true
+		r, err := experiment.Decimation(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderDecimation(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || name == "calibration" {
+		ran = true
+		cells, err := experiment.Calibration(cfg, nil)
+		if err != nil {
+			return err
+		}
+		experiment.RenderCalibration(w, cells)
+		fmt.Fprintln(w)
+	}
+	if all || name == "fixedratio" {
+		ran = true
+		cells, err := experiment.FixedRatio(cfg, nil)
+		if err != nil {
+			return err
+		}
+		experiment.RenderFixedRatio(w, cells)
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

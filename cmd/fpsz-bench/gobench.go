@@ -1,14 +1,3 @@
-// Command fpsz-benchjson converts `go test -bench -benchmem` text output
-// into a JSON benchmark record, so CI can emit machine-readable perf
-// artifacts (BENCH_pr2.json tracks the one-shot vs reused-Encoder
-// session benchmarks) and the perf trajectory accumulates across PRs.
-//
-// Usage:
-//
-//	go test -run '^$' -bench 'OneShot|EncoderReuse' -benchmem . |
-//	    fpsz-benchjson -out BENCH_pr2.json
-//
-// Lines that are not benchmark results are ignored.
 package main
 
 import (
@@ -22,8 +11,8 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
+// GoBenchResult is one parsed `go test -bench` result line.
+type GoBenchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -32,53 +21,51 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-func main() {
-	in := flag.String("in", "-", "bench output file (default stdin)")
-	out := flag.String("out", "-", "JSON output file (default stdout)")
-	flag.Parse()
+// gobenchMain converts `go test -bench -benchmem` text output into a JSON
+// benchmark record, so CI can emit machine-readable perf artifacts and
+// the perf trajectory accumulates across PRs. Lines that are not
+// benchmark results are ignored.
+func gobenchMain(args []string) error {
+	fs := flag.NewFlagSet("gobench", flag.ExitOnError)
+	in := fs.String("in", "-", "bench output file (default stdin)")
+	out := fs.String("out", "-", "JSON output file (default stdout)")
+	fs.Parse(args)
 
+	results, err := parseGoBenchFile(*in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeJSON(*out, blob)
+}
+
+// parseGoBenchFile parses a bench output file ("-" = stdin).
+func parseGoBenchFile(path string) ([]GoBenchResult, error) {
 	src := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	if path != "-" {
+		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		defer f.Close()
 		src = f
 	}
-	results, err := parse(src)
-	if err != nil {
-		fatal(err)
-	}
-	if len(results) == 0 {
-		fatal(fmt.Errorf("no benchmark lines found"))
-	}
-	blob, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	blob = append(blob, '\n')
-	if *out == "-" {
-		os.Stdout.Write(blob)
-		return
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
-	}
+	return parseGoBench(src)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpsz-benchjson:", err)
-	os.Exit(1)
-}
-
-// parse extracts benchmark result lines of the form
+// parseGoBench extracts benchmark result lines of the form
 //
 //	BenchmarkName-8  100  11481571 ns/op  87.10 MB/s  7391472 B/op  59 allocs/op
 //
 // from mixed `go test` output.
-func parse(r io.Reader) ([]Result, error) {
-	var out []Result
+func parseGoBench(r io.Reader) ([]GoBenchResult, error) {
+	var out []GoBenchResult
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -90,7 +77,7 @@ func parse(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue
 		}
-		res := Result{Name: trimGOMAXPROCS(fields[0]), Iterations: iters}
+		res := GoBenchResult{Name: trimGOMAXPROCS(fields[0]), Iterations: iters}
 		seen := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)

@@ -1,55 +1,76 @@
-// Command fpsz-bench regenerates the paper's tables and figures plus the
-// extension studies on the synthetic stand-in data sets.
+// Command fpsz-bench is the unified benchmark and experiment tool: the
+// paper's tables and figures, machine-readable performance records, and
+// the fixed-ratio accuracy sweep all live behind one binary with
+// subcommands.
 //
 // Usage:
 //
-//	fpsz-bench -experiment all
-//	fpsz-bench -experiment table2 -csv table2.csv
-//	fpsz-bench -experiment figure2 -fields
-//	fpsz-bench -experiment table2 -atm 360x720 -nyx 128x128x128
+//	fpsz-bench experiments -experiment all            # paper tables/figures
+//	fpsz-bench experiments -experiment table2 -csv t2.csv
+//	fpsz-bench gobench -in bench.out -out bench.json  # parse `go test -bench`
+//	fpsz-bench chunk -dims 256x384x384 -psnr 80       # chunked-encoder record
+//	fpsz-bench ratio -dims 64x96x96 -ratios 8,16,32   # fixed-ratio records
+//	fpsz-bench suite -out BENCH_pr4.json [-gobench bench.out]
 //
-// Experiments: table1, figure1, figure2, table2, overhead, baseline,
-// transform, ablation, ratio, decimation, calibration, all.
+// The suite subcommand runs the chunked-encoder benchmark and the
+// fixed-ratio sweep (optionally folding in parsed `go test -bench`
+// output) and emits one combined JSON record — the per-PR perf artifact
+// CI uploads.
+//
+// For backward compatibility, invoking fpsz-bench with a leading flag
+// (e.g. `fpsz-bench -experiment table1`) routes to the experiments
+// subcommand.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
-
-	"fixedpsnr/internal/experiment"
 )
 
 func main() {
-	var (
-		name    = flag.String("experiment", "all", "experiment to run (table1, figure1, figure2, table2, overhead, baseline, transform, ablation, ratio, decimation, calibration, all)")
-		csvPath = flag.String("csv", "", "also write machine-readable CSV to this path (table2, figure1, figure2)")
-		fields  = flag.Bool("fields", false, "print per-field tables where applicable")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-		nyxDims = flag.String("nyx", "", "NYX grid, e.g. 64x64x64")
-		atmDims = flag.String("atm", "", "ATM grid, e.g. 180x360")
-		hurDims = flag.String("hurricane", "", "Hurricane grid, e.g. 25x125x125")
-	)
-	flag.Parse()
-
-	cfg := experiment.Config{Workers: *workers}
+	args := os.Args[1:]
+	sub := "help"
+	if len(args) > 0 {
+		if strings.HasPrefix(args[0], "-") {
+			// Legacy spelling: flags straight after the binary name.
+			sub = "experiments"
+		} else {
+			sub, args = args[0], args[1:]
+		}
+	}
 	var err error
-	if cfg.NYXDims, err = parseDims(*nyxDims, 3); err != nil {
+	switch sub {
+	case "experiments":
+		err = experimentsMain(args)
+	case "gobench":
+		err = gobenchMain(args)
+	case "chunk":
+		err = chunkMain(args)
+	case "ratio":
+		err = ratioMain(args)
+	case "suite":
+		err = suiteMain(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fpsz-bench: unknown subcommand %q\n\n", sub)
+		usage()
+	}
+	if err != nil {
 		fatal(err)
 	}
-	if cfg.ATMDims, err = parseDims(*atmDims, 2); err != nil {
-		fatal(err)
-	}
-	if cfg.HurricaneDims, err = parseDims(*hurDims, 3); err != nil {
-		fatal(err)
-	}
+}
 
-	if err := run(os.Stdout, *name, cfg, *csvPath, *fields); err != nil {
-		fatal(err)
-	}
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fpsz-bench experiments -experiment <name> [-csv <path>] [-fields] [-workers N] [dims flags]
+  fpsz-bench gobench     [-in <bench.out>] [-out <json>]
+  fpsz-bench chunk       [-dims HxWxD] [-psnr dB] [-chunkpoints N] [-workers N] [-out <json>]
+  fpsz-bench ratio       [-dims HxWxD] [-ratios R,R,...] [-codecs sz,otc] [-workers N] [-out <json>]
+  fpsz-bench suite       [-out <json>] [-gobench <bench.out>] [chunk/ratio flags]`)
+	os.Exit(2)
 }
 
 func fatal(err error) {
@@ -57,6 +78,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseDims parses "AxBxC" into dimensions of the required rank.
 func parseDims(s string, wantRank int) ([]int, error) {
 	if s == "" {
 		return nil, nil
@@ -76,135 +98,12 @@ func parseDims(s string, wantRank int) ([]int, error) {
 	return dims, nil
 }
 
-func run(w io.Writer, name string, cfg experiment.Config, csvPath string, fields bool) error {
-	var csvW *os.File
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		csvW = f
+// writeJSON marshals blob-ready bytes to a path, "-" meaning stdout.
+func writeJSON(path string, blob []byte) error {
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(blob)
+		return err
 	}
-
-	all := name == "all"
-	ran := false
-
-	if all || name == "table1" {
-		ran = true
-		experiment.RenderTable1(w, experiment.Table1(cfg))
-		fmt.Fprintln(w)
-	}
-	if all || name == "figure1" {
-		ran = true
-		r, err := experiment.Figure1(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderFigure1(w, r)
-		fmt.Fprintln(w)
-		if csvW != nil && name == "figure1" {
-			if err := experiment.CSVFigure1(csvW, r); err != nil {
-				return err
-			}
-		}
-	}
-	if all || name == "figure2" {
-		ran = true
-		r, err := experiment.Figure2(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderFigure2(w, r)
-		if fields {
-			experiment.RenderFigure2Fields(w, r)
-		}
-		fmt.Fprintln(w)
-		if csvW != nil && name == "figure2" {
-			if err := experiment.CSVFigure2(csvW, r); err != nil {
-				return err
-			}
-		}
-	}
-	if all || name == "table2" {
-		ran = true
-		r, err := experiment.Table2(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderTable2(w, r)
-		fmt.Fprintln(w)
-		if csvW != nil && name == "table2" {
-			if err := experiment.CSVTable2(csvW, r); err != nil {
-				return err
-			}
-		}
-	}
-	if all || name == "overhead" {
-		ran = true
-		rows, err := experiment.Overhead(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderOverhead(w, rows)
-		fmt.Fprintln(w)
-	}
-	if all || name == "baseline" {
-		ran = true
-		rows, err := experiment.Baseline(cfg, nil)
-		if err != nil {
-			return err
-		}
-		experiment.RenderBaseline(w, rows)
-		fmt.Fprintln(w)
-	}
-	if all || name == "transform" {
-		ran = true
-		cells, err := experiment.TransformExperiment(cfg, nil)
-		if err != nil {
-			return err
-		}
-		experiment.RenderTransform(w, cells)
-		fmt.Fprintln(w)
-	}
-	if all || name == "ablation" {
-		ran = true
-		rows, err := experiment.Ablation(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderAblation(w, rows)
-		fmt.Fprintln(w)
-	}
-	if all || name == "ratio" {
-		ran = true
-		cells, err := experiment.RatioSweep(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderRatio(w, cells)
-		fmt.Fprintln(w)
-	}
-	if all || name == "decimation" {
-		ran = true
-		r, err := experiment.Decimation(cfg)
-		if err != nil {
-			return err
-		}
-		experiment.RenderDecimation(w, r)
-		fmt.Fprintln(w)
-	}
-	if all || name == "calibration" {
-		ran = true
-		cells, err := experiment.Calibration(cfg, nil)
-		if err != nil {
-			return err
-		}
-		experiment.RenderCalibration(w, cells)
-		fmt.Fprintln(w)
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", name)
-	}
-	return nil
+	return os.WriteFile(path, blob, 0o644)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"strings"
 	"testing"
 
 	"fixedpsnr/internal/experiment"
@@ -63,5 +64,49 @@ func cfgForTest() experiment.Config {
 		NYXDims:       []int{8, 8, 8},
 		ATMDims:       []int{16, 32},
 		HurricaneDims: []int{4, 16, 16},
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+BenchmarkOneShotCompress-8   	     100	  11481571 ns/op	  87.10 MB/s	 7391472 B/op	      59 allocs/op
+BenchmarkEncoderReuse-8      	     200	   5000000 ns/op
+some unrelated line
+PASS
+`
+	results, err := parseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkOneShotCompress" || r.Iterations != 100 ||
+		r.NsPerOp != 11481571 || r.MBPerSec != 87.10 || r.BytesPerOp != 7391472 || r.AllocsPerOp != 59 {
+		t.Fatalf("first result mismatch: %+v", r)
+	}
+	if results[1].Name != "BenchmarkEncoderReuse" || results[1].NsPerOp != 5000000 {
+		t.Fatalf("second result mismatch: %+v", results[1])
+	}
+}
+
+func TestRatioRecordsSweep(t *testing.T) {
+	recs, err := ratioRecords("16x32x32", "6", "sz", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Codec != "sz" || r.TargetRatio != 6 || r.Passes < 1 || !(r.Achieved > 0) {
+		t.Fatalf("implausible record: %+v", r)
+	}
+}
+
+func TestRatioRecordsRejectsUnknownCodec(t *testing.T) {
+	if _, err := ratioRecords("16x32x32", "8", "zstd", 1); err == nil {
+		t.Fatal("expected unknown-codec error")
 	}
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"fixedpsnr"
+)
+
+// RatioRecord is one fixed-ratio benchmark datapoint: how close the
+// steered compression ratio landed, how many passes the solver spent,
+// and the end-to-end encode throughput including those passes.
+type RatioRecord struct {
+	Name        string  `json:"name"`
+	Codec       string  `json:"codec"`
+	Dims        []int   `json:"dims"`
+	TargetRatio float64 `json:"target_ratio"`
+	Achieved    float64 `json:"achieved_ratio"`
+	DevPct      float64 `json:"deviation_pct"`
+	Passes      int     `json:"passes"`
+	PSNR        float64 `json:"measured_psnr_db"`
+	EncodeMBps  float64 `json:"encode_mb_per_s"`
+}
+
+// ratioMain sweeps the fixed-ratio mode over the chunkbench synthetic
+// field for each codec × target-ratio pair and emits the records.
+func ratioMain(args []string) error {
+	fs := flag.NewFlagSet("ratio", flag.ExitOnError)
+	var (
+		dimsArg   = fs.String("dims", "64x96x96", "synthetic field grid")
+		ratiosArg = fs.String("ratios", "8,16,32", "comma-separated target ratios")
+		codecsArg = fs.String("codecs", "sz,otc", "comma-separated codecs (sz, otc)")
+		workers   = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		out       = fs.String("out", "-", "JSON output path (default stdout)")
+	)
+	fs.Parse(args)
+
+	recs, err := ratioRecords(*dimsArg, *ratiosArg, *codecsArg, *workers)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*out, blob); err != nil {
+		return err
+	}
+	if *out != "-" {
+		for _, r := range recs {
+			fmt.Printf("%s %s R=%g: achieved %.2f (%+.1f%%) in %d pass(es), %.1f MB/s, %.1f dB\n",
+				r.Name, r.Codec, r.TargetRatio, r.Achieved, r.DevPct, r.Passes, r.EncodeMBps, r.PSNR)
+		}
+	}
+	return nil
+}
+
+// ratioRecords runs the fixed-ratio sweep.
+func ratioRecords(dimsArg, ratiosArg, codecsArg string, workers int) ([]RatioRecord, error) {
+	dims, err := parseDims(dimsArg, 3)
+	if err != nil {
+		return nil, err
+	}
+	if dims == nil {
+		return nil, fmt.Errorf("ratio: -dims is required")
+	}
+	ratios, err := parseFloats(ratiosArg)
+	if err != nil {
+		return nil, err
+	}
+	f := synthFieldForBench(dims)
+
+	var recs []RatioRecord
+	for _, codecName := range strings.Split(codecsArg, ",") {
+		codecName = strings.TrimSpace(codecName)
+		var comp fixedpsnr.Compressor
+		switch codecName {
+		case "sz":
+			comp = fixedpsnr.CompressorSZ
+		case "otc":
+			comp = fixedpsnr.CompressorTransform
+		default:
+			return nil, fmt.Errorf("ratio: unknown codec %q (want sz or otc)", codecName)
+		}
+		for _, target := range ratios {
+			opt := fixedpsnr.Options{
+				Mode:        fixedpsnr.ModeRatio,
+				TargetRatio: target,
+				Compressor:  comp,
+				Workers:     workers,
+			}
+			start := time.Now()
+			blob, res, err := fixedpsnr.Compress(f, opt)
+			if err != nil {
+				return nil, fmt.Errorf("ratio: %s @ %g: %w", codecName, target, err)
+			}
+			secs := time.Since(start).Seconds()
+			recon, _, err := fixedpsnr.Decompress(blob)
+			if err != nil {
+				return nil, err
+			}
+			d := fixedpsnr.CompareFields(f, recon)
+			recs = append(recs, RatioRecord{
+				Name:        "fixed_ratio_" + dimsArg,
+				Codec:       codecName,
+				Dims:        dims,
+				TargetRatio: target,
+				Achieved:    res.Ratio,
+				DevPct:      100 * (res.Ratio - target) / target,
+				Passes:      res.Passes,
+				PSNR:        d.PSNR,
+				EncodeMBps:  float64(res.OriginalBytes) / (1 << 20) / secs,
+			})
+		}
+	}
+	return recs, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad ratio list %q", s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty ratio list")
+	}
+	return out, nil
+}

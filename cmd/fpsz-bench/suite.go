@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+
+	"fixedpsnr"
+)
+
+// SuiteRecord is the combined per-PR benchmark artifact: the chunked
+// streaming-encoder record, the fixed-ratio accuracy datapoints, and
+// (when -gobench is given) the parsed `go test -bench` session results —
+// one JSON file instead of one file per tool.
+type SuiteRecord struct {
+	Chunked    []ChunkRecord   `json:"chunked"`
+	FixedRatio []RatioRecord   `json:"fixed_ratio"`
+	GoBench    []GoBenchResult `json:"go_bench,omitempty"`
+}
+
+// suiteMain runs the chunked-encoder benchmark and the fixed-ratio sweep
+// and emits one combined JSON record (BENCH_pr4.json in CI).
+func suiteMain(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	var (
+		chunkDims   = fs.String("dims", "256x384x384", "chunked benchmark grid")
+		psnr        = fs.Float64("psnr", 80, "chunked benchmark target PSNR in dB")
+		chunkPoints = fs.Int("chunkpoints", fixedpsnr.DefaultChunkPoints, "chunked benchmark chunk size in points")
+		ratioDims   = fs.String("ratiodims", "64x96x96", "fixed-ratio sweep grid")
+		ratiosArg   = fs.String("ratios", "8,16,32", "fixed-ratio sweep targets")
+		codecsArg   = fs.String("codecs", "sz,otc", "fixed-ratio sweep codecs")
+		workers     = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		gobenchPath = fs.String("gobench", "", "optional `go test -bench` output to fold in")
+		out         = fs.String("out", "-", "JSON output path (default stdout)")
+	)
+	fs.Parse(args)
+
+	chunk, err := chunkRecord(*chunkDims, *psnr, *chunkPoints, *workers)
+	if err != nil {
+		return fmt.Errorf("suite: chunk benchmark: %w", err)
+	}
+	ratios, err := ratioRecords(*ratioDims, *ratiosArg, *codecsArg, *workers)
+	if err != nil {
+		return fmt.Errorf("suite: ratio sweep: %w", err)
+	}
+	rec := SuiteRecord{Chunked: []ChunkRecord{chunk}, FixedRatio: ratios}
+	if *gobenchPath != "" {
+		gb, err := parseGoBenchFile(*gobenchPath)
+		if err != nil {
+			return fmt.Errorf("suite: gobench: %w", err)
+		}
+		rec.GoBench = gb
+	}
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*out, blob); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Printf("suite: chunked %.1f MB/s @ %.2f dB; %d fixed-ratio datapoints; %d go-bench results -> %s\n",
+			chunk.EncodeMBps, chunk.MeasuredPSNR, len(ratios), len(rec.GoBench), *out)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	fpsz compress   -in field.sdf -out field.fpsz -mode psnr -psnr 80
+//	fpsz compress   -in field.sdf -out field.fpsz -ratio 16
 //	fpsz compress   -in field.sdf -out field.fpsz -mode abs -eb 1e-3
 //	fpsz compress   -in field.sdf -out field.fpsz -mode rel -eb 1e-4
 //	fpsz compress   -in field.sdf -out field.fpsz -mode pwrel -eb 1e-3
@@ -83,11 +84,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  fpsz compress   -in <field.sdf> -out <stream.fpsz> -mode abs|rel|psnr|pwrel [-eb <bound>] [-psnr <dB>] [flags]
+  fpsz compress   -in <field.sdf> -out <stream.fpsz> -mode abs|rel|psnr|ratio|pwrel [-eb <bound>] [-psnr <dB>] [-ratio <R>] [flags]
   fpsz decompress -in <stream.fpsz> -out <field.sdf>
   fpsz inspect    -in <stream.fpsz>
   fpsz verify     -in <stream.fpsz> -orig <field.sdf>
-  fpsz archive    -dir <dir-of-sdf> -out <snapshot.fpsa> [-psnr <dB>]
+  fpsz archive    -dir <dir-of-sdf> -out <snapshot.fpsa> [-psnr <dB> | -ratio <R>]
   fpsz list       -in <snapshot.fpsa>
   fpsz extract    -in <snapshot.fpsa> -field <name> -out <field.sdf> [-region off:ext,...]
   fpsz info       alias of inspect; -chunks prints the per-chunk index`)
@@ -99,9 +100,10 @@ func compress(ctx context.Context, args []string) error {
 	var (
 		in         = fs.String("in", "", "input field file (SDF1)")
 		out        = fs.String("out", "", "output compressed stream")
-		mode       = fs.String("mode", "psnr", "error-control mode: abs, rel, psnr, pwrel")
+		mode       = fs.String("mode", "psnr", "quality target: abs, rel, psnr, ratio, pwrel")
 		eb         = fs.Float64("eb", 0, "error bound (abs: absolute; rel/pwrel: relative)")
 		psnr       = fs.Float64("psnr", 80, "target PSNR in dB (psnr mode)")
+		ratio      = fs.Float64("ratio", 0, "target compression ratio (> 1; selects ratio mode)")
 		compressor = fs.String("compressor", "sz", "pipeline: sz, transform, or wavelet")
 		capacity   = fs.Int("capacity", 0, "quantization intervals (0 = 65536)")
 		autoCap    = fs.Bool("autocap", false, "estimate capacity from the data")
@@ -136,6 +138,10 @@ func compress(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("compress: unknown compressor %q", *compressor)
 	}
+	if *ratio > 0 {
+		// -ratio is a shorthand that selects the fixed-ratio target.
+		*mode = "ratio"
+	}
 	switch *mode {
 	case "abs":
 		opt.Mode, opt.ErrorBound = fixedpsnr.ModeAbs, *eb
@@ -143,6 +149,8 @@ func compress(ctx context.Context, args []string) error {
 		opt.Mode, opt.RelBound = fixedpsnr.ModeRel, *eb
 	case "psnr":
 		opt.Mode, opt.TargetPSNR = fixedpsnr.ModePSNR, *psnr
+	case "ratio":
+		opt.Mode, opt.TargetRatio = fixedpsnr.ModeRatio, *ratio
 	case "pwrel":
 		opt.Mode, opt.PWRelBound = fixedpsnr.ModePWRel, *eb
 	default:
@@ -166,6 +174,10 @@ func compress(ctx context.Context, args []string) error {
 		res.OriginalBytes, res.CompressedBytes, res.Ratio, res.BitRate, res.Unpredictable)
 	if *mode == "psnr" {
 		fmt.Printf("  target PSNR=%.2f dB (estimated actual: %.2f dB)\n", *psnr, res.EstimatedPSNR)
+	}
+	if *mode == "ratio" {
+		fmt.Printf("  target ratio=%.2f achieved=%.2f (%+.1f%%) in %d pass(es)\n",
+			res.TargetRatio, res.Ratio, 100*(res.Ratio-res.TargetRatio)/res.TargetRatio, res.Passes)
 	}
 	return nil
 }
@@ -288,6 +300,7 @@ func archive(ctx context.Context, args []string) error {
 		dir      = fs.String("dir", "", "directory of .sdf field files")
 		out      = fs.String("out", "", "output archive (.fpsa)")
 		psnr     = fs.Float64("psnr", 80, "target PSNR in dB")
+		ratio    = fs.Float64("ratio", 0, "target compression ratio per field (> 1; overrides -psnr)")
 		workers  = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		chunkPts = fs.Int("chunkpoints", 0, "target chunk size in points for random-access streams (0 = default tiling)")
 	)
@@ -325,12 +338,23 @@ func archive(ctx context.Context, args []string) error {
 	}
 	// One Encoder session serves the whole snapshot: scratch buffers
 	// are reused field to field and Ctrl-C aborts the in-flight field.
-	enc, err := fixedpsnr.NewEncoder(
+	// With -ratio every field is steered to the same compression ratio
+	// (so the whole snapshot hits it too); otherwise every field gets
+	// its own Eq. 8 bound for the target PSNR.
+	quality := []fixedpsnr.Option{
 		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
 		fixedpsnr.WithTargetPSNR(*psnr),
+	}
+	if *ratio > 0 {
+		quality = []fixedpsnr.Option{
+			fixedpsnr.WithMode(fixedpsnr.ModeRatio),
+			fixedpsnr.WithTargetRatio(*ratio),
+		}
+	}
+	enc, err := fixedpsnr.NewEncoder(append(quality,
 		fixedpsnr.WithWorkers(*workers),
 		fixedpsnr.WithChunkPoints(*chunkPts),
-	)
+	)...)
 	if err != nil {
 		return err
 	}
@@ -367,9 +391,16 @@ func archive(ctx context.Context, args []string) error {
 	}
 	done = true
 	outBytes := st.Size()
+	achieved := float64(inBytes) / float64(outBytes)
+	if *ratio > 0 {
+		fmt.Printf("archived %d fields at target ratio %g: %.1f MB -> %.1f MB (achieved %.1fx, %+.1f%%)\n",
+			aw.Count(), *ratio, float64(inBytes)/(1<<20), float64(outBytes)/(1<<20),
+			achieved, 100*(achieved-*ratio)/(*ratio))
+		return nil
+	}
 	fmt.Printf("archived %d fields at %g dB: %.1f MB -> %.1f MB (%.1fx)\n",
 		aw.Count(), *psnr, float64(inBytes)/(1<<20), float64(outBytes)/(1<<20),
-		float64(inBytes)/float64(outBytes))
+		achieved)
 	return nil
 }
 

@@ -89,9 +89,9 @@ func (r *fieldDataReader) ReadValues(dst []float64) (int, error) {
 //
 // Constraints that follow from single-pass streaming: ModeRel and
 // ModePSNR need the value range up front (FieldSpec.HasRange), because
-// the bound is derived from it before the first value arrives; ModePWRel
-// and AutoCapacity need the whole field and are rejected; the Calibrated
-// refinement would need to re-read the input and is ignored. The chunk
+// the bound is derived from it before the first value arrives; ModePWRel,
+// ModeRatio, and AutoCapacity need the whole field and are rejected; the
+// Calibrated refinement would need to re-read the input and is ignored. The chunk
 // size comes from ChunkPoints (DefaultChunkPoints when zero); ChunkRows
 // overrides it.
 func (e *Encoder) EncodeFrom(ctx context.Context, fr FieldReader) ([]byte, *Result, error) {
@@ -101,6 +101,9 @@ func (e *Encoder) EncodeFrom(ctx context.Context, fr FieldReader) ([]byte, *Resu
 	}
 	if opt.Mode == ModePWRel {
 		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support ModePWRel (needs the whole field)")
+	}
+	if opt.Mode == ModeRatio {
+		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support ModeRatio (ratio steering recompresses, which needs the whole field)")
 	}
 	if opt.AutoCapacity {
 		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support AutoCapacity (needs the whole field)")
@@ -128,13 +131,7 @@ func (e *Encoder) EncodeFrom(ctx context.Context, fr FieldReader) ([]byte, *Resu
 		return nil, nil, fmt.Errorf("fixedpsnr: ModeAbs requires a positive ErrorBound")
 	}
 
-	res, err := plan.Request{
-		Mode:       opt.Mode,
-		ErrorBound: opt.ErrorBound,
-		RelBound:   opt.RelBound,
-		TargetPSNR: opt.TargetPSNR,
-		PWRelBound: opt.PWRelBound,
-	}.Resolve(vr)
+	res, err := opt.planRequest(spec.Precision).Resolve(vr)
 	if err != nil {
 		return nil, nil, err
 	}

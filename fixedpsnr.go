@@ -20,13 +20,18 @@
 //     blockwise orthonormal-transform compressor (DCT or Haar) with the
 //     same entropy back end.
 //
-// Four error-control modes are supported:
+// Five quality targets (error-control modes) are supported:
 //
 //   - ModeAbs   — absolute error bound (|x−x̃| ≤ eb for every point);
 //   - ModeRel   — value-range-based relative bound (eb = rel·(max−min));
 //   - ModePSNR  — the paper's contribution: a target PSNR is converted to
 //     a relative bound in closed form (ebrel = √3·10^(−PSNR/20), Eq. 8)
-//     and the compressor runs exactly once;
+//     and the compressor runs exactly once (Calibrated adds a
+//     measured-MSE secant refinement for low targets);
+//   - ModeRatio — FRaZ-style fixed compression ratio: the bound is
+//     steered by a log–log secant over the measured rate curve until
+//     original/compressed bytes lands within RatioTolerance of
+//     TargetRatio (works on every pipeline — size needs no Theorem 1);
 //   - ModePWRel — pointwise relative bound (|x−x̃| ≤ rel·|x|), via
 //     log-domain compression (SZ family only).
 //
@@ -70,7 +75,7 @@ import (
 	_ "fixedpsnr/internal/otc" // register the orthogonal-transform codec
 	"fixedpsnr/internal/plan"
 	"fixedpsnr/internal/stats"
-	"fixedpsnr/internal/sz"
+	_ "fixedpsnr/internal/sz" // register the prediction-based codec
 )
 
 // Field is the N-dimensional data container accepted by Compress.
@@ -139,6 +144,10 @@ const (
 	ModePSNR = plan.ModePSNR
 	// ModePWRel bounds the pointwise error relative to each value.
 	ModePWRel = plan.ModePWRel
+	// ModeRatio fixes the overall compression ratio (FRaZ-style): the
+	// bound is steered until OriginalBytes/CompressedBytes lands within
+	// RatioTolerance of TargetRatio.
+	ModeRatio = plan.ModeRatio
 )
 
 // Compressor selects the compression pipeline.
@@ -213,15 +222,33 @@ type Options struct {
 	TargetPSNR float64
 	// Calibrated refines ModePSNR for low targets (the paper's stated
 	// future work). Theorem 1 lets a pipeline measure its exact MSE
-	// during compression, so when the Eq. 8 pass lands outside ±0.5 dB
-	// of the target the bin width is re-derived by a log–log secant
-	// step and the field recompressed (up to three extra passes). High
-	// targets exit after the first pass at no extra cost. Only
-	// pipelines that measure their MSE honor it (the SZ family); others
-	// ignore it.
+	// during compression, so when the Eq. 8 pass lands outside
+	// ToleranceDB of the target the bin width is re-derived by a
+	// log–log secant step and the field recompressed (up to
+	// MaxRefinePasses extra passes). High targets exit after the first
+	// pass at no extra cost. Only pipelines that measure their MSE
+	// honor it (the SZ family); others ignore it.
 	Calibrated bool
 	// PWRelBound is the pointwise relative bound for ModePWRel.
 	PWRelBound float64
+	// TargetRatio is the target compression ratio
+	// (OriginalBytes/CompressedBytes, > 1) for ModeRatio. The bound is
+	// steered across passes until the achieved ratio lands within
+	// RatioTolerance of it; the achieved value is reported in
+	// Result.Ratio and the passes consumed in Result.Passes.
+	TargetRatio float64
+
+	// ToleranceDB is the calibrated fixed-PSNR acceptance band in dB
+	// around TargetPSNR (0 = the default 0.5 dB). Every steered target
+	// reads its band through the same tuning mechanism.
+	ToleranceDB float64
+	// RatioTolerance is the fixed-ratio acceptance band as a fraction of
+	// TargetRatio (0 = the default 0.05, i.e. ±5%).
+	RatioTolerance float64
+	// MaxRefinePasses bounds the extra compression passes any steered
+	// target may take (0 = per-target default: 3 for calibrated
+	// fixed-PSNR, 8 for fixed-ratio).
+	MaxRefinePasses int
 
 	// Capacity is the number of quantization intervals (0 = default
 	// 65536); AutoCapacity estimates it from the data instead.
@@ -283,11 +310,29 @@ func (opt Options) Validate() error {
 		if !(opt.PWRelBound > 0) || opt.PWRelBound >= 1 {
 			return fmt.Errorf("fixedpsnr: PWRelBound must be in (0, 1), got %g", opt.PWRelBound)
 		}
-		if opt.codecName() != "sz" {
-			return fmt.Errorf("fixedpsnr: ModePWRel is only supported by the sz pipeline")
+		if name := opt.codecName(); name != "sz" {
+			// Capability-based: any registered codec implementing the
+			// pointwise-relative interface qualifies, not just sz.
+			c, ok := codec.ByName(name)
+			if !ok || !isPWRelCodec(c) {
+				return fmt.Errorf("fixedpsnr: ModePWRel is only supported by pipelines with pointwise-relative capability (codec %q has none)", name)
+			}
+		}
+	case ModeRatio:
+		if !(opt.TargetRatio > 1) || math.IsInf(opt.TargetRatio, 0) {
+			return fmt.Errorf("fixedpsnr: TargetRatio must be finite and > 1, got %g", opt.TargetRatio)
 		}
 	default:
 		return fmt.Errorf("fixedpsnr: unknown mode %v", opt.Mode)
+	}
+	if opt.ToleranceDB < 0 || math.IsNaN(opt.ToleranceDB) || math.IsInf(opt.ToleranceDB, 0) {
+		return fmt.Errorf("fixedpsnr: ToleranceDB must be non-negative and finite, got %g", opt.ToleranceDB)
+	}
+	if opt.RatioTolerance < 0 || opt.RatioTolerance >= 1 || math.IsNaN(opt.RatioTolerance) {
+		return fmt.Errorf("fixedpsnr: RatioTolerance must be in [0, 1), got %g", opt.RatioTolerance)
+	}
+	if opt.MaxRefinePasses < 0 || opt.MaxRefinePasses > 64 {
+		return fmt.Errorf("fixedpsnr: MaxRefinePasses %d outside [0, 64]", opt.MaxRefinePasses)
 	}
 	if opt.Codec == "" && opt.Compressor.codecName() == "" {
 		return fmt.Errorf("fixedpsnr: unknown compressor %v", opt.Compressor)
@@ -319,6 +364,13 @@ func (opt Options) Validate() error {
 	return nil
 }
 
+// isPWRelCodec reports whether a registered codec implements the
+// pointwise-relative capability.
+func isPWRelCodec(c codec.Codec) bool {
+	_, ok := c.(codec.PWRelCodec)
+	return ok
+}
+
 // codecName resolves the registry key the options select: the explicit
 // Codec override when set, the Compressor mapping otherwise.
 func (opt Options) codecName() string {
@@ -326,6 +378,26 @@ func (opt Options) codecName() string {
 		return opt.Codec
 	}
 	return opt.Compressor.codecName()
+}
+
+// planRequest lowers the options into the plan layer's error-control
+// demand for values stored at the given precision.
+func (opt Options) planRequest(prec Precision) plan.Request {
+	return plan.Request{
+		Mode:         opt.Mode,
+		ErrorBound:   opt.ErrorBound,
+		RelBound:     opt.RelBound,
+		TargetPSNR:   opt.TargetPSNR,
+		PWRelBound:   opt.PWRelBound,
+		TargetRatio:  opt.TargetRatio,
+		BitsPerValue: float64(8 * prec.Bytes()),
+		Calibrated:   opt.Calibrated,
+		Tuning: plan.Tuning{
+			ToleranceDB:    opt.ToleranceDB,
+			RatioTolerance: opt.RatioTolerance,
+			MaxPasses:      opt.MaxRefinePasses,
+		},
+	}
 }
 
 // codecOptions lowers the public options plus a plan resolution into the
@@ -366,6 +438,13 @@ type Result struct {
 	EbAbs, EbRel float64
 	// TargetPSNR echoes the requested PSNR (NaN for other modes).
 	TargetPSNR float64
+	// TargetRatio echoes the requested compression ratio (0 for other
+	// modes); compare against Ratio for the achieved value.
+	TargetRatio float64
+	// Passes counts the compression passes the quality-steering loop
+	// consumed (1 = the first pass was accepted; steered targets may
+	// take extra refinement passes).
+	Passes int
 	// EstimatedPSNR is the closed-form Eq. 7 prediction of the actual
 	// PSNR at the chosen bound (+Inf for constant fields).
 	EstimatedPSNR float64
@@ -407,26 +486,10 @@ func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch) ([]
 	}
 	_, _, vr := f.ValueRange()
 
-	res, err := plan.Request{
-		Mode:       opt.Mode,
-		ErrorBound: opt.ErrorBound,
-		RelBound:   opt.RelBound,
-		TargetPSNR: opt.TargetPSNR,
-		PWRelBound: opt.PWRelBound,
-	}.Resolve(vr)
+	req := opt.planRequest(f.Precision)
+	res, err := req.Resolve(vr)
 	if err != nil {
 		return nil, nil, err
-	}
-
-	if res.PWRel {
-		// Pointwise-relative compression is a distinct log-domain
-		// pipeline offered by the SZ family only (enforced by Validate).
-		// The inner log-domain stream annotates its own value range.
-		blob, st, err := sz.CompressPWRelCtx(ctx, f, opt.PWRelBound, opt.codecOptions(res, 0), sc)
-		if err != nil {
-			return nil, nil, err
-		}
-		return blob, resultFromStats(st, opt.PWRelBound, 0, math.NaN(), res.EstimatedPSNR), nil
 	}
 
 	name := opt.codecName()
@@ -435,22 +498,51 @@ func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch) ([]
 		return nil, nil, fmt.Errorf("fixedpsnr: codec %q is not registered", name)
 	}
 
+	if res.PWRel {
+		// Pointwise-relative compression is a distinct log-domain path
+		// dispatched by capability (Validate guarantees the codec has
+		// it). The inner log-domain stream annotates its own value range.
+		pw, ok := c.(codec.PWRelCodec)
+		if !ok {
+			return nil, nil, fmt.Errorf("fixedpsnr: codec %q lost its pointwise-relative capability", name)
+		}
+		blob, st, err := pw.CompressPWRel(ctx, f, opt.PWRelBound, opt.codecOptions(res, 0), sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := resultFromStats(st, opt.PWRelBound, 0, math.NaN(), res.EstimatedPSNR)
+		r.Passes = 1
+		return blob, r, nil
+	}
+
 	copt := opt.codecOptions(res, vr)
 	blob, st, err := c.Compress(ctx, f, copt, sc)
 	if err != nil {
 		return nil, nil, err
 	}
-	ebAbs, ebRel := res.EbAbs, res.EbRel
-	if opt.Calibrated && opt.Mode == ModePSNR {
-		blob, st, ebAbs, err = plan.Refine(ctx, f, c, copt, blob, st, res.TargetPSNR, vr, sc)
-		if err != nil {
-			return nil, nil, err
-		}
+	// The steered quality targets — calibrated fixed-PSNR, fixed ratio —
+	// refine the first pass through the plan layer's generic Drive loop;
+	// single-pass modes get a nil target and pass through unchanged.
+	blob, st, ebAbs, passes, err := plan.Drive(ctx, f, c, copt, blob, st, req.BuildTarget(c, vr), sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	ebRel := res.EbRel
+	estimate := res.EstimatedPSNR
+	if ebAbs != res.EbAbs {
 		if vr > 0 {
 			ebRel = ebAbs / vr
 		}
+		if opt.Mode == ModeRatio {
+			estimate = core.EstimatePSNRFromAbsBound(vr, ebAbs)
+		}
 	}
-	return blob, resultFromStats(st, ebAbs, ebRel, res.TargetPSNR, res.EstimatedPSNR), nil
+	r := resultFromStats(st, ebAbs, ebRel, res.TargetPSNR, estimate)
+	r.Passes = passes
+	if opt.Mode == ModeRatio {
+		r.TargetRatio = opt.TargetRatio
+	}
+	return blob, r, nil
 }
 
 // resultFromStats lifts a codec stats report into the public Result. The
@@ -471,6 +563,7 @@ func resultFromStats(st *codec.Stats, ebAbs, ebRel, target, estimate float64) *R
 		EstimatedPSNR:   estimate,
 		MSE:             st.MSE,
 		MeasuredPSNR:    math.Inf(1),
+		Passes:          1, // steered callers overwrite with the loop's count
 	}
 	switch {
 	case math.IsNaN(st.MSE):

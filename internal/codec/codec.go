@@ -80,6 +80,20 @@ type ChunkCodec interface {
 	DecompressChunk(payload []byte, h *Header, ci int, dst []float64) error
 }
 
+// PWRelCodec is the optional interface of pipelines that implement the
+// pointwise-relative error mode (|x̃ − x| ≤ rel·|x| for every point).
+// The built-in sz pipeline implements it via log-domain compression.
+// Dispatch is capability-based — the public API routes ModePWRel to any
+// registered codec that implements this interface — so pointwise-relative
+// support is a codec property, not a hardwired pipeline name.
+type PWRelCodec interface {
+	Codec
+	// CompressPWRel encodes f under the pointwise relative bound pwRel
+	// (in (0, 1)). opt carries the shared configuration; its ErrorBound
+	// is ignored (the pipeline derives its own inner bound from pwRel).
+	CompressPWRel(ctx context.Context, f *field.Field, pwRel float64, opt Options, scratch *Scratch) ([]byte, *Stats, error)
+}
+
 // ErrNotChunked reports that a stream cannot be decoded chunk by chunk
 // (its codec is not a ChunkCodec, or the stream ID is one the pipeline
 // only decodes whole, like the log-domain pointwise-relative streams).

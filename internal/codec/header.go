@@ -119,6 +119,9 @@ const (
 	ModePSNR
 	// ModePWRel: pointwise-relative bound (log-domain compression).
 	ModePWRel
+	// ModeRatio: bound steered to a target compression ratio
+	// (FRaZ-style fixed-ratio mode).
+	ModeRatio
 )
 
 // String names the mode.
@@ -132,6 +135,8 @@ func (m Mode) String() string {
 		return "psnr"
 	case ModePWRel:
 		return "pwrel"
+	case ModeRatio:
+		return "ratio"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}

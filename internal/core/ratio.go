@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fixed-ratio error control (FRaZ-style: "FRaZ: A Generic High-Fidelity
+// Fixed-Ratio Lossy Compression Framework", Underwood et al.) is the
+// second instance of the paper's control pattern: steer the codec's
+// absolute bound until a measured statistic hits a user target. For fixed
+// PSNR the statistic is the exact quantization MSE (calibrate.go); here it
+// is the achieved compression ratio — aggregate compressed bytes per
+// original byte — which every pipeline measures for free. The solver
+// below proposes the next bound from the measured rate–distortion points;
+// the generic loop in internal/plan drives it.
+
+// WithinRatioTolerance reports whether an achieved compression ratio is
+// within the relative band tolFrac of the target (two-sided: compressing
+// too hard overshoots the ratio just as compressing too little
+// undershoots it). Non-positive or non-finite measurements never pass.
+func WithinRatioTolerance(achieved, target, tolFrac float64) bool {
+	if !(achieved > 0) || math.IsInf(achieved, 0) {
+		return false
+	}
+	return math.Abs(achieved-target) <= tolFrac*target
+}
+
+// InitialBoundForRatio guesses the first-pass absolute bound for a target
+// compression ratio over data of value range vr stored at bpp bits per
+// value. The quantized-entropy model — bitrate ≈ log2(vr/δ) − G bits per
+// value, with G the (unknown, data-dependent) prediction gain — is
+// inverted at an assumed mid-range gain; the guess only has to land on
+// the measurable part of the rate curve, because the solver re-derives
+// the bound from measured points after the first pass.
+func InitialBoundForRatio(targetRatio, vr, bpp float64) float64 {
+	if vr <= 0 {
+		return 0
+	}
+	// Target bitrate bpp/R; assumed gain of ~7 bits covers typical smooth
+	// scientific fields without starting absurdly lossy on rough ones.
+	rel := math.Pow(2, -(bpp/targetRatio + 7))
+	if rel < 1e-8 {
+		rel = 1e-8
+	}
+	if rel > 0.25 {
+		rel = 0.25
+	}
+	return rel * vr
+}
+
+// NextBoundFixedRatio proposes the next absolute bound for the fixed-ratio
+// loop from one or two measured (bound, achieved-ratio) points.
+//
+// With two distinct points it takes a secant step in log–log space through
+// the measured ratio(bound) curve, the same adaptive step the calibrated
+// fixed-PSNR loop uses on its MSE(δ) curve. With one point — or when the
+// curve has flattened (ratio no longer responding to the bound, e.g. the
+// stream is header- or literal-dominated) — it falls back to the
+// one-bit-per-doubling entropy model: each doubling of the bound removes
+// about one bit per value from the quantized stream, so
+//
+//	next = b · 2^(bpp·(1/r − 1/target))
+//
+// where bpp is the uncompressed bits per value. The result is clamped to
+// [latest/16, latest·16] to keep the loop stable; pass b1 ≤ 0 to use the
+// single-point form.
+func NextBoundFixedRatio(bpp, b0, r0, b1, r1, target float64) (float64, error) {
+	if !(bpp > 0) || !(b0 > 0) || !(r0 > 0) || !(target > 0) {
+		return 0, fmt.Errorf("core: NextBoundFixedRatio needs positive bpp, b0, r0, target")
+	}
+	if math.IsInf(b0, 0) || math.IsInf(r0, 0) || math.IsInf(b1, 0) || math.IsInf(r1, 0) ||
+		math.IsNaN(b1) || math.IsNaN(r1) || math.IsInf(target, 0) || math.IsInf(bpp, 0) {
+		return 0, fmt.Errorf("core: NextBoundFixedRatio needs finite inputs")
+	}
+	latest, rLatest := b0, r0
+	if b1 > 0 && r1 > 0 {
+		latest, rLatest = b1, r1
+	}
+	entropyStep := func(b, r float64) float64 {
+		exp := bpp * (1/r - 1/target)
+		// A wild exponent (tiny measured ratio vs huge target) would
+		// overflow before the final clamp catches it.
+		if exp > 8 {
+			exp = 8
+		}
+		if exp < -8 {
+			exp = -8
+		}
+		return b * math.Pow(2, exp)
+	}
+	var next float64
+	if b1 > 0 && r1 > 0 && b1 != b0 && r1 != r0 {
+		// log(ratio) ≈ a·log(bound) + c through the two points.
+		a := (math.Log(r1) - math.Log(r0)) / (math.Log(b1) - math.Log(b0))
+		if a < 0.01 {
+			// Flat or inverted response; re-anchor on the entropy model.
+			next = entropyStep(latest, rLatest)
+		} else {
+			next = math.Exp(math.Log(b1) + (math.Log(target)-math.Log(r1))/a)
+		}
+	} else {
+		next = entropyStep(latest, rLatest)
+	}
+	lo, hi := latest/16, latest*16
+	if next < lo {
+		next = lo
+	}
+	if next > hi {
+		next = hi
+	}
+	if !(next > 0) || math.IsInf(next, 0) || math.IsNaN(next) {
+		return 0, fmt.Errorf("core: fixed-ratio step produced unusable bound %g", next)
+	}
+	return next, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithinRatioTolerance(t *testing.T) {
+	cases := []struct {
+		achieved, target, tol float64
+		want                  bool
+	}{
+		{16, 16, 0.05, true},
+		{16.7, 16, 0.05, true},  // +4.4%
+		{15.3, 16, 0.05, true},  // -4.4%
+		{17.0, 16, 0.05, false}, // +6.3%
+		{14.9, 16, 0.05, false},
+		{0, 16, 0.05, false},
+		{math.NaN(), 16, 0.05, false},
+		{math.Inf(1), 16, 0.05, false},
+		{-3, 16, 0.05, false},
+	}
+	for _, c := range cases {
+		if got := WithinRatioTolerance(c.achieved, c.target, c.tol); got != c.want {
+			t.Errorf("WithinRatioTolerance(%g, %g, %g) = %v, want %v", c.achieved, c.target, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestInitialBoundForRatio(t *testing.T) {
+	// Larger targets must start at larger (lossier) bounds, and the
+	// guess must scale with the value range.
+	b8 := InitialBoundForRatio(8, 1, 32)
+	b64 := InitialBoundForRatio(64, 1, 32)
+	if !(b64 > b8) || !(b8 > 0) {
+		t.Fatalf("bounds must grow with the target: R=8 -> %g, R=64 -> %g", b8, b64)
+	}
+	if got := InitialBoundForRatio(8, 10, 32); math.Abs(got-10*b8) > 1e-12*b8 {
+		t.Fatalf("bound must scale with vr: got %g, want %g", got, 10*b8)
+	}
+	if got := InitialBoundForRatio(8, 0, 32); got != 0 {
+		t.Fatalf("zero range must yield zero bound, got %g", got)
+	}
+}
+
+// TestNextBoundFixedRatioSecantExactOnPowerLaw: for ratio(b) = c·b^a the
+// two-point log–log secant solves the target exactly (up to the clamp).
+func TestNextBoundFixedRatioSecantExactOnPowerLaw(t *testing.T) {
+	c, a := 100.0, 0.5
+	ratio := func(b float64) float64 { return c * math.Pow(b, a) }
+	b0, b1 := 1e-4, 2e-4
+	target := 4.0
+	next, err := NextBoundFixedRatio(32, b0, ratio(b0), b1, ratio(b1), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(target/c, 1/a)
+	if math.Abs(next-want) > 1e-9*want {
+		t.Fatalf("secant step = %g, want %g", next, want)
+	}
+}
+
+// TestNextBoundFixedRatioSingleTightensTowardTarget: the entropy-model
+// step from one point moves in the right direction.
+func TestNextBoundFixedRatioSingleTightensTowardTarget(t *testing.T) {
+	// Achieved 8 at bound 1e-3, target 32: need a coarser bound.
+	up, err := NextBoundFixedRatio(32, 1e-3, 8, 0, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(up > 1e-3) {
+		t.Fatalf("undershooting the ratio must coarsen the bound, got %g", up)
+	}
+	// Achieved 32 at bound 1e-3, target 8: need a tighter bound.
+	down, err := NextBoundFixedRatio(32, 1e-3, 32, 0, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(down < 1e-3) {
+		t.Fatalf("overshooting the ratio must tighten the bound, got %g", down)
+	}
+}
+
+// TestNextBoundFixedRatioClamped: one step never moves more than 16× from
+// the latest measured point.
+func TestNextBoundFixedRatioClamped(t *testing.T) {
+	next, err := NextBoundFixedRatio(64, 1e-6, 1.01, 0, 0, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next > 16e-6*(1+1e-12) {
+		t.Fatalf("step %g exceeds the 16x clamp", next)
+	}
+	next, err = NextBoundFixedRatio(64, 1e-2, 1e6, 0, 0, 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next < 1e-2/16*(1-1e-12) {
+		t.Fatalf("step %g exceeds the 1/16 clamp", next)
+	}
+}
+
+func TestNextBoundFixedRatioRejectsBadInputs(t *testing.T) {
+	bad := [][6]float64{
+		{0, 1e-3, 8, 0, 0, 16},             // bpp
+		{32, 0, 8, 0, 0, 16},               // b0
+		{32, 1e-3, 0, 0, 0, 16},            // r0
+		{32, 1e-3, 8, 0, 0, 0},             // target
+		{32, 1e-3, 8, 0, 0, -4},            // negative target
+		{32, math.Inf(1), 8, 0, 0, 16},     // inf b0
+		{32, 1e-3, 8, math.NaN(), 2, 16},   // nan b1
+		{32, 1e-3, 8, 1e-4, 2, math.NaN()}, // nan target (caught by !(target>0))
+	}
+	for _, c := range bad {
+		if _, err := NextBoundFixedRatio(c[0], c[1], c[2], c[3], c[4], c[5]); err == nil {
+			t.Errorf("NextBoundFixedRatio(%v) = nil error, want rejection", c)
+		}
+	}
+}
+
+// FuzzNextBoundFixedRatio: for any inputs the solver either errors or
+// returns a strictly positive, finite bound — never NaN, never Inf, never
+// zero — so the steering loop cannot be handed an unusable bound.
+func FuzzNextBoundFixedRatio(f *testing.F) {
+	f.Add(32.0, 1e-3, 8.0, 2e-3, 12.0, 16.0)
+	f.Add(64.0, 1e-9, 1.0001, 0.0, 0.0, 1e6)
+	f.Add(32.0, 1.0, 1e300, 2.0, 1e-300, 2.0)
+	f.Add(64.0, math.MaxFloat64, 1e9, math.SmallestNonzeroFloat64, 1.5, 3.0)
+	f.Fuzz(func(t *testing.T, bpp, b0, r0, b1, r1, target float64) {
+		next, err := NextBoundFixedRatio(bpp, b0, r0, b1, r1, target)
+		if err != nil {
+			return
+		}
+		if !(next > 0) || math.IsInf(next, 0) || math.IsNaN(next) {
+			t.Fatalf("NextBoundFixedRatio(%g,%g,%g,%g,%g,%g) = %g without error",
+				bpp, b0, r0, b1, r1, target, next)
+		}
+		// The clamp invariant: within 16x of the latest measured point.
+		latest := b0
+		if b1 > 0 && r1 > 0 {
+			latest = b1
+		}
+		if next > latest*16*(1+1e-9) || next < latest/16*(1-1e-9) {
+			t.Fatalf("step %g outside the 16x clamp around %g", next, latest)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"context"
+	"math"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/field"
+	"fixedpsnr/internal/parallel"
+)
+
+// Drive is the generic quality-steering loop: given the first pass's
+// output at opt.ErrorBound, it measures the target's statistic, asks the
+// target's solver for the next bound, and recompresses until the target
+// accepts the stream or its pass budget runs out — whichever comes first.
+// The codec never learns what it is being steered toward; it only ever
+// sees an absolute bound.
+//
+// For the fixed-PSNR target this is the paper's calibrated mode
+// (Theorem 1: the quantization-stage MSE equals the end-to-end MSE, so
+// each pass measures its exact distortion for free); for the fixed-ratio
+// target the same loop steers on aggregate compressed bytes. Both steer
+// on statistics aggregated from the stream's chunk table when present,
+// and both recompress through the chunk-aware path: a distortion-steered
+// target keeps exact (MSE == 0) chunks verbatim across passes, a
+// size-steered one redoes every chunk at the new bound.
+//
+// Drive returns the final stream, stats, the absolute bound it settled
+// on, and the number of compression passes consumed (1 = the first pass
+// was accepted as-is). A nil target — single-pass modes — passes the
+// first pass through untouched. ctx is checked before every extra
+// compression pass (and threaded into the codec, which checks it between
+// chunks); sc supplies reusable scratch buffers to each pass (nil =
+// allocate fresh).
+func Drive(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Options, blob []byte, st *codec.Stats, tgt Target, sc *codec.Scratch) ([]byte, *codec.Stats, float64, int, error) {
+	ebAbs := opt.ErrorBound
+	if tgt == nil {
+		return blob, st, ebAbs, 1, nil
+	}
+	history := []Pass{{Bound: ebAbs, Measured: tgt.Measure(blob, st)}}
+	for pass := 0; pass < tgt.MaxPasses(); pass++ {
+		next, done, err := tgt.Solve(history)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if done {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		opt.ErrorBound = next
+		nb, nst, nerr := recompress(ctx, f, c, opt, blob, tgt.PinExactChunks(), sc)
+		if nerr != nil {
+			return nil, nil, 0, 0, nerr
+		}
+		blob, st, ebAbs = nb, nst, next
+		history = append(history, Pass{Bound: next, Measured: tgt.Measure(blob, st)})
+	}
+	return blob, st, ebAbs, len(history), nil
+}
+
+// recompress produces a stream at the (new) bound in opt. For chunked
+// streams from a ChunkCodec it reuses the previous pass's tiling and
+// container geometry, recompressing chunks in parallel; with pinExact
+// set, chunks whose recorded MSE is zero — already exact, so their error
+// contribution is final at any bound — keep their payloads verbatim with
+// their previous bound pinned in their chunk entries. Non-chunked
+// streams (and, under pinExact, streams without measured chunk
+// statistics) fall back to a full Compress pass.
+func recompress(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Options, prev []byte, pinExact bool, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	cc, ok := c.(codec.ChunkCodec)
+	if !ok {
+		return c.Compress(ctx, f, opt, sc)
+	}
+	h, err := codec.ParseHeader(prev)
+	if err != nil || len(h.Chunks) == 0 {
+		return c.Compress(ctx, f, opt, sc)
+	}
+	if pinExact && math.IsNaN(h.AggregateMSE()) {
+		// Pinning decisions need measured per-chunk MSEs.
+		return c.Compress(ctx, f, opt, sc)
+	}
+
+	inner := h.InnerPoints()
+	copt := opt
+	copt.Capacity = h.Capacity // keep the container's quantizer geometry across passes
+	payloads := make([][]byte, len(h.Chunks))
+	chunks := make([]codec.ChunkInfo, len(h.Chunks))
+	err = parallel.ForEachCtx(ctx, len(h.Chunks), opt.Workers, func(ci int) error {
+		ck := h.Chunks[ci]
+		if pinExact && ck.MSE == 0 {
+			// Exact reconstruction at the previous bound: the chunk's
+			// error contribution is already final, so keep the payload
+			// and record the bound it was actually quantized with.
+			pl, err := codec.ChunkPayload(prev, h, ci)
+			if err != nil {
+				return err
+			}
+			payloads[ci] = pl
+			ck.EbAbs = h.ChunkBound(ci)
+			chunks[ci] = ck
+			return nil
+		}
+		lo := ck.RowStart
+		sub := f.Data[lo*inner : (lo+ck.Rows)*inner]
+		pl, cst, err := cc.CompressChunk(ctx, sub, h.ChunkDims(ci), h.Precision, copt, sc)
+		if err != nil {
+			return err
+		}
+		payloads[ci] = pl
+		chunks[ci] = codec.ChunkInfo{
+			Rows:          ck.Rows,
+			Unpredictable: cst.Unpredictable,
+			MSE:           cst.MSE,
+			Min:           cst.Min,
+			Max:           cst.Max,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nh := &codec.Header{
+		Codec:      h.Codec,
+		Precision:  h.Precision,
+		Mode:       h.Mode,
+		Name:       h.Name,
+		Dims:       h.Dims,
+		EbAbs:      opt.ErrorBound,
+		TargetPSNR: h.TargetPSNR,
+		ValueRange: h.ValueRange,
+		Capacity:   h.Capacity,
+		Chunks:     chunks,
+	}
+	out, err := codec.AssembleStream(nh, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := codec.StatsFromChunks(nh, len(out), f.SizeBytes())
+	if h.ValueRange > 0 {
+		st.ValueRange = h.ValueRange
+	}
+	return out, st, nil
+}

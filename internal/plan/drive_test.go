@@ -1,0 +1,171 @@
+package plan
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"fixedpsnr/internal/codec"
+	"fixedpsnr/internal/field"
+)
+
+// flatCodec measures an MSE that never responds to the bound — the
+// degenerate case where two refinement passes measure the same (δ, MSE)
+// point and the secant step repeats itself (d1 == d0).
+type flatCodec struct {
+	mse          float64
+	compressions int
+}
+
+func (c *flatCodec) Name() string      { return "flat" }
+func (c *flatCodec) IDs() []codec.ID   { return []codec.ID{250} }
+func (c *flatCodec) MeasuresMSE() bool { return true }
+
+func (c *flatCodec) Compress(ctx context.Context, f *field.Field, opt codec.Options, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	c.compressions++
+	return []byte{0xFA}, &codec.Stats{MSE: c.mse, ValueRange: 1}, nil
+}
+
+func (c *flatCodec) Decompress([]byte) (*field.Field, *codec.Header, error) {
+	return nil, nil, nil
+}
+
+// psnrDrive runs the calibrated fixed-PSNR target through the generic
+// loop — the shape every caller uses.
+func psnrDrive(t *testing.T, c codec.Codec, opt codec.Options, blob []byte, st *codec.Stats, target, vr float64) ([]byte, *codec.Stats, float64, int, error) {
+	t.Helper()
+	tgt := NewPSNRTarget(target, vr, Tuning{})
+	return Drive(context.Background(), field.New("f", field.Float64, 4, 4), c, opt, blob, st, tgt, nil)
+}
+
+// TestDriveStallIsAnError: when two equal passes make the secant step
+// propose the bin width it just measured, the fixed-PSNR target must fail
+// loudly rather than silently accept an off-target stream.
+func TestDriveStallIsAnError(t *testing.T) {
+	c := &flatCodec{mse: 1e-2} // 20 dB at vr=1, far from the 40 dB target
+	opt := codec.Options{ErrorBound: 0.01}
+	blob, st, err := c.Compress(context.Background(), nil, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, err = psnrDrive(t, c, opt, blob, st, 40, 1)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want refinement-stalled error", err)
+	}
+	// The first extra pass moves the bound and measures the same MSE;
+	// the next secant step then repeats δ and the stall is detected
+	// before any further compression (1 initial + 1 extra).
+	if c.compressions != 2 {
+		t.Fatalf("compressions = %d, want 2 (initial + one extra pass, then stall)", c.compressions)
+	}
+}
+
+// TestDriveWithinToleranceExitsClean: a first pass already inside the
+// band never recompresses and never errors.
+func TestDriveWithinToleranceExitsClean(t *testing.T) {
+	target := 40.0
+	mse := math.Pow(10, -target/10) // exactly on target at vr=1
+	c := &flatCodec{mse: mse}
+	opt := codec.Options{ErrorBound: 0.01}
+	blob, st, err := c.Compress(context.Background(), nil, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, nst, eb, passes, err := psnrDrive(t, c, opt, blob, st, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.compressions != 1 || eb != opt.ErrorBound || &nb[0] != &blob[0] || nst.MSE != mse || passes != 1 {
+		t.Fatalf("within-tolerance pass must be a no-op (compressions=%d passes=%d)", c.compressions, passes)
+	}
+}
+
+// TestDriveNilTargetPassesThrough: single-pass modes hand Drive a nil
+// target and must get their first pass back untouched.
+func TestDriveNilTargetPassesThrough(t *testing.T) {
+	c := &flatCodec{mse: 1}
+	opt := codec.Options{ErrorBound: 0.25}
+	blob, st, _ := c.Compress(context.Background(), nil, opt, nil)
+	nb, nst, eb, passes, err := Drive(context.Background(), nil, c, opt, blob, st, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &nb[0] != &blob[0] || nst != st || eb != opt.ErrorBound || passes != 1 {
+		t.Fatal("nil target must pass the first pass through unchanged")
+	}
+}
+
+// sizeCodec reports a compressed size that follows an exact power law of
+// the bound, size = base / bound^a, so the fixed-ratio secant should
+// converge in a handful of passes.
+type sizeCodec struct {
+	origBytes    int
+	base         float64
+	a            float64
+	compressions int
+}
+
+func (c *sizeCodec) Name() string      { return "size" }
+func (c *sizeCodec) IDs() []codec.ID   { return []codec.ID{251} }
+func (c *sizeCodec) MeasuresMSE() bool { return false }
+
+func (c *sizeCodec) compressedBytes(bound float64) int {
+	n := int(c.base / math.Pow(bound, c.a))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c *sizeCodec) Compress(ctx context.Context, f *field.Field, opt codec.Options, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	c.compressions++
+	n := c.compressedBytes(opt.ErrorBound)
+	return make([]byte, n), &codec.Stats{
+		OriginalBytes:   c.origBytes,
+		CompressedBytes: n,
+		MSE:             math.NaN(),
+	}, nil
+}
+
+func (c *sizeCodec) Decompress([]byte) (*field.Field, *codec.Header, error) {
+	return nil, nil, nil
+}
+
+// TestDriveRatioConvergesOnPowerLawCodec: the fixed-ratio target steers a
+// synthetic power-law rate curve into the acceptance band.
+func TestDriveRatioConvergesOnPowerLawCodec(t *testing.T) {
+	for _, target := range []float64{5, 20, 80} {
+		c := &sizeCodec{origBytes: 1 << 20, base: 100, a: 0.7}
+		opt := codec.Options{ErrorBound: 1e-4}
+		blob, st, _ := c.Compress(context.Background(), nil, opt, nil)
+		tgt := NewRatioTarget(target, 32, Tuning{})
+		_, nst, eb, passes, err := Drive(context.Background(), nil, c, opt, blob, st, tgt, nil)
+		if err != nil {
+			t.Fatalf("target %g: %v", target, err)
+		}
+		achieved := float64(nst.OriginalBytes) / float64(nst.CompressedBytes)
+		if !(math.Abs(achieved-target) <= DefaultRatioTolerance*target) {
+			t.Fatalf("target %g: achieved %.3g after %d passes (eb=%g)", target, achieved, passes, eb)
+		}
+		if passes > 1+DefaultRatioMaxPasses {
+			t.Fatalf("target %g: %d passes exceeds budget", target, passes)
+		}
+	}
+}
+
+// TestDriveRespectsMaxPasses: a tight pass budget stops the loop and
+// returns the closest stream without error.
+func TestDriveRespectsMaxPasses(t *testing.T) {
+	c := &sizeCodec{origBytes: 1 << 20, base: 100, a: 0.7}
+	opt := codec.Options{ErrorBound: 1e-4}
+	blob, st, _ := c.Compress(context.Background(), nil, opt, nil)
+	tgt := NewRatioTarget(80, 32, Tuning{MaxPasses: 1})
+	_, _, _, passes, err := Drive(context.Background(), nil, c, opt, blob, st, tgt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 || c.compressions != 2 {
+		t.Fatalf("passes = %d, compressions = %d, want 2 each (first pass + one refinement)", passes, c.compressions)
+	}
+}

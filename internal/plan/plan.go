@@ -1,11 +1,20 @@
 // Package plan is the error-control layer of the compression stack: it
 // converts every user-facing mode (absolute bound, value-range relative
-// bound, fixed PSNR, pointwise relative bound) into the absolute bound a
-// registered codec runs with, and implements the calibrated fixed-PSNR
-// refinement loop on top of any codec that measures its exact MSE.
+// bound, fixed PSNR, fixed compression ratio, pointwise relative bound)
+// into the absolute bound a registered codec runs with, and steers
+// multi-pass quality targets through the generic Drive loop.
 //
-// The math (Eqs. 6–8 of the paper) lives in internal/core; this package
-// owns the mode dispatch and the control loop, so the public API and the
+// The layer is organized around the Target interface: a target measures
+// one quality statistic from a finished compression pass (exact MSE for
+// fixed PSNR, achieved ratio for fixed ratio) and solves for the next
+// bound from the pass history. Codecs never see the target — they are
+// handed an absolute bound and report statistics — so new targets
+// (fixed-SSIM, per-region bands) are plan-layer additions, not codec
+// changes.
+//
+// The math (Eqs. 6–8 of the paper, the log–log secant steps) lives in
+// internal/core; this package owns the mode dispatch, target
+// construction, and the control loop, so the public API and the
 // experiment harness share one bound derivation.
 package plan
 
@@ -31,6 +40,10 @@ const (
 	ModePSNR
 	// ModePWRel bounds the pointwise error relative to each value.
 	ModePWRel
+	// ModeRatio fixes the overall compression ratio (FRaZ-style): the
+	// bound is steered until original/compressed bytes lands within the
+	// acceptance band of the target.
+	ModeRatio
 )
 
 // String names the mode.
@@ -44,6 +57,8 @@ func (m Mode) String() string {
 		return "psnr"
 	case ModePWRel:
 		return "pwrel"
+	case ModeRatio:
+		return "ratio"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -61,12 +76,15 @@ func (m Mode) StreamMode() codec.Mode {
 		return codec.ModePSNR
 	case ModePWRel:
 		return codec.ModePWRel
+	case ModeRatio:
+		return codec.ModeRatio
 	default:
 		return codec.ModeAbs
 	}
 }
 
-// Request is one error-control demand: a mode plus its bound parameter.
+// Request is one error-control demand: a mode plus its bound parameter
+// and the steering knobs the multi-pass targets read.
 type Request struct {
 	Mode Mode
 	// ErrorBound is the absolute bound for ModeAbs.
@@ -77,6 +95,17 @@ type Request struct {
 	TargetPSNR float64
 	// PWRelBound is the pointwise relative bound for ModePWRel.
 	PWRelBound float64
+	// TargetRatio is the target compression ratio for ModeRatio.
+	TargetRatio float64
+	// BitsPerValue is the uncompressed storage width of one value (32 or
+	// 64); ModeRatio's first-pass guess and entropy-model step need it.
+	BitsPerValue float64
+	// Calibrated enables the measured-MSE refinement loop for ModePSNR
+	// (ModeRatio always steers; there is no single-pass ratio formula).
+	Calibrated bool
+	// Tuning carries the acceptance bands and pass limit the targets
+	// share (zero fields select the documented defaults).
+	Tuning Tuning
 }
 
 // Resolution is the outcome of planning: the bounds a codec should run
@@ -131,6 +160,18 @@ func (r Request) Resolve(vr float64) (Resolution, error) {
 		res.PWRel = true
 		res.EstimatedPSNR = math.Inf(1)
 		return res, nil
+	case ModeRatio:
+		if !(r.TargetRatio > 1) || math.IsInf(r.TargetRatio, 0) {
+			return Resolution{}, fmt.Errorf("plan: ModeRatio requires a finite TargetRatio > 1")
+		}
+		if vr == 0 { // constant fields compress to a header; no steering
+			break
+		}
+		bpp := r.BitsPerValue
+		if bpp <= 0 {
+			bpp = 64
+		}
+		res.EbAbs = core.InitialBoundForRatio(r.TargetRatio, vr, bpp)
 	default:
 		return Resolution{}, fmt.Errorf("plan: unknown mode %v", r.Mode)
 	}

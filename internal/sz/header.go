@@ -100,6 +100,13 @@ func (szCodec) CompressChunk(ctx context.Context, data []float64, dims []int, pr
 	return compressChunk(data, dims, prec, copt, sc)
 }
 
+// CompressPWRel implements codec.PWRelCodec: pointwise-relative
+// compression in the log domain (see pwrel.go). The public API routes
+// ModePWRel to any registered codec with this capability.
+func (szCodec) CompressPWRel(ctx context.Context, f *field.Field, pwRel float64, opt codec.Options, sc *codec.Scratch) ([]byte, *codec.Stats, error) {
+	return CompressPWRelCtx(ctx, f, pwRel, opt, sc)
+}
+
 // DecompressChunk implements codec.ChunkCodec for Lorenzo streams.
 // Constant and log-domain (pointwise-relative) streams are only decoded
 // whole and report ErrNotChunked.

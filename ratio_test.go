@@ -1,0 +1,272 @@
+package fixedpsnr_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fixedpsnr"
+	"fixedpsnr/datasets"
+)
+
+// entropyField builds a deterministic field whose compressibility is set
+// by the amplitude of a pseudorandom component on top of smooth
+// structure: noise 0 is highly compressible, noise ~0.5 approaches
+// incompressible.
+func entropyField(name string, noise float64, seed int64, dims ...int) *fixedpsnr.Field {
+	f := fixedpsnr.NewField(name, fixedpsnr.Float32, dims...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.Data {
+		x := float64(i)
+		v := math.Sin(x/17)*math.Cos(x/23) + 0.5*math.Sin(x/11) + noise*(rng.Float64()-0.5)
+		f.Data[i] = float64(float32(v))
+	}
+	return f
+}
+
+// TestFixedRatioLandsWithinToleranceAcrossEntropy is the solver
+// convergence property test: across synthetic fields of varying entropy
+// and both built-in codecs, ModeRatio must land the achieved compression
+// ratio within the acceptance band of every achievable target.
+func TestFixedRatioLandsWithinToleranceAcrossEntropy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-pass compression sweep")
+	}
+	cases := []struct {
+		noise   float64
+		targets []float64
+	}{
+		{0, []float64{8, 24, 64}},    // smooth: deep ratios reachable
+		{0.05, []float64{6, 16, 32}}, // mild texture
+		{0.4, []float64{3, 6}},       // rough: only shallow ratios achievable
+	}
+	const tol = 0.10 // the acceptance band the PR must meet
+	for _, comp := range []fixedpsnr.Compressor{fixedpsnr.CompressorSZ, fixedpsnr.CompressorTransform} {
+		for ci, c := range cases {
+			f := entropyField("entropy", c.noise, int64(ci+1), 48, 64, 64)
+			for _, target := range c.targets {
+				blob, res, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+					Mode:        fixedpsnr.ModeRatio,
+					TargetRatio: target,
+					Compressor:  comp,
+				})
+				if err != nil {
+					t.Fatalf("%v noise=%g R=%g: %v", comp, c.noise, target, err)
+				}
+				dev := math.Abs(res.Ratio-target) / target
+				if dev > tol {
+					t.Errorf("%v noise=%g R=%g: achieved %.3f (%.1f%% off, %d passes)",
+						comp, c.noise, target, res.Ratio, 100*dev, res.Passes)
+				}
+				if res.TargetRatio != target {
+					t.Errorf("Result.TargetRatio = %g, want %g", res.TargetRatio, target)
+				}
+				if res.Passes < 1 || res.Passes > 9 {
+					t.Errorf("%v noise=%g R=%g: implausible pass count %d", comp, c.noise, target, res.Passes)
+				}
+				// The stream must still decompress and identify as ratio-mode.
+				g, info, err := fixedpsnr.Decompress(blob)
+				if err != nil {
+					t.Fatalf("decompress: %v", err)
+				}
+				if info.Mode.String() != "ratio" {
+					t.Errorf("stream mode = %v, want ratio", info.Mode)
+				}
+				if !f.SameShape(g) {
+					t.Fatalf("shape mismatch after round trip")
+				}
+			}
+		}
+	}
+}
+
+// TestFixedRatioChunkedStreamsSteerGlobally: ratio steering must work on
+// chunked streams too, recompressing every chunk (no exact-chunk pinning)
+// and keeping the chunk table consistent.
+func TestFixedRatioChunkedStreams(t *testing.T) {
+	f := entropyField("chunked", 0.05, 3, 64, 64, 64)
+	blob, res, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode:        fixedpsnr.ModeRatio,
+		TargetRatio: 16,
+		ChunkPoints: fixedpsnr.MinChunkPoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := math.Abs(res.Ratio-16) / 16; dev > 0.10 {
+		t.Fatalf("chunked fixed-ratio achieved %.3f (%.1f%% off)", res.Ratio, 100*dev)
+	}
+	info, err := fixedpsnr.Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Chunks) < 2 {
+		t.Fatalf("expected a multi-chunk stream, got %d chunks", len(info.Chunks))
+	}
+	// Region decode still works on the steered stream.
+	region, _, err := fixedpsnr.DecompressRegion(blob, []int{8, 0, 0}, []int{4, 64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range region.Data {
+		row := 8 + i/(64*64)
+		if v != full.Data[row*64*64+i%(64*64)] {
+			t.Fatalf("region decode diverges from full decode at %d", i)
+		}
+	}
+}
+
+// TestToleranceAndPassKnobs: the exposed tuning options must actually
+// steer the loop — a wide ToleranceDB accepts the first pass, a tight one
+// spends refinement passes.
+func TestToleranceAndPassKnobs(t *testing.T) {
+	// The Hurricane QVAPOR field concentrates prediction errors in the
+	// center bin, which is exactly the low-target overshoot the
+	// calibration exists for — its 30 dB first pass measurably lands
+	// outside ±0.5 dB (≈ +2 dB overshoot).
+	hur := datasets.Hurricane([]int{10, 48, 48})
+	f, err := hur.FieldByName("QVAPOR", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low target PSNR overshoots on the first pass (the Table II rows) —
+	// with a huge tolerance the first pass must be accepted.
+	_, wide, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode: fixedpsnr.ModePSNR, TargetPSNR: 30, Calibrated: true, ToleranceDB: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Passes != 1 {
+		t.Fatalf("ToleranceDB=40 must accept the first pass, took %d", wide.Passes)
+	}
+	_, tight, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode: fixedpsnr.ModePSNR, TargetPSNR: 30, Calibrated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Passes <= 1 {
+		t.Fatalf("default tolerance at a low target should refine, took %d pass(es)", tight.Passes)
+	}
+	if math.Abs(tight.MeasuredPSNR-30) > 0.5 {
+		t.Fatalf("calibrated 30 dB landed at %.2f dB", tight.MeasuredPSNR)
+	}
+	// MaxRefinePasses caps the loop.
+	_, capped, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode: fixedpsnr.ModeRatio, TargetRatio: 40, MaxRefinePasses: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Passes > 2 {
+		t.Fatalf("MaxRefinePasses=1 allows at most 2 passes, took %d", capped.Passes)
+	}
+}
+
+// TestRatioOptionValidation: the new knobs reject nonsense through
+// Options.Validate on every entry point.
+func TestRatioOptionValidation(t *testing.T) {
+	bad := []fixedpsnr.Options{
+		{Mode: fixedpsnr.ModeRatio},                                          // missing target
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: 1},                          // not > 1
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: 0.5},                        // compression must shrink
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: math.Inf(1)},                // infinite
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: 16, RatioTolerance: -0.1},   // negative band
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: 16, RatioTolerance: 1},      // band >= 1
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: 16, MaxRefinePasses: -1},    // negative passes
+		{Mode: fixedpsnr.ModeRatio, TargetRatio: 16, MaxRefinePasses: 65},    // absurd passes
+		{Mode: fixedpsnr.ModePSNR, TargetPSNR: 60, ToleranceDB: -1},          // negative band
+		{Mode: fixedpsnr.ModePSNR, TargetPSNR: 60, ToleranceDB: math.NaN()},  // NaN band
+		{Mode: fixedpsnr.ModePSNR, TargetPSNR: 60, ToleranceDB: math.Inf(1)}, // infinite band
+	}
+	for _, opt := range bad {
+		if err := opt.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted nonsense", opt)
+		} else if !strings.HasPrefix(err.Error(), "fixedpsnr:") {
+			t.Errorf("Validate(%+v) error %q lacks the fixedpsnr prefix", opt, err)
+		}
+		if _, err := fixedpsnr.NewEncoder(fixedpsnr.WithOptions(opt)); err == nil {
+			t.Errorf("NewEncoder accepted %+v", opt)
+		}
+	}
+	good := fixedpsnr.Options{
+		Mode: fixedpsnr.ModeRatio, TargetRatio: 16,
+		RatioTolerance: 0.02, MaxRefinePasses: 12, ToleranceDB: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected a sound configuration: %v", err)
+	}
+}
+
+// TestEncodeFromRejectsRatioMode: streaming encodes are single-pass by
+// construction, so the multi-pass ratio target must be refused loudly.
+func TestEncodeFromRejectsRatioMode(t *testing.T) {
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModeRatio),
+		fixedpsnr.WithTargetRatio(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := entropyField("stream", 0, 9, 16, 32, 32)
+	_, _, err = enc.EncodeFrom(context.Background(), fixedpsnr.NewFieldReader(f))
+	if err == nil || !strings.Contains(err.Error(), "ModeRatio") {
+		t.Fatalf("EncodeFrom must reject ModeRatio, got %v", err)
+	}
+}
+
+// TestRatioSessionOptions: the functional options thread the new knobs.
+func TestRatioSessionOptions(t *testing.T) {
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModeRatio),
+		fixedpsnr.WithTargetRatio(12),
+		fixedpsnr.WithRatioTolerance(0.08),
+		fixedpsnr.WithMaxRefinePasses(5),
+		fixedpsnr.WithToleranceDB(0.7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := enc.Options()
+	if opt.TargetRatio != 12 || opt.RatioTolerance != 0.08 || opt.MaxRefinePasses != 5 || opt.ToleranceDB != 0.7 {
+		t.Fatalf("options not threaded: %+v", opt)
+	}
+	f := entropyField("session", 0.02, 11, 24, 48, 48)
+	blob, res, err := enc.Encode(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := math.Abs(res.Ratio-12) / 12; dev > 0.08 {
+		t.Fatalf("session ratio encode achieved %.3f (%.1f%% off)", res.Ratio, 100*dev)
+	}
+	if _, _, err := fixedpsnr.NewDecoder().Decode(context.Background(), blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPassesReportedOnSinglePassModes: every mode reports at least one
+// pass so dashboards can rely on the field.
+func TestPassesReportedOnSinglePassModes(t *testing.T) {
+	f := entropyField("single", 0.02, 13, 16, 32, 32)
+	for _, opt := range []fixedpsnr.Options{
+		{Mode: fixedpsnr.ModeAbs, ErrorBound: 1e-3},
+		{Mode: fixedpsnr.ModeRel, RelBound: 1e-4},
+		{Mode: fixedpsnr.ModePSNR, TargetPSNR: 70},
+		{Mode: fixedpsnr.ModePWRel, PWRelBound: 1e-3},
+	} {
+		_, res, err := fixedpsnr.Compress(f, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", opt.Mode, err)
+		}
+		if res.Passes != 1 {
+			t.Errorf("%v: Passes = %d, want 1", opt.Mode, res.Passes)
+		}
+	}
+}

@@ -60,8 +60,23 @@ func WithTargetPSNR(db float64) Option { return func(o *Options) { o.TargetPSNR 
 // WithPWRelBound sets the pointwise relative bound for ModePWRel.
 func WithPWRelBound(rel float64) Option { return func(o *Options) { o.PWRelBound = rel } }
 
+// WithTargetRatio sets the target compression ratio for ModeRatio.
+func WithTargetRatio(r float64) Option { return func(o *Options) { o.TargetRatio = r } }
+
 // WithCalibrated toggles the calibrated fixed-PSNR refinement loop.
 func WithCalibrated(on bool) Option { return func(o *Options) { o.Calibrated = on } }
+
+// WithToleranceDB sets the calibrated fixed-PSNR acceptance band in dB
+// (0 = the default 0.5 dB).
+func WithToleranceDB(db float64) Option { return func(o *Options) { o.ToleranceDB = db } }
+
+// WithRatioTolerance sets the fixed-ratio acceptance band as a fraction
+// of the target ratio (0 = the default 0.05).
+func WithRatioTolerance(frac float64) Option { return func(o *Options) { o.RatioTolerance = frac } }
+
+// WithMaxRefinePasses bounds the extra compression passes any steered
+// quality target may take (0 = per-target default).
+func WithMaxRefinePasses(n int) Option { return func(o *Options) { o.MaxRefinePasses = n } }
 
 // WithCapacity sets the quantization interval count (0 = default).
 func WithCapacity(n int) Option { return func(o *Options) { o.Capacity = n } }
