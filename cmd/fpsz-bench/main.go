@@ -10,7 +10,8 @@
 //	fpsz-bench gobench -in bench.out -out bench.json  # parse `go test -bench`
 //	fpsz-bench chunk -dims 256x384x384 -psnr 80       # chunked-encoder record
 //	fpsz-bench ratio -dims 64x96x96 -ratios 8,16,32   # fixed-ratio records
-//	fpsz-bench suite -out BENCH_pr4.json [-gobench bench.out]
+//	fpsz-bench region -dims 64x96x96 -roipsnr 80      # ROI-PSNR vs background-ratio
+//	fpsz-bench suite -out BENCH_pr5.json [-gobench bench.out]
 //
 // The suite subcommand runs the chunked-encoder benchmark and the
 // fixed-ratio sweep (optionally folding in parsed `go test -bench`
@@ -50,6 +51,8 @@ func main() {
 		err = chunkMain(args)
 	case "ratio":
 		err = ratioMain(args)
+	case "region":
+		err = regionMain(args)
 	case "suite":
 		err = suiteMain(args)
 	case "help", "-h", "--help":
@@ -69,7 +72,8 @@ func usage() {
   fpsz-bench gobench     [-in <bench.out>] [-out <json>]
   fpsz-bench chunk       [-dims HxWxD] [-psnr dB] [-chunkpoints N] [-workers N] [-out <json>]
   fpsz-bench ratio       [-dims HxWxD] [-ratios R,R,...] [-codecs sz,otc] [-workers N] [-out <json>]
-  fpsz-bench suite       [-out <json>] [-gobench <bench.out>] [chunk/ratio flags]`)
+  fpsz-bench region      [-dims HxWxD] [-roipsnr dB] [-bgratios R,R,...] [-workers N] [-out <json>]
+  fpsz-bench suite       [-out <json>] [-gobench <bench.out>] [chunk/ratio/region flags]`)
 	os.Exit(2)
 }
 

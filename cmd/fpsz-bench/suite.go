@@ -9,17 +9,20 @@ import (
 )
 
 // SuiteRecord is the combined per-PR benchmark artifact: the chunked
-// streaming-encoder record, the fixed-ratio accuracy datapoints, and
+// streaming-encoder record, the fixed-ratio accuracy datapoints, the
+// mixed-target region datapoints (ROI PSNR vs background ratio), and
 // (when -gobench is given) the parsed `go test -bench` session results —
 // one JSON file instead of one file per tool.
 type SuiteRecord struct {
 	Chunked    []ChunkRecord   `json:"chunked"`
 	FixedRatio []RatioRecord   `json:"fixed_ratio"`
+	Region     []RegionRecord  `json:"region"`
 	GoBench    []GoBenchResult `json:"go_bench,omitempty"`
 }
 
-// suiteMain runs the chunked-encoder benchmark and the fixed-ratio sweep
-// and emits one combined JSON record (BENCH_pr4.json in CI).
+// suiteMain runs the chunked-encoder benchmark, the fixed-ratio sweep,
+// and the mixed-target region sweep, and emits one combined JSON record
+// (BENCH_pr5.json in CI).
 func suiteMain(args []string) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	var (
@@ -29,6 +32,9 @@ func suiteMain(args []string) error {
 		ratioDims   = fs.String("ratiodims", "64x96x96", "fixed-ratio sweep grid")
 		ratiosArg   = fs.String("ratios", "8,16,32", "fixed-ratio sweep targets")
 		codecsArg   = fs.String("codecs", "sz,otc", "fixed-ratio sweep codecs")
+		regionDims  = fs.String("regiondims", "64x96x96", "region sweep grid")
+		roiPSNR     = fs.Float64("roipsnr", 80, "region sweep ROI PSNR target in dB")
+		bgRatiosArg = fs.String("bgratios", "8,16", "region sweep background ratio targets")
 		workers     = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		gobenchPath = fs.String("gobench", "", "optional `go test -bench` output to fold in")
 		out         = fs.String("out", "-", "JSON output path (default stdout)")
@@ -43,7 +49,11 @@ func suiteMain(args []string) error {
 	if err != nil {
 		return fmt.Errorf("suite: ratio sweep: %w", err)
 	}
-	rec := SuiteRecord{Chunked: []ChunkRecord{chunk}, FixedRatio: ratios}
+	regions, err := regionRecords(*regionDims, *roiPSNR, *bgRatiosArg, *workers)
+	if err != nil {
+		return fmt.Errorf("suite: region sweep: %w", err)
+	}
+	rec := SuiteRecord{Chunked: []ChunkRecord{chunk}, FixedRatio: ratios, Region: regions}
 	if *gobenchPath != "" {
 		gb, err := parseGoBenchFile(*gobenchPath)
 		if err != nil {
@@ -59,8 +69,8 @@ func suiteMain(args []string) error {
 		return err
 	}
 	if *out != "-" {
-		fmt.Printf("suite: chunked %.1f MB/s @ %.2f dB; %d fixed-ratio datapoints; %d go-bench results -> %s\n",
-			chunk.EncodeMBps, chunk.MeasuredPSNR, len(ratios), len(rec.GoBench), *out)
+		fmt.Printf("suite: chunked %.1f MB/s @ %.2f dB; %d fixed-ratio datapoints; %d region datapoints; %d go-bench results -> %s\n",
+			chunk.EncodeMBps, chunk.MeasuredPSNR, len(ratios), len(regions), len(rec.GoBench), *out)
 	}
 	return nil
 }

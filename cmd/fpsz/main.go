@@ -85,14 +85,53 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   fpsz compress   -in <field.sdf> -out <stream.fpsz> -mode abs|rel|psnr|ratio|pwrel [-eb <bound>] [-psnr <dB>] [-ratio <R>] [flags]
+                  [-roi "off:ext[,off:ext...]=psnr:<dB>|ratio:<R>"] (repeatable: per-region quality targets)
   fpsz decompress -in <stream.fpsz> -out <field.sdf>
   fpsz inspect    -in <stream.fpsz>
   fpsz verify     -in <stream.fpsz> -orig <field.sdf>
   fpsz archive    -dir <dir-of-sdf> -out <snapshot.fpsa> [-psnr <dB> | -ratio <R>]
   fpsz list       -in <snapshot.fpsa>
   fpsz extract    -in <snapshot.fpsa> -field <name> -out <field.sdf> [-region off:ext,...]
-  fpsz info       alias of inspect; -chunks prints the per-chunk index`)
+  fpsz info       alias of inspect; -chunks prints the per-chunk index (and region groups)`)
 	os.Exit(2)
+}
+
+// roiFlags collects repeated -roi region-target specs. Each value reads
+// "off:ext[,off:ext...]=psnr:<dB>" or "...=ratio:<R>" — the region
+// syntax of extract -region, an equals sign, then the region's quality
+// target.
+type roiFlags []fixedpsnr.RegionTarget
+
+func (r *roiFlags) String() string { return fmt.Sprintf("%d region targets", len(*r)) }
+
+func (r *roiFlags) Set(s string) error {
+	regionPart, targetPart, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf(`roi %q: want "off:ext[,off:ext...]=psnr:<dB>" or "...=ratio:<R>"`, s)
+	}
+	off, ext, err := parseRegion(regionPart)
+	if err != nil {
+		return fmt.Errorf("roi: %w", err)
+	}
+	kind, valStr, ok := strings.Cut(targetPart, ":")
+	if !ok {
+		return fmt.Errorf("roi %q: target %q: want psnr:<dB> or ratio:<R>", s, targetPart)
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+	if err != nil {
+		return fmt.Errorf("roi %q: bad target value %q", s, valStr)
+	}
+	rt := fixedpsnr.RegionTarget{Region: fixedpsnr.Region{Off: off, Ext: ext}}
+	switch strings.TrimSpace(kind) {
+	case "psnr":
+		rt.Mode, rt.TargetPSNR = fixedpsnr.ModePSNR, val
+	case "ratio":
+		rt.Mode, rt.TargetRatio = fixedpsnr.ModeRatio, val
+	default:
+		return fmt.Errorf("roi %q: unknown target kind %q (want psnr or ratio)", s, kind)
+	}
+	*r = append(*r, rt)
+	return nil
 }
 
 func compress(ctx context.Context, args []string) error {
@@ -111,6 +150,8 @@ func compress(ctx context.Context, args []string) error {
 		level      = fs.Int("level", 0, "DEFLATE level (0 = fastest)")
 		chunkPts   = fs.Int("chunkpoints", 0, "target chunk size in points for random-access streams (0 = default tiling)")
 	)
+	var rois roiFlags
+	fs.Var(&rois, "roi", `region quality target "off:ext[,off:ext...]=psnr:<dB>|ratio:<R>" (repeatable)`)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress: -in and -out are required")
@@ -122,11 +163,12 @@ func compress(ctx context.Context, args []string) error {
 	}
 
 	opt := fixedpsnr.Options{
-		Capacity:     *capacity,
-		AutoCapacity: *autoCap,
-		Workers:      *workers,
-		Level:        *level,
-		ChunkPoints:  *chunkPts,
+		Capacity:      *capacity,
+		AutoCapacity:  *autoCap,
+		Workers:       *workers,
+		Level:         *level,
+		ChunkPoints:   *chunkPts,
+		RegionTargets: rois,
 	}
 	switch *compressor {
 	case "sz":
@@ -178,6 +220,19 @@ func compress(ctx context.Context, args []string) error {
 	if *mode == "ratio" {
 		fmt.Printf("  target ratio=%.2f achieved=%.2f (%+.1f%%) in %d pass(es)\n",
 			res.TargetRatio, res.Ratio, 100*(res.Ratio-res.TargetRatio)/res.TargetRatio, res.Passes)
+	}
+	for _, rg := range res.Regions {
+		switch rg.Mode {
+		case fixedpsnr.ModePSNR:
+			fmt.Printf("  region %-12s psnr target=%.4g dB achieved=%.2f dB (eb=%.4g, %d chunk(s), %d pass(es))\n",
+				rg.Name, rg.TargetPSNR, rg.AchievedPSNR, rg.EbAbs, rg.Chunks, rg.Passes)
+		case fixedpsnr.ModeRatio:
+			fmt.Printf("  region %-12s ratio target=%.4g achieved=%.2f (eb=%.4g, %d chunk(s), %d pass(es))\n",
+				rg.Name, rg.TargetRatio, rg.AchievedRatio, rg.EbAbs, rg.Chunks, rg.Passes)
+		default:
+			fmt.Printf("  region %-12s mode=%v eb=%.4g (%d chunk(s), %d pass(es))\n",
+				rg.Name, rg.Mode, rg.EbAbs, rg.Chunks, rg.Passes)
+		}
 	}
 	return nil
 }
@@ -235,17 +290,50 @@ func inspect(args []string) error {
 	fmt.Printf("value range: %g\n", h.ValueRange)
 	fmt.Printf("capacity:    %d\n", h.Capacity)
 	fmt.Printf("chunks:      %d\n", len(h.Chunks))
+	if len(h.Groups) > 0 {
+		fmt.Printf("groups:      %d\n", len(h.Groups))
+		for gi, g := range h.Groups {
+			target := ""
+			switch g.Mode {
+			case codec.ModePSNR:
+				target = fmt.Sprintf("psnr %.4g dB", g.TargetPSNR)
+			case codec.ModeRatio:
+				target = fmt.Sprintf("ratio %.4g:1", g.TargetRatio)
+			default:
+				target = g.Mode.String()
+			}
+			fmt.Printf("  group %d %-14s %-14s %d chunk(s)\n", gi, g.Name, target, len(h.GroupChunks(gi)))
+		}
+	}
 	fmt.Printf("stream size: %d bytes\n", len(blob))
 	if *chunksFlag {
-		fmt.Printf("%5s %10s %10s %10s %10s %12s %12s\n",
-			"chunk", "rows", "offset", "bytes", "ebAbs", "mse", "range")
+		grouped := len(h.Groups) > 0
+		if grouped {
+			fmt.Printf("%5s %10s %10s %10s %10s %12s %12s  %-12s %s\n",
+				"chunk", "rows", "offset", "bytes", "ebAbs", "mse", "range", "group", "target")
+		} else {
+			fmt.Printf("%5s %10s %10s %10s %10s %12s %12s\n",
+				"chunk", "rows", "offset", "bytes", "ebAbs", "mse", "range")
+		}
 		for ci, c := range h.Chunks {
 			eb := c.EbAbs
 			if eb == 0 {
 				eb = h.EbAbs
 			}
-			fmt.Printf("%5d %4d+%-5d %10d %10d %10.4g %12.6g %12.6g\n",
+			fmt.Printf("%5d %4d+%-5d %10d %10d %10.4g %12.6g %12.6g",
 				ci, c.RowStart, c.Rows, c.Off, c.Len, eb, c.MSE, c.Max-c.Min)
+			if grouped {
+				g := h.Groups[c.Group]
+				target := g.Mode.String()
+				switch g.Mode {
+				case codec.ModePSNR:
+					target = fmt.Sprintf("psnr %.4g", g.TargetPSNR)
+				case codec.ModeRatio:
+					target = fmt.Sprintf("ratio %.4g", g.TargetRatio)
+				}
+				fmt.Printf("  %-12s %s", g.Name, target)
+			}
+			fmt.Println()
 		}
 	}
 	return nil

@@ -105,6 +105,9 @@ func (e *Encoder) EncodeFrom(ctx context.Context, fr FieldReader) ([]byte, *Resu
 	if opt.Mode == ModeRatio {
 		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support ModeRatio (ratio steering recompresses, which needs the whole field)")
 	}
+	if len(opt.RegionTargets) > 0 {
+		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support RegionTargets (region steering recompresses, which needs the whole field)")
+	}
 	if opt.AutoCapacity {
 		return nil, nil, fmt.Errorf("fixedpsnr: EncodeFrom does not support AutoCapacity (needs the whole field)")
 	}

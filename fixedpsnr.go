@@ -35,6 +35,12 @@
 //   - ModePWRel — pointwise relative bound (|x−x̃| ≤ rel·|x|), via
 //     log-domain compression (SZ family only).
 //
+// Quality can additionally vary by region: Options.RegionTargets steers
+// sub-blocks of a field to their own PSNR or ratio targets (a region of
+// interest held at 80 dB over a fixed-ratio background), with per-group
+// outcomes in Result.Regions and the group table recorded in the stream
+// (format v4).
+//
 // The primary API is the session pair Encoder/Decoder: reusable,
 // concurrency-safe objects built with functional options that thread a
 // context.Context through the pipelines (cancellation aborts within one
@@ -201,6 +207,51 @@ func (c Compressor) transform() codec.Transform {
 	return codec.TransformDCT
 }
 
+// Region is an axis-aligned sub-block of a field: a per-dimension offset
+// and extent, the same shape DecodeRegion and ExtractRegion take. Region
+// targets use it to mark the rows a quality demand covers.
+type Region struct {
+	// Off is the region's starting index per dimension.
+	Off []int
+	// Ext is the region's extent per dimension (every entry positive).
+	Ext []int
+}
+
+// RegionTarget is one region group's quality demand: hold the given
+// sub-block at its own target while the rest of the field follows the
+// field-level options — a region of interest at high PSNR over a cheap
+// fixed-ratio background, the workload region-of-interest fidelity asks
+// for.
+//
+// Chunk granularity: the chunked container tiles the field into row
+// slabs, so a region claims every chunk its rows intersect — region
+// boundaries round outward to chunk boundaries, and quality spills over
+// to the rest of any chunk the region touches. Two region targets whose
+// row windows overlap (or share a chunk) are rejected; chunks no region
+// touches follow the field-level target. Per-region PSNR targets are
+// defined against the field's global value range, the same normalization
+// as the stream-level fixed-PSNR guarantee.
+type RegionTarget struct {
+	// Name identifies the group in results, stream inspection, and
+	// error messages. Empty selects "roi0", "roi1", ... by position;
+	// "background" is reserved for the field-level default group.
+	Name string
+	// Region is the sub-block the target covers.
+	Region Region
+	// Mode is the group's steering mode: ModePSNR or ModeRatio.
+	Mode Mode
+	// TargetPSNR is the group's PSNR target in dB (ModePSNR).
+	TargetPSNR float64
+	// TargetRatio is the group's compression-ratio target (ModeRatio,
+	// > 1).
+	TargetRatio float64
+}
+
+// BackgroundGroup is the name of the implicit default group that holds
+// every chunk no region target claims; it follows the field-level
+// options.
+const BackgroundGroup = "background"
+
 // Options configures Compress.
 type Options struct {
 	// Mode selects how the error bound is specified (default ModeAbs).
@@ -238,6 +289,16 @@ type Options struct {
 	// Result.Ratio and the passes consumed in Result.Passes.
 	TargetRatio float64
 
+	// RegionTargets steers sub-blocks of the field to their own quality
+	// targets: each region becomes a group of chunks driven by its own
+	// Measure/Solve loop, while chunks outside every region follow the
+	// field-level mode above. Regions are validated against the field at
+	// encode time (in bounds, pairwise disjoint row windows); the
+	// resulting stream is a version-4 grouped container and the
+	// per-group outcomes land in Result.Regions. Requires a chunked
+	// pipeline; incompatible with ModePWRel and EncodeFrom.
+	RegionTargets []RegionTarget
+
 	// ToleranceDB is the calibrated fixed-PSNR acceptance band in dB
 	// around TargetPSNR (0 = the default 0.5 dB). Every steered target
 	// reads its band through the same tuning mechanism.
@@ -249,6 +310,14 @@ type Options struct {
 	// target may take (0 = per-target default: 3 for calibrated
 	// fixed-PSNR, 8 for fixed-ratio).
 	MaxRefinePasses int
+	// NoWarmStart disables the solver warm start an Encoder session
+	// keeps per field name (the settled bound of the last steered
+	// encode seeds the next encode of the same variable, so repeated
+	// snapshots converge in 1–2 passes). Warm starts never apply to
+	// one-shot Compress or to region-target encodes; set this when a
+	// session must produce bit-reproducible streams for re-encodes of
+	// changing data under the same name.
+	NoWarmStart bool
 
 	// Capacity is the number of quantization intervals (0 = default
 	// 65536); AutoCapacity estimates it from the data instead.
@@ -319,11 +388,34 @@ func (opt Options) Validate() error {
 			}
 		}
 	case ModeRatio:
-		if !(opt.TargetRatio > 1) || math.IsInf(opt.TargetRatio, 0) {
-			return fmt.Errorf("fixedpsnr: TargetRatio must be finite and > 1, got %g", opt.TargetRatio)
+		if err := validTargetRatio(opt.TargetRatio); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("fixedpsnr: unknown mode %v", opt.Mode)
+	}
+	if len(opt.RegionTargets) > 0 {
+		if opt.Mode == ModePWRel {
+			return fmt.Errorf("fixedpsnr: RegionTargets are incompatible with ModePWRel (log-domain streams have no chunk-granular recompression)")
+		}
+		for i, rt := range opt.RegionTargets {
+			name := rt.Name
+			if name == "" {
+				name = fmt.Sprintf("roi%d", i)
+			}
+			switch rt.Mode {
+			case ModePSNR:
+				if !(rt.TargetPSNR > 0) || math.IsInf(rt.TargetPSNR, 0) {
+					return fmt.Errorf("fixedpsnr: region %q: TargetPSNR must be positive and finite, got %g", name, rt.TargetPSNR)
+				}
+			case ModeRatio:
+				if err := validTargetRatio(rt.TargetRatio); err != nil {
+					return fmt.Errorf("fixedpsnr: region %q: %w", name, err)
+				}
+			default:
+				return fmt.Errorf("fixedpsnr: region %q: mode %v cannot steer a region (want ModePSNR or ModeRatio)", name, rt.Mode)
+			}
+		}
 	}
 	if opt.ToleranceDB < 0 || math.IsNaN(opt.ToleranceDB) || math.IsInf(opt.ToleranceDB, 0) {
 		return fmt.Errorf("fixedpsnr: ToleranceDB must be non-negative and finite, got %g", opt.ToleranceDB)
@@ -360,6 +452,17 @@ func (opt Options) Validate() error {
 	}
 	if opt.Level != 0 && (opt.Level < flate.HuffmanOnly || opt.Level > flate.BestCompression) {
 		return fmt.Errorf("fixedpsnr: DEFLATE Level %d outside [%d, %d]", opt.Level, flate.HuffmanOnly, flate.BestCompression)
+	}
+	return nil
+}
+
+// validTargetRatio rejects compression-ratio targets that no stream can
+// achieve: a ratio of 1 or below asks the compressed stream to be at
+// least as large as the input, which the solver would otherwise chase
+// fruitlessly until MaxRefinePasses ran out.
+func validTargetRatio(r float64) error {
+	if !(r > 1) || math.IsInf(r, 0) {
+		return fmt.Errorf("fixedpsnr: TargetRatio must be finite and > 1, got %g (a ratio at or below 1 means no compression and can never be achieved)", r)
 	}
 	return nil
 }
@@ -454,6 +557,37 @@ type Result struct {
 	// lossless/constant).
 	MSE          float64
 	MeasuredPSNR float64
+	// Regions reports the per-group outcome of a region-target encode,
+	// in region order with the background group last. Empty unless
+	// Options.RegionTargets was set.
+	Regions []RegionResult
+}
+
+// RegionResult is one region group's steering outcome.
+type RegionResult struct {
+	// Name is the group's name ("roi0", ..., "background").
+	Name string
+	// Mode is the group's steering mode.
+	Mode Mode
+	// TargetPSNR and TargetRatio echo the group's request (NaN / 0 when
+	// not applicable).
+	TargetPSNR  float64
+	TargetRatio float64
+	// EbAbs is the absolute bound the group settled on.
+	EbAbs float64
+	// AchievedPSNR is the group's measured PSNR against the field's
+	// global value range (NaN when the pipeline does not measure MSE,
+	// +Inf for exact groups).
+	AchievedPSNR float64
+	// AchievedRatio is the group's compression ratio on payload bytes
+	// (the group's nominal storage footprint over its compressed chunk
+	// payloads; container overhead is shared and excluded).
+	AchievedRatio float64
+	// Passes counts the compression passes that touched the group's
+	// chunks (1 = the shared first pass was accepted as-is).
+	Passes int
+	// Chunks is the number of container chunks the group owns.
+	Chunks int
 }
 
 // Compress compresses the field according to the options and returns the
@@ -466,15 +600,16 @@ type Result struct {
 // Encoder instead, which adds context cancellation, io.Writer streaming,
 // batch compression, and scratch-buffer reuse over the same pipeline.
 func Compress(f *Field, opt Options) ([]byte, *Result, error) {
-	return compress(context.Background(), f, opt, nil)
+	return compress(context.Background(), f, opt, nil, nil)
 }
 
 // compress is the shared compression core behind Compress and
 // Encoder.Encode: options are validated, the mode is resolved by the plan
 // layer, and the stream is produced by the selected registered codec with
 // ctx cancellation honored between slabs/blocks/refinement passes and
-// transient buffers drawn from sc (both may be Background/nil).
-func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch) ([]byte, *Result, error) {
+// transient buffers drawn from sc (both may be Background/nil). wc is the
+// session's solver warm-start cache (nil for one-shot callers).
+func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch, wc *warmCache) ([]byte, *Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -515,17 +650,49 @@ func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch) ([]
 		return blob, r, nil
 	}
 
+	// Region targets are validated against the field before any
+	// compression; constant fields compress to a single exact header, so
+	// region groups have nothing to steer there.
+	var specs []plan.GroupSpec
+	if len(opt.RegionTargets) > 0 {
+		specs, err = regionGroupSpecs(f, opt, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vr == 0 {
+			specs = nil
+		}
+	}
+
 	copt := opt.codecOptions(res, vr)
+	tgt := req.BuildTarget(c, vr)
+	if tgt != nil && specs == nil && !opt.NoWarmStart {
+		// Solver warm start: the first pass runs at the bound the last
+		// steered encode of this variable settled on, so repeated
+		// snapshots converge in 1–2 passes instead of starting
+		// data-blind.
+		if b, ok := wc.lookup(f.Name, opt); ok {
+			copt.ErrorBound = b
+		}
+	}
 	blob, st, err := c.Compress(ctx, f, copt, sc)
 	if err != nil {
 		return nil, nil, err
 	}
+
+	if specs != nil {
+		return finishRegions(ctx, f, opt, c, res, vr, copt, blob, specs, sc)
+	}
+
 	// The steered quality targets — calibrated fixed-PSNR, fixed ratio —
 	// refine the first pass through the plan layer's generic Drive loop;
 	// single-pass modes get a nil target and pass through unchanged.
-	blob, st, ebAbs, passes, err := plan.Drive(ctx, f, c, copt, blob, st, req.BuildTarget(c, vr), sc)
+	blob, st, ebAbs, passes, err := plan.Drive(ctx, f, c, copt, blob, st, tgt, sc)
 	if err != nil {
 		return nil, nil, err
+	}
+	if tgt != nil && !opt.NoWarmStart {
+		wc.store(f.Name, opt, ebAbs)
 	}
 	ebRel := res.EbRel
 	estimate := res.EstimatedPSNR
@@ -543,6 +710,124 @@ func compress(ctx context.Context, f *Field, opt Options, sc *codec.Scratch) ([]
 		r.TargetRatio = opt.TargetRatio
 	}
 	return blob, r, nil
+}
+
+// regionGroupSpecs validates the region targets against a concrete field
+// and lowers them into the plan layer's group specs: one spec per region
+// (row window from the region's slowest-dimension span) plus the default
+// background group carrying the field-level request. Regions must fit
+// the field and claim pairwise-disjoint row windows — chunk assignment
+// happens by row-slab intersection, so overlapping windows would hand
+// one chunk two masters.
+func regionGroupSpecs(f *Field, opt Options, req plan.Request) ([]plan.GroupSpec, error) {
+	specs := make([]plan.GroupSpec, 0, len(opt.RegionTargets)+1)
+	seen := map[string]bool{BackgroundGroup: true}
+	for i, rt := range opt.RegionTargets {
+		name := rt.Name
+		if name == "" {
+			name = fmt.Sprintf("roi%d", i)
+		}
+		if name != BackgroundGroup && seen[name] {
+			return nil, fmt.Errorf("fixedpsnr: duplicate region name %q", name)
+		}
+		if name == BackgroundGroup && rt.Name != "" {
+			return nil, fmt.Errorf("fixedpsnr: region name %q is reserved for the default group", BackgroundGroup)
+		}
+		seen[name] = true
+		if err := field.ValidateRegion(f.Dims, rt.Region.Off, rt.Region.Ext); err != nil {
+			return nil, fmt.Errorf("fixedpsnr: region %q: %w", name, err)
+		}
+		lo, hi := rt.Region.Off[0], rt.Region.Off[0]+rt.Region.Ext[0]
+		for _, prev := range specs {
+			if lo < prev.RowHi && prev.RowLo < hi {
+				return nil, fmt.Errorf(
+					"fixedpsnr: regions %q (rows [%d,%d)) and %q (rows [%d,%d)) overlap: region targets must claim disjoint row windows",
+					prev.Name, prev.RowLo, prev.RowHi, name, lo, hi)
+			}
+		}
+		specs = append(specs, plan.GroupSpec{
+			Name:  name,
+			RowLo: lo,
+			RowHi: hi,
+			Request: plan.Request{
+				Mode:         rt.Mode,
+				TargetPSNR:   rt.TargetPSNR,
+				TargetRatio:  rt.TargetRatio,
+				BitsPerValue: req.BitsPerValue,
+				Calibrated:   true, // region PSNR targets steer whenever the codec measures MSE
+				Tuning:       req.Tuning,
+			},
+		})
+	}
+	specs = append(specs, plan.GroupSpec{Name: BackgroundGroup, Request: req, Default: true})
+	return specs, nil
+}
+
+// finishRegions turns the first full-field pass into a grouped stream:
+// chunks are partitioned onto the region groups and every group's target
+// steers its own chunk subset through plan.DriveGroups. The public result
+// carries the global accounting plus per-group outcomes.
+func finishRegions(ctx context.Context, f *Field, opt Options, c codec.Codec, res plan.Resolution, vr float64, copt codec.Options, blob []byte, specs []plan.GroupSpec, sc *codec.Scratch) ([]byte, *Result, error) {
+	h, err := codec.ParseHeader(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := plan.BuildPartition(h, specs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fixedpsnr: %w", err)
+	}
+	final, st, outcomes, err := plan.DriveGroups(ctx, f, c, copt, blob, part, vr, sc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fixedpsnr: %w", err)
+	}
+
+	ebAbs := res.EbAbs
+	passes := 1
+	regions := make([]RegionResult, len(outcomes))
+	for i, o := range outcomes {
+		if o.Passes > passes {
+			passes = o.Passes
+		}
+		if specs[i].Default && o.Chunks > 0 {
+			ebAbs = o.EbAbs
+		}
+		achievedPSNR := math.NaN()
+		switch {
+		case o.MSE == 0:
+			achievedPSNR = math.Inf(1)
+		case o.MSE > 0 && vr > 0:
+			achievedPSNR = -10*math.Log10(o.MSE) + 20*math.Log10(vr)
+		}
+		regions[i] = RegionResult{
+			Name:          o.Name,
+			Mode:          o.Mode,
+			TargetPSNR:    o.TargetPSNR,
+			TargetRatio:   o.TargetRatio,
+			EbAbs:         o.EbAbs,
+			AchievedPSNR:  achievedPSNR,
+			AchievedRatio: o.Ratio,
+			Passes:        o.Passes,
+			Chunks:        o.Chunks,
+		}
+	}
+	ebRel := 0.0
+	if vr > 0 {
+		ebRel = ebAbs / vr
+	}
+	estimate := res.EstimatedPSNR
+	if opt.Mode == ModeRatio && ebAbs != res.EbAbs {
+		// Same convention as the field-wide ratio path: the estimate
+		// tracks the bound the background actually settled on, not the
+		// entropy-model seed.
+		estimate = core.EstimatePSNRFromAbsBound(vr, ebAbs)
+	}
+	r := resultFromStats(st, ebAbs, ebRel, res.TargetPSNR, estimate)
+	r.Passes = passes
+	if opt.Mode == ModeRatio {
+		r.TargetRatio = opt.TargetRatio
+	}
+	r.Regions = regions
+	return final, r, nil
 }
 
 // resultFromStats lifts a codec stats report into the public Result. The

@@ -1,0 +1,111 @@
+package fixedpsnr_test
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fixedpsnr"
+)
+
+// -update regenerates the committed stream fixtures from the current
+// code. Run it only when a format change is intentional:
+//
+//	go test -run TestStreamFixtures -update .
+var updateFixtures = flag.Bool("update", false, "regenerate testdata stream fixtures")
+
+// fixtureField builds the deterministic synthetic field the committed
+// fixtures were generated from. Any change here invalidates testdata.
+func fixtureField(name string, prec fixedpsnr.Precision, dims ...int) *fixedpsnr.Field {
+	f := fixedpsnr.NewField(name, prec, dims...)
+	inner := 1
+	for _, d := range dims[1:] {
+		inner *= d
+	}
+	for i := range f.Data {
+		r, c := i/inner, i%inner
+		v := math.Sin(0.11*float64(r))*math.Cos(0.07*float64(c)) +
+			0.3*math.Sin(0.013*float64(r)*float64(c%37)) +
+			0.05*math.Cos(0.41*float64(i%101))
+		if prec == fixedpsnr.Float32 {
+			v = float64(float32(v))
+		}
+		f.Data[i] = v
+	}
+	return f
+}
+
+// fixtureConfigs are the encode configurations pinned by committed
+// fixtures: every steered target and both pipelines, all with explicit
+// Workers and ChunkPoints so the tiling is machine-independent.
+func fixtureConfigs() map[string]fixedpsnr.Options {
+	return map[string]fixedpsnr.Options{
+		"sz_psnr_calibrated": {
+			Mode: fixedpsnr.ModePSNR, TargetPSNR: 60, Calibrated: true,
+			ChunkPoints: fixedpsnr.MinChunkPoints, Workers: 2,
+		},
+		"sz_psnr_plain": {
+			Mode: fixedpsnr.ModePSNR, TargetPSNR: 80,
+			ChunkPoints: fixedpsnr.MinChunkPoints, Workers: 2,
+		},
+		"sz_ratio": {
+			Mode: fixedpsnr.ModeRatio, TargetRatio: 8,
+			ChunkPoints: fixedpsnr.MinChunkPoints, Workers: 2,
+		},
+		"sz_abs": {
+			Mode: fixedpsnr.ModeAbs, ErrorBound: 1e-3,
+			ChunkPoints: fixedpsnr.MinChunkPoints, Workers: 2,
+		},
+		"otc_psnr": {
+			Mode: fixedpsnr.ModePSNR, TargetPSNR: 60,
+			Compressor: fixedpsnr.CompressorTransform,
+			ChunkPoints: fixedpsnr.MinChunkPoints, Workers: 2,
+		},
+	}
+}
+
+// TestStreamFixtures pins the exact bytes every no-region-target encode
+// produces: refactors of the steering stack (per-region targets, group
+// tables) must leave plain streams untouched, so new code is compared
+// byte for byte against fixtures committed from the previous release.
+func TestStreamFixtures(t *testing.T) {
+	f := fixtureField("fixture", fixedpsnr.Float32, 64, 64, 16)
+	for name, opt := range fixtureConfigs() {
+		t.Run(name, func(t *testing.T) {
+			blob, _, err := fixedpsnr.Compress(f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "streams", name+".fpsz")
+			if *updateFixtures {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(blob))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Fatalf("stream bytes differ from committed fixture %s (%d vs %d bytes): no-region-target output must stay byte-identical across releases",
+					path, len(blob), len(want))
+			}
+			// The fixture must still round-trip through current decoders.
+			g, _, err := fixedpsnr.Decompress(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := fixedpsnr.CompareFields(f, g); !(d.PSNR > 40) {
+				t.Fatalf("fixture round-trip PSNR %.2f dB", d.PSNR)
+			}
+		})
+	}
+}

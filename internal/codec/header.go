@@ -9,11 +9,11 @@ import (
 	"fixedpsnr/internal/field"
 )
 
-// Stream layout, version 3 (all integers are unsigned varints unless
-// noted):
+// Stream layout, versions 3 and 4 (all integers are unsigned varints
+// unless noted):
 //
 //	magic   "FPSZ"            4 bytes
-//	version                   1 byte  (= 3)
+//	version                   1 byte  (3 = chunked, 4 = chunked + groups)
 //	codec                     1 byte  (IDLorenzo, IDConstant, ...)
 //	precision                 1 byte  (0 = float32, 1 = float64)
 //	mode                      1 byte  (informational: how the bound was set)
@@ -23,6 +23,7 @@ import (
 //	targetPSNR                8 bytes IEEE-754 LE (NaN when not PSNR mode)
 //	valueRange                8 bytes IEEE-754 LE (vr of the original data)
 //	capacity                  uvarint (quantization intervals 2n)
+//	ngroups, group table      v4 only: ngroups × group entry (below)
 //	nchunks                   uvarint
 //	chunk table               nchunks × chunk entry (below)
 //	chunk payloads            concatenated codec-specific streams
@@ -36,6 +37,14 @@ import (
 //	ebAbs                     8 bytes IEEE-754 LE (0 = header ebAbs)
 //	mse                       8 bytes IEEE-754 LE (NaN = unmeasured)
 //	min, max                  8 bytes IEEE-754 LE each (chunk value range)
+//	group                     uvarint, v4 only (index into the group table)
+//
+// One group entry (v4 only):
+//
+//	name                      uvarint length + bytes
+//	mode                      1 byte  (how the group's bound was derived)
+//	targetPSNR                8 bytes IEEE-754 LE (NaN unless psnr mode)
+//	targetRatio               8 bytes IEEE-754 LE (0 unless ratio mode)
 //
 // Chunks tile the field along the slowest dimension: chunk i covers rows
 // [Σ rows_j (j<i), +rows_i) at full extent in every other dimension, and
@@ -44,11 +53,20 @@ import (
 // non-overlapping and non-decreasing; gaps are permitted (a rewriter may
 // leave dead bytes), overlap is rejected.
 //
+// Version 4 adds region groups: every chunk belongs to exactly one group
+// and each group records the quality target it was steered to (a region
+// of interest held at a fixed PSNR, a background steered to a fixed
+// ratio). Writers emit version 4 only when a stream has a group table —
+// streams with a single implicit group keep the version-3 layout byte for
+// byte, and versions 1–3 parse into the same Header with an empty Groups
+// slice, which every consumer treats as one implicit group spanning all
+// chunks.
+//
 // Versions 1 and 2 are the legacy whole-field layout: the chunk table is
 // a bare (len, rows) pair per chunk with no offsets and no per-chunk
 // statistics. Version 2 is accepted as an alias of the version-1 layout
 // (the byte was reserved during the session-API era and stamped by some
-// interim writers); both remain readable forever, writers emit version 3.
+// interim writers); both remain readable forever.
 //
 // The constant codec replaces everything from capacity onward with a
 // single 8-byte value in every version.
@@ -56,8 +74,20 @@ import (
 // Magic identifies a fixed-PSNR compressed stream.
 var Magic = [4]byte{'F', 'P', 'S', 'Z'}
 
-// Version is the current stream format version (the chunked container).
+// Version is the stream format version written for ungrouped streams
+// (the chunked container). Streams carrying a region-group table are
+// written as VersionGrouped.
 const Version = 3
+
+// VersionGrouped is the stream format version with a region-group table:
+// the version-3 layout plus per-chunk group IDs and per-group quality
+// target descriptors. Only streams with a non-empty group table use it.
+const VersionGrouped = 4
+
+// MaxGroups bounds the region-group table size. Groups map to steering
+// targets, of which a field has a handful; the cap exists so a corrupt
+// header cannot demand absurd allocations.
+const MaxGroups = 1 << 10
 
 // Legacy stream format versions that remain readable.
 const (
@@ -195,9 +225,33 @@ type ChunkInfo struct {
 	MSE float64
 	// Min and Max are the chunk's value range (NaN when unmeasured).
 	Min, Max float64
+	// Group is the index of the region group this chunk belongs to
+	// (into Header.Groups). Zero for streams without a group table,
+	// whose chunks all sit in one implicit group.
+	Group int
 	// RowStart is the first row this chunk covers. It is derived from
 	// the Rows prefix sum at parse/assembly time, never serialized.
 	RowStart int
+}
+
+// GroupInfo is one region-group descriptor of a version-4 stream: the
+// named quality target a subset of chunks was steered to. The settled
+// absolute bound of each group lives in its chunks' EbAbs entries; the
+// descriptor records what the bound was steered toward, so inspection
+// tooling and decoders can report per-region quality without the
+// original request.
+type GroupInfo struct {
+	// Name identifies the group ("roi0", "background", ...).
+	Name string
+	// Mode records how the group's bound was derived (ModePSNR,
+	// ModeRatio, or a single-pass mode for pinned groups).
+	Mode Mode
+	// TargetPSNR is the group's PSNR target in dB (NaN unless Mode is
+	// ModePSNR).
+	TargetPSNR float64
+	// TargetRatio is the group's compression-ratio target (0 unless
+	// Mode is ModeRatio).
+	TargetRatio float64
 }
 
 // Header describes a compressed stream.
@@ -214,6 +268,10 @@ type Header struct {
 	TargetPSNR float64 // NaN unless Mode == ModePSNR
 	ValueRange float64 // vr of the original data (recorded for inspection)
 	Capacity   int     // quantization intervals (2n)
+	// Groups is the region-group table (version 4). Empty for every
+	// other version and for ungrouped version-3 streams: consumers must
+	// treat an empty table as one implicit group holding every chunk.
+	Groups []GroupInfo
 	// Chunks is the per-chunk index (empty for IDConstant streams).
 	Chunks []ChunkInfo
 	// ConstValue holds the value of a constant field (IDConstant).
@@ -295,6 +353,75 @@ func (h *Header) AggregateMSE() float64 {
 	return sumSq / float64(n)
 }
 
+// NumGroups returns the number of region groups, treating an empty group
+// table (v1–v3 streams and ungrouped v4 writers) as one implicit group.
+func (h *Header) NumGroups() int {
+	if len(h.Groups) == 0 {
+		return 1
+	}
+	return len(h.Groups)
+}
+
+// GroupOf returns the group index of chunk ci (always 0 when the stream
+// has no group table).
+func (h *Header) GroupOf(ci int) int { return h.Chunks[ci].Group }
+
+// GroupChunks returns the indices of the chunks in group g, in chunk
+// order. With an empty group table, group 0 holds every chunk.
+func (h *Header) GroupChunks(g int) []int {
+	var out []int
+	for ci := range h.Chunks {
+		if h.Chunks[ci].Group == g {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// GroupAggregateMSE computes the point-count-weighted mean of the MSEs of
+// one chunk subset — the per-group distortion accounting the region-aware
+// steering loop drives on, defined exactly like the field-level
+// AggregateMSE but over a group's chunks only. NaN when any chunk in the
+// subset is unmeasured or the subset is empty.
+func (h *Header) GroupAggregateMSE(chunks []int) float64 {
+	inner := h.InnerPoints()
+	var sumSq float64
+	var n int
+	for _, ci := range chunks {
+		c := &h.Chunks[ci]
+		if math.IsNaN(c.MSE) {
+			return math.NaN()
+		}
+		pts := c.Rows * inner
+		sumSq += c.MSE * float64(pts)
+		n += pts
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sumSq / float64(n)
+}
+
+// GroupPayloadBytes sums the compressed payload bytes of one chunk
+// subset — the size statistic per-group ratio steering measures (header
+// overhead is shared by all groups and excluded).
+func (h *Header) GroupPayloadBytes(chunks []int) int {
+	n := 0
+	for _, ci := range chunks {
+		n += h.Chunks[ci].Len
+	}
+	return n
+}
+
+// GroupPoints counts the values covered by one chunk subset.
+func (h *Header) GroupPoints(chunks []int) int {
+	rows := 0
+	for _, ci := range chunks {
+		rows += h.Chunks[ci].Rows
+	}
+	return rows * h.InnerPoints()
+}
+
 // AppendFloat64 appends v as 8 bytes IEEE-754 little-endian.
 func AppendFloat64(b []byte, v float64) []byte {
 	var tmp [8]byte
@@ -354,17 +481,34 @@ func (h *Header) marshalScalars(out []byte) []byte {
 	return out
 }
 
-// Marshal serializes the header in the current (version 3, chunked)
-// format. All registered codecs share this container format so that
-// inspection tooling and random access work uniformly. Chunk offsets and
-// lengths must already be final; AssembleStream fills them from the
+// Marshal serializes the header in the current chunked format: version 3
+// when the stream has no group table, version 4 (group table + per-chunk
+// group IDs) when it does — so ungrouped streams stay byte-identical to
+// pre-group writers. All registered codecs share this container format so
+// that inspection tooling and random access work uniformly. Chunk offsets
+// and lengths must already be final; AssembleStream fills them from the
 // payload slices and calls Marshal.
 func (h *Header) Marshal() []byte {
-	out := h.marshalPrefix(Version)
+	grouped := len(h.Groups) > 0
+	version := byte(Version)
+	if grouped {
+		version = VersionGrouped
+	}
+	out := h.marshalPrefix(version)
 	if h.Codec == IDConstant {
 		return AppendFloat64(out, h.ConstValue)
 	}
 	out = h.marshalScalars(out)
+	if grouped {
+		out = binary.AppendUvarint(out, uint64(len(h.Groups)))
+		for _, g := range h.Groups {
+			out = binary.AppendUvarint(out, uint64(len(g.Name)))
+			out = append(out, g.Name...)
+			out = append(out, byte(g.Mode))
+			out = AppendFloat64(out, g.TargetPSNR)
+			out = AppendFloat64(out, g.TargetRatio)
+		}
+	}
 	out = binary.AppendUvarint(out, uint64(len(h.Chunks)))
 	for _, c := range h.Chunks {
 		out = binary.AppendUvarint(out, uint64(c.Rows))
@@ -375,6 +519,9 @@ func (h *Header) Marshal() []byte {
 		out = AppendFloat64(out, c.MSE)
 		out = AppendFloat64(out, c.Min)
 		out = AppendFloat64(out, c.Max)
+		if grouped {
+			out = binary.AppendUvarint(out, uint64(c.Group))
+		}
 	}
 	return out
 }
@@ -389,9 +536,15 @@ func (h *Header) MarshalLegacy(version byte) ([]byte, error) {
 		return nil, fmt.Errorf("codec: MarshalLegacy supports versions %d and %d, got %d",
 			VersionLegacy, VersionLegacy2, version)
 	}
+	if len(h.Groups) > 0 {
+		return nil, fmt.Errorf("codec: header has %d region groups; legacy layout cannot record them", len(h.Groups))
+	}
 	for i, c := range h.Chunks {
 		if c.EbAbs != 0 {
 			return nil, fmt.Errorf("codec: chunk %d has a per-chunk bound; legacy layout cannot record it", i)
+		}
+		if c.Group != 0 {
+			return nil, fmt.Errorf("codec: chunk %d has a region group; legacy layout cannot record it", i)
 		}
 	}
 	out := h.marshalPrefix(version)
@@ -436,7 +589,7 @@ func parseHeader(data []byte, requirePayload bool) (*Header, error) {
 	b = b[4:]
 	version := b[0]
 	switch version {
-	case VersionLegacy, VersionLegacy2, Version:
+	case VersionLegacy, VersionLegacy2, Version, VersionGrouped:
 	default:
 		return nil, fmt.Errorf("codec: unsupported version %d", version)
 	}
@@ -507,6 +660,11 @@ func parseHeader(data []byte, requirePayload bool) (*Header, error) {
 		return nil, fmt.Errorf("codec: bad capacity %d", capacity)
 	}
 	h.Capacity = int(capacity)
+	if version == VersionGrouped {
+		if b, err = parseGroupTable(h, b); err != nil {
+			return nil, err
+		}
+	}
 	nchunks, b, err := ReadUvarint(b)
 	if err != nil {
 		return nil, err
@@ -515,9 +673,10 @@ func parseHeader(data []byte, requirePayload bool) (*Header, error) {
 		return nil, fmt.Errorf("codec: bad chunk count %d", nchunks)
 	}
 	h.Chunks = make([]ChunkInfo, nchunks)
-	if version == Version {
-		b, err = parseChunkTable(h, b)
-	} else {
+	switch version {
+	case Version, VersionGrouped:
+		b, err = parseChunkTable(h, b, version == VersionGrouped)
+	default:
 		b, err = parseLegacyChunkTable(h, b)
 	}
 	if err != nil {
@@ -538,10 +697,53 @@ func parseHeader(data []byte, requirePayload bool) (*Header, error) {
 	return h, nil
 }
 
-// parseChunkTable decodes the version-3 chunk index and validates its
+// parseGroupTable decodes the version-4 region-group table. A grouped
+// stream must declare at least one group; the chunk table that follows
+// references entries by index.
+func parseGroupTable(h *Header, b []byte) ([]byte, error) {
+	ngroups, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if ngroups == 0 || ngroups > MaxGroups {
+		return nil, fmt.Errorf("codec: bad group count %d", ngroups)
+	}
+	h.Groups = make([]GroupInfo, ngroups)
+	for i := range h.Groups {
+		nameLen, rest, err := ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if uint64(len(b)) < nameLen || nameLen > 1<<10 {
+			return nil, fmt.Errorf("codec: group %d bad name length %d", i, nameLen)
+		}
+		g := &h.Groups[i]
+		g.Name = string(b[:nameLen])
+		b = b[nameLen:]
+		if len(b) < 1 {
+			return nil, fmt.Errorf("codec: group %d truncated", i)
+		}
+		g.Mode = Mode(b[0])
+		b = b[1:]
+		if g.TargetPSNR, b, err = ReadFloat64(b); err != nil {
+			return nil, err
+		}
+		if g.TargetRatio, b, err = ReadFloat64(b); err != nil {
+			return nil, err
+		}
+		if g.TargetRatio < 0 || math.IsInf(g.TargetRatio, 0) || math.IsNaN(g.TargetRatio) {
+			return nil, fmt.Errorf("codec: group %d bad target ratio %g", i, g.TargetRatio)
+		}
+	}
+	return b, nil
+}
+
+// parseChunkTable decodes the version-3/4 chunk index and validates its
 // invariants: per-chunk rows cover Dims[0] exactly, offsets are
-// non-overlapping and non-decreasing, and no entry's extent overflows.
-func parseChunkTable(h *Header, b []byte) ([]byte, error) {
+// non-overlapping and non-decreasing, no entry's extent overflows, and
+// (version 4) every chunk's group ID points into the group table.
+func parseChunkTable(h *Header, b []byte, grouped bool) ([]byte, error) {
 	rowSum := 0
 	prevEnd := 0
 	var err error
@@ -571,6 +773,16 @@ func parseChunkTable(h *Header, b []byte) ([]byte, error) {
 		}
 		if c.Max, b, err = ReadFloat64(b); err != nil {
 			return nil, err
+		}
+		if grouped {
+			var group uint64
+			if group, b, err = ReadUvarint(b); err != nil {
+				return nil, err
+			}
+			if group >= uint64(len(h.Groups)) {
+				return nil, fmt.Errorf("codec: chunk %d references group %d of %d", i, group, len(h.Groups))
+			}
+			c.Group = int(group)
 		}
 		if rows > 1<<50 || off > 1<<50 || length > 1<<50 || unpred > 1<<50 {
 			return nil, fmt.Errorf("codec: chunk %d entry overflows", i)

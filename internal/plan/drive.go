@@ -6,7 +6,6 @@ import (
 
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
-	"fixedpsnr/internal/parallel"
 )
 
 // Drive is the generic quality-steering loop: given the first pass's
@@ -62,8 +61,9 @@ func Drive(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Options
 
 // recompress produces a stream at the (new) bound in opt. For chunked
 // streams from a ChunkCodec it reuses the previous pass's tiling and
-// container geometry, recompressing chunks in parallel; with pinExact
-// set, chunks whose recorded MSE is zero — already exact, so their error
+// container geometry, recompressing chunks in parallel through the same
+// recompressSubset worker the region-group loop uses; with pinExact set,
+// chunks whose recorded MSE is zero — already exact, so their error
 // contribution is final at any bound — keep their payloads verbatim with
 // their previous bound pinned in their chunk entries. Non-chunked
 // streams (and, under pinExact, streams without measured chunk
@@ -82,47 +82,9 @@ func recompress(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Op
 		return c.Compress(ctx, f, opt, sc)
 	}
 
-	inner := h.InnerPoints()
 	copt := opt
 	copt.Capacity = h.Capacity // keep the container's quantizer geometry across passes
-	payloads := make([][]byte, len(h.Chunks))
-	chunks := make([]codec.ChunkInfo, len(h.Chunks))
-	err = parallel.ForEachCtx(ctx, len(h.Chunks), opt.Workers, func(ci int) error {
-		ck := h.Chunks[ci]
-		if pinExact && ck.MSE == 0 {
-			// Exact reconstruction at the previous bound: the chunk's
-			// error contribution is already final, so keep the payload
-			// and record the bound it was actually quantized with.
-			pl, err := codec.ChunkPayload(prev, h, ci)
-			if err != nil {
-				return err
-			}
-			payloads[ci] = pl
-			ck.EbAbs = h.ChunkBound(ci)
-			chunks[ci] = ck
-			return nil
-		}
-		lo := ck.RowStart
-		sub := f.Data[lo*inner : (lo+ck.Rows)*inner]
-		pl, cst, err := cc.CompressChunk(ctx, sub, h.ChunkDims(ci), h.Precision, copt, sc)
-		if err != nil {
-			return err
-		}
-		payloads[ci] = pl
-		chunks[ci] = codec.ChunkInfo{
-			Rows:          ck.Rows,
-			Unpredictable: cst.Unpredictable,
-			MSE:           cst.MSE,
-			Min:           cst.Min,
-			Max:           cst.Max,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-
-	nh := &codec.Header{
+	work := &codec.Header{
 		Codec:      h.Codec,
 		Precision:  h.Precision,
 		Mode:       h.Mode,
@@ -132,13 +94,29 @@ func recompress(ctx context.Context, f *field.Field, c codec.Codec, opt codec.Op
 		TargetPSNR: h.TargetPSNR,
 		ValueRange: h.ValueRange,
 		Capacity:   h.Capacity,
-		Chunks:     chunks,
+		Chunks:     append([]codec.ChunkInfo(nil), h.Chunks...),
 	}
-	out, err := codec.AssembleStream(nh, payloads)
+	payloads := make([][]byte, len(h.Chunks))
+	subset := make([]int, len(h.Chunks))
+	for ci := range h.Chunks {
+		if payloads[ci], err = codec.ChunkPayload(prev, h, ci); err != nil {
+			return nil, nil, err
+		}
+		// Chunks that stay pinned keep the bound they were actually
+		// quantized with; recompressed entries reset to the implicit
+		// header bound inside recompressSubset.
+		work.Chunks[ci].EbAbs = h.ChunkBound(ci)
+		subset[ci] = ci
+	}
+	if err := recompressSubset(ctx, f, cc, copt, work, subset, payloads, opt.ErrorBound, pinExact, false, sc); err != nil {
+		return nil, nil, err
+	}
+
+	out, err := codec.AssembleStream(work, payloads)
 	if err != nil {
 		return nil, nil, err
 	}
-	st := codec.StatsFromChunks(nh, len(out), f.SizeBytes())
+	st := codec.StatsFromChunks(work, len(out), f.SizeBytes())
 	if h.ValueRange > 0 {
 		st.ValueRange = h.ValueRange
 	}

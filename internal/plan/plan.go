@@ -9,8 +9,12 @@
 // fixed PSNR, achieved ratio for fixed ratio) and solves for the next
 // bound from the pass history. Codecs never see the target — they are
 // handed an absolute bound and report statistics — so new targets
-// (fixed-SSIM, per-region bands) are plan-layer additions, not codec
-// changes.
+// (fixed-SSIM, new group statistics) are plan-layer additions, not codec
+// changes. Region-group steering generalizes the same machinery: a
+// Partition maps the chunked container onto named groups and DriveGroups
+// runs one Measure/Solve loop per group over only that group's chunks
+// (GroupTarget supplies the chunk-subset statistic), so one stream can
+// hold a region of interest at high PSNR over a fixed-ratio background.
 //
 // The math (Eqs. 6–8 of the paper, the log–log secant steps) lives in
 // internal/core; this package owns the mode dispatch, target

@@ -76,6 +76,21 @@ type Target interface {
 	PinExactChunks() bool
 }
 
+// GroupTarget is a Target that can measure its statistic over one chunk
+// subset of a stream — the capability region-group steering requires.
+// Both built-in targets implement it: the fixed-PSNR target aggregates
+// the group's point-weighted chunk MSEs, the fixed-ratio target measures
+// the group's payload bytes against its nominal storage footprint. A
+// custom Target without this interface still works field-wide but cannot
+// drive a region group.
+type GroupTarget interface {
+	Target
+	// MeasureGroup extracts the steering statistic from the chunks
+	// listed in subset of a (possibly mid-steering) chunk table. The
+	// header's chunk entries must carry current Len/MSE values.
+	MeasureGroup(h *codec.Header, subset []int) float64
+}
+
 // BuildTarget constructs the steering target for the request, or nil when
 // the request needs no steering: single-pass modes, uncalibrated
 // fixed-PSNR, codecs that cannot measure the statistic, and constant
@@ -144,6 +159,12 @@ func (t *psnrTarget) Measure(blob []byte, st *codec.Stats) float64 {
 		}
 	}
 	return st.MSE
+}
+
+// MeasureGroup returns the point-weighted MSE of one chunk subset — the
+// same accounting as Measure, restricted to a region group's chunks.
+func (t *psnrTarget) MeasureGroup(h *codec.Header, subset []int) float64 {
+	return h.GroupAggregateMSE(subset)
 }
 
 // Solve re-derives the quantization bin width by a log–log secant step
@@ -235,6 +256,20 @@ func (t *ratioTarget) Measure(blob []byte, st *codec.Stats) float64 {
 		return math.NaN()
 	}
 	return float64(st.OriginalBytes) / float64(st.CompressedBytes)
+}
+
+// MeasureGroup returns the compression ratio of one chunk subset: the
+// group's nominal storage footprint (points × bits per value) over its
+// summed payload bytes. Header overhead is shared by every group and
+// excluded, so per-group ratios are steered and reported on payload
+// bytes alone.
+func (t *ratioTarget) MeasureGroup(h *codec.Header, subset []int) float64 {
+	comp := h.GroupPayloadBytes(subset)
+	orig := float64(h.GroupPoints(subset)) * t.bpp / 8
+	if comp <= 0 || orig <= 0 {
+		return math.NaN()
+	}
+	return orig / float64(comp)
 }
 
 // Solve takes a log–log secant step through the last two measured

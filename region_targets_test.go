@@ -1,0 +1,327 @@
+package fixedpsnr_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"fixedpsnr"
+)
+
+// roiField builds a field with a hot structured band in the middle rows
+// (the region of interest) over a noisier background, with enough
+// entropy everywhere that a fixed-ratio background target has room to
+// steer.
+func roiField(name string, dims ...int) *fixedpsnr.Field {
+	f := fixedpsnr.NewField(name, fixedpsnr.Float32, dims...)
+	inner := 1
+	for _, d := range dims[1:] {
+		inner *= d
+	}
+	for i := range f.Data {
+		r, c := i/inner, i%inner
+		v := math.Sin(0.2*float64(r))*math.Cos(0.13*float64(c)) +
+			0.4*math.Sin(0.019*float64(r*c%997)) +
+			0.2*math.Cos(0.53*float64(i%389))
+		f.Data[i] = float64(float32(v))
+	}
+	return f
+}
+
+// fieldValueRange returns max-min of the field's data.
+func fieldValueRange(f *fixedpsnr.Field) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
+}
+
+// TestMixedTargetRoundTrip is the acceptance test of the per-region
+// steering stack: one field whose middle rows are held at PSNR >= 80 dB
+// while the background is steered to an 8:1 fixed ratio. The stream must
+// decode correctly, both groups' achieved statistics must land inside
+// their acceptance bands, and the container must carry the group table.
+func TestMixedTargetRoundTrip(t *testing.T) {
+	f := roiField("mixed", 64, 64, 16) // inner = 1024 points/row
+	vr := fieldValueRange(f)
+	roi := fixedpsnr.RegionTarget{
+		Region:     fixedpsnr.Region{Off: []int{16, 0, 0}, Ext: []int{16, 64, 16}},
+		Mode:       fixedpsnr.ModePSNR,
+		TargetPSNR: 80,
+	}
+	opt := fixedpsnr.Options{
+		Mode:          fixedpsnr.ModeRatio,
+		TargetRatio:   8,
+		RegionTargets: []fixedpsnr.RegionTarget{roi},
+		ChunkPoints:   fixedpsnr.MinChunkPoints, // 16 rows per chunk: ROI = exactly one chunk
+		Workers:       2,
+	}
+	blob, res, err := fixedpsnr.Compress(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Regions) != 2 {
+		t.Fatalf("Regions = %d groups, want roi0 + background", len(res.Regions))
+	}
+	roiRes, bg := res.Regions[0], res.Regions[1]
+	if roiRes.Name != "roi0" || bg.Name != fixedpsnr.BackgroundGroup {
+		t.Fatalf("group names = %q, %q", roiRes.Name, bg.Name)
+	}
+	if roiRes.Passes < 1 || bg.Passes < 1 || res.Passes < bg.Passes {
+		t.Fatalf("pass accounting: roi %d, background %d, field %d", roiRes.Passes, bg.Passes, res.Passes)
+	}
+
+	// Per-group achieved stats must land inside their bands: the ROI
+	// within the default ±0.5 dB of 80, the background within ±5% of 8.
+	if math.Abs(roiRes.AchievedPSNR-80) > 0.5 {
+		t.Fatalf("ROI achieved %.3f dB, want 80 ±0.5", roiRes.AchievedPSNR)
+	}
+	if dev := math.Abs(bg.AchievedRatio-8) / 8; dev > 0.05 {
+		t.Fatalf("background achieved ratio %.3f (%.1f%% off), want 8 ±5%%", bg.AchievedRatio, 100*dev)
+	}
+	if roiRes.Mode != fixedpsnr.ModePSNR || bg.Mode != fixedpsnr.ModeRatio {
+		t.Fatalf("group modes = %v, %v", roiRes.Mode, bg.Mode)
+	}
+	if roiRes.Chunks != 1 || bg.Chunks != 3 {
+		t.Fatalf("group chunks = %d, %d, want 1, 3", roiRes.Chunks, bg.Chunks)
+	}
+
+	// The stream is a version-4 grouped container with per-chunk group
+	// IDs and the group table describing both targets.
+	h, err := fixedpsnr.Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 4 {
+		t.Fatalf("stream version = %d, want 4", h.Version)
+	}
+	if len(h.Groups) != 2 || h.Groups[0].Name != "roi0" || h.Groups[1].Name != fixedpsnr.BackgroundGroup {
+		t.Fatalf("group table = %+v", h.Groups)
+	}
+	if h.Groups[0].TargetPSNR != 80 || h.Groups[1].TargetRatio != 8 {
+		t.Fatalf("group targets = %+v", h.Groups)
+	}
+	for ci, c := range h.Chunks {
+		wantGroup := 1
+		if c.RowStart >= 16 && c.RowStart < 32 {
+			wantGroup = 0
+		}
+		if c.Group != wantGroup {
+			t.Fatalf("chunk %d (rows %d+%d) group = %d, want %d", ci, c.RowStart, c.Rows, c.Group, wantGroup)
+		}
+		if c.EbAbs <= 0 {
+			t.Fatalf("chunk %d has no explicit bound", ci)
+		}
+	}
+	// The ROI's bound must be materially tighter than the background's.
+	if !(h.Chunks[1].EbAbs < h.Chunks[0].EbAbs/4) {
+		t.Fatalf("ROI bound %g not tighter than background %g", h.Chunks[1].EbAbs, h.Chunks[0].EbAbs)
+	}
+
+	// Decode correctness: the full reconstruction must honor each
+	// group's bound per point, and the decoded ROI must actually hit the
+	// high PSNR (measured against the field's global value range, the
+	// target's normalization).
+	g, _, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := 64 * 16
+	var roiSumSq float64
+	for i := 16 * inner; i < 32*inner; i++ {
+		d := f.Data[i] - g.Data[i]
+		roiSumSq += d * d
+	}
+	roiPSNR := -10*math.Log10(roiSumSq/float64(16*inner)) + 20*math.Log10(vr)
+	if math.Abs(roiPSNR-80) > 0.5 {
+		t.Fatalf("decoded ROI PSNR %.3f dB, want 80 ±0.5", roiPSNR)
+	}
+	if math.Abs(roiPSNR-roiRes.AchievedPSNR) > 1e-6 {
+		t.Fatalf("reported ROI PSNR %.6f differs from decoded %.6f", roiRes.AchievedPSNR, roiPSNR)
+	}
+
+	// Region decode of the ROI stays byte-identical to slicing the full
+	// reconstruction — grouped streams keep chunk-granular access.
+	sub, _, err := fixedpsnr.NewDecoder().DecodeRegion(context.Background(), blob,
+		[]int{16, 0, 0}, []int{16, 64, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Slice([]int{16, 0, 0}, []int{16, 64, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sub.Data {
+		if sub.Data[i] != want.Data[i] {
+			t.Fatalf("DecodeRegion differs from full decode at %d", i)
+		}
+	}
+
+	// Round-trip the grouped header through re-marshaling: parse →
+	// marshal → parse must preserve the group table and chunk groups.
+	re, err := fixedpsnr.Inspect(append(h.Marshal(), blob[h.PayloadOffset():]...))
+	if err != nil {
+		t.Fatalf("re-marshaled grouped header: %v", err)
+	}
+	if len(re.Groups) != 2 || re.Groups[0].Name != "roi0" {
+		t.Fatalf("re-marshaled groups = %+v", re.Groups)
+	}
+}
+
+// TestRegionTargetValidation exercises the request-level and field-level
+// rejection paths: bad modes and targets at Validate time, bad geometry
+// and overlap at encode time.
+func TestRegionTargetValidation(t *testing.T) {
+	region := func(off, ext []int) fixedpsnr.Region { return fixedpsnr.Region{Off: off, Ext: ext} }
+	base := fixedpsnr.Options{Mode: fixedpsnr.ModePSNR, TargetPSNR: 60, Calibrated: true}
+
+	bad := []struct {
+		name string
+		rt   fixedpsnr.RegionTarget
+	}{
+		{"mode abs", fixedpsnr.RegionTarget{Region: region([]int{0, 0}, []int{4, 4}), Mode: fixedpsnr.ModeAbs}},
+		{"psnr zero", fixedpsnr.RegionTarget{Region: region([]int{0, 0}, []int{4, 4}), Mode: fixedpsnr.ModePSNR}},
+		{"psnr inf", fixedpsnr.RegionTarget{Region: region([]int{0, 0}, []int{4, 4}), Mode: fixedpsnr.ModePSNR, TargetPSNR: math.Inf(1)}},
+		{"ratio 1", fixedpsnr.RegionTarget{Region: region([]int{0, 0}, []int{4, 4}), Mode: fixedpsnr.ModeRatio, TargetRatio: 1}},
+		{"ratio below 1", fixedpsnr.RegionTarget{Region: region([]int{0, 0}, []int{4, 4}), Mode: fixedpsnr.ModeRatio, TargetRatio: 0.25}},
+		{"reserved name", fixedpsnr.RegionTarget{Name: fixedpsnr.BackgroundGroup, Region: region([]int{0, 0}, []int{4, 4}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70}},
+	}
+	f := roiField("val", 64, 32, 32)
+	for _, tc := range bad {
+		opt := base
+		opt.RegionTargets = []fixedpsnr.RegionTarget{tc.rt}
+		if _, _, err := fixedpsnr.Compress(f, opt); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.rt)
+		}
+	}
+
+	// PWRel cannot group-steer.
+	pw := fixedpsnr.Options{Mode: fixedpsnr.ModePWRel, PWRelBound: 1e-3,
+		RegionTargets: []fixedpsnr.RegionTarget{{Region: region([]int{0, 0, 0}, []int{4, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70}}}
+	if err := pw.Validate(); err == nil || !strings.Contains(err.Error(), "ModePWRel") {
+		t.Errorf("PWRel + regions: err = %v", err)
+	}
+
+	// Geometry against the concrete field: out of bounds, wrong rank,
+	// zero extent, overlapping row windows, duplicate names.
+	for name, rts := range map[string][]fixedpsnr.RegionTarget{
+		"out of bounds": {{Region: region([]int{60, 0, 0}, []int{8, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70}},
+		"wrong rank":    {{Region: region([]int{0}, []int{8}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70}},
+		"zero extent":   {{Region: region([]int{0, 0, 0}, []int{0, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70}},
+		"overlap": {
+			{Region: region([]int{0, 0, 0}, []int{16, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70},
+			{Region: region([]int{8, 0, 0}, []int{16, 32, 32}), Mode: fixedpsnr.ModeRatio, TargetRatio: 8},
+		},
+		"duplicate names": {
+			{Name: "a", Region: region([]int{0, 0, 0}, []int{8, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70},
+			{Name: "a", Region: region([]int{32, 0, 0}, []int{8, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70},
+		},
+	} {
+		opt := base
+		opt.RegionTargets = rts
+		if _, _, err := fixedpsnr.Compress(f, opt); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Two disjoint row windows that land inside one chunk must be
+	// rejected at partition time, not silently merged.
+	small := roiField("straddle", 64, 32, 32) // inner=1024, chunks of 16 rows
+	opt := base
+	opt.ChunkPoints = fixedpsnr.MinChunkPoints
+	opt.RegionTargets = []fixedpsnr.RegionTarget{
+		{Region: region([]int{0, 0, 0}, []int{4, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 70},
+		{Region: region([]int{8, 0, 0}, []int{4, 32, 32}), Mode: fixedpsnr.ModeRatio, TargetRatio: 8},
+	}
+	if _, _, err := fixedpsnr.Compress(small, opt); err == nil || !strings.Contains(err.Error(), "claimed by regions") {
+		t.Errorf("chunk straddle: err = %v", err)
+	}
+
+	// EncodeFrom is single-pass and must reject region targets loudly.
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR), fixedpsnr.WithTargetPSNR(60),
+		fixedpsnr.WithRegionTargets(fixedpsnr.RegionTarget{
+			Region: region([]int{0, 0, 0}, []int{8, 32, 32}), Mode: fixedpsnr.ModePSNR, TargetPSNR: 80}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := enc.EncodeFrom(context.Background(), fixedpsnr.NewFieldReader(f)); err == nil ||
+		!strings.Contains(err.Error(), "RegionTargets") {
+		t.Errorf("EncodeFrom + regions: err = %v", err)
+	}
+}
+
+// TestTargetRatioRejectedBeforeCompression: a target ratio at or below 1
+// can never be achieved (compression must shrink), so Validate must
+// reject it up front with an explanation — not let the solver burn
+// MaxRefinePasses chasing it.
+func TestTargetRatioRejectedBeforeCompression(t *testing.T) {
+	for _, r := range []float64{1, 0.999, 0.5, 0, -3, math.Inf(1)} {
+		err := fixedpsnr.Options{Mode: fixedpsnr.ModeRatio, TargetRatio: r}.Validate()
+		if err == nil {
+			t.Errorf("TargetRatio %g accepted", r)
+			continue
+		}
+		if r > 0 && !math.IsInf(r, 0) && !strings.Contains(err.Error(), "never be achieved") {
+			t.Errorf("TargetRatio %g: error %q does not explain why", r, err)
+		}
+		// The same floor applies to region ratio targets.
+		err = fixedpsnr.Options{
+			Mode: fixedpsnr.ModePSNR, TargetPSNR: 60,
+			RegionTargets: []fixedpsnr.RegionTarget{{
+				Region: fixedpsnr.Region{Off: []int{0, 0}, Ext: []int{4, 4}},
+				Mode:   fixedpsnr.ModeRatio, TargetRatio: r,
+			}},
+		}.Validate()
+		if err == nil {
+			t.Errorf("region TargetRatio %g accepted", r)
+		}
+	}
+}
+
+// TestRegionTargetsOnConstantField: a constant field compresses to one
+// exact header; region demands have nothing to steer and are ignored
+// after validation.
+func TestRegionTargetsOnConstantField(t *testing.T) {
+	f := fixedpsnr.NewField("const", fixedpsnr.Float64, 32, 32)
+	for i := range f.Data {
+		f.Data[i] = 4.5
+	}
+	opt := fixedpsnr.Options{
+		Mode: fixedpsnr.ModeAbs,
+		RegionTargets: []fixedpsnr.RegionTarget{{
+			Region: fixedpsnr.Region{Off: []int{0, 0}, Ext: []int{8, 32}},
+			Mode:   fixedpsnr.ModePSNR, TargetPSNR: 80,
+		}},
+	}
+	blob, res, err := fixedpsnr.Compress(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 0 {
+		t.Fatalf("constant field reported %d region groups", len(res.Regions))
+	}
+	g, _, err := fixedpsnr.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if g.Data[i] != f.Data[i] {
+			t.Fatal("constant field round trip")
+		}
+	}
+	// Bad geometry is still rejected, even though the field is constant.
+	opt.RegionTargets[0].Region.Off = []int{40, 0}
+	if _, _, err := fixedpsnr.Compress(f, opt); err == nil {
+		t.Fatal("constant field accepted an out-of-bounds region")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/parallel"
@@ -32,6 +34,73 @@ import (
 type Encoder struct {
 	opt     Options
 	scratch *codec.Scratch
+	warm    *warmCache
+}
+
+// warmPoint is one cached solver settlement: the absolute bound a steered
+// encode of a variable ended on, tagged with the request it answered so a
+// later encode under different options never reuses it.
+type warmPoint struct {
+	mode   Mode
+	target float64 // TargetPSNR or TargetRatio, per mode
+	codec  string
+	bound  float64
+}
+
+// warmCache holds per-field-name solver warm starts for one Encoder
+// session: repeated snapshots of the same variable start their first
+// pass at the bound the previous encode settled on instead of
+// data-blind, so they converge in 1–2 passes. Safe for concurrent use;
+// a nil cache (one-shot Compress) never hits.
+type warmCache struct {
+	mu sync.Mutex
+	m  map[string]warmPoint
+}
+
+// steerTarget extracts the option value the steered mode aims at.
+func steerTarget(opt Options) float64 {
+	if opt.Mode == ModeRatio {
+		return opt.TargetRatio
+	}
+	return opt.TargetPSNR
+}
+
+// lookup returns the cached bound for a field name when the cached point
+// answers the same request (mode, target value, codec); ok is false
+// otherwise. Unnamed fields never hit: distinct anonymous fields would
+// otherwise share one entry and cross-seed each other's solver.
+func (wc *warmCache) lookup(name string, opt Options) (bound float64, ok bool) {
+	if wc == nil || name == "" {
+		return 0, false
+	}
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	wp, ok := wc.m[name]
+	if !ok || wp.mode != opt.Mode || wp.target != steerTarget(opt) || wp.codec != opt.codecName() {
+		return 0, false
+	}
+	if !(wp.bound > 0) || math.IsInf(wp.bound, 0) {
+		return 0, false
+	}
+	return wp.bound, true
+}
+
+// store records the settled bound of a steered encode.
+func (wc *warmCache) store(name string, opt Options, bound float64) {
+	if wc == nil || name == "" || !(bound > 0) || math.IsInf(bound, 0) {
+		return
+	}
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.m == nil {
+		wc.m = make(map[string]warmPoint)
+	}
+	wc.m[name] = warmPoint{
+		mode:   opt.Mode,
+		target: steerTarget(opt),
+		codec:  opt.codecName(),
+		bound:  bound,
+	}
 }
 
 // Option configures an Encoder (functional options for NewEncoder).
@@ -78,6 +147,18 @@ func WithRatioTolerance(frac float64) Option { return func(o *Options) { o.Ratio
 // quality target may take (0 = per-target default).
 func WithMaxRefinePasses(n int) Option { return func(o *Options) { o.MaxRefinePasses = n } }
 
+// WithRegionTargets steers sub-blocks of every encoded field to their own
+// quality targets (a region of interest at high PSNR, the background at a
+// cheap fixed ratio); chunks outside every region follow the field-level
+// mode. See Options.RegionTargets.
+func WithRegionTargets(rts ...RegionTarget) Option {
+	return func(o *Options) { o.RegionTargets = append([]RegionTarget(nil), rts...) }
+}
+
+// WithWarmStart toggles the session's per-field-name solver warm start
+// (on by default; see Options.NoWarmStart).
+func WithWarmStart(on bool) Option { return func(o *Options) { o.NoWarmStart = !on } }
+
 // WithCapacity sets the quantization interval count (0 = default).
 func WithCapacity(n int) Option { return func(o *Options) { o.Capacity = n } }
 
@@ -123,7 +204,7 @@ func NewEncoder(opts ...Option) (*Encoder, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return &Encoder{opt: o, scratch: codec.NewScratch()}, nil
+	return &Encoder{opt: o, scratch: codec.NewScratch(), warm: &warmCache{}}, nil
 }
 
 // Options returns a copy of the session configuration.
@@ -133,7 +214,7 @@ func (e *Encoder) Options() Options { return e.opt }
 // plus a result summary. Cancelling ctx aborts the compression within
 // one slab/block of work per worker and returns ctx.Err().
 func (e *Encoder) Encode(ctx context.Context, f *Field) ([]byte, *Result, error) {
-	return compress(ctx, f, e.opt, e.scratch)
+	return compress(ctx, f, e.opt, e.scratch, e.warm)
 }
 
 // EncodeTo compresses one field and writes the stream to w, for callers
@@ -165,7 +246,7 @@ func (e *Encoder) EncodeBatch(ctx context.Context, fields []*Field) ([][]byte, [
 	streams := make([][]byte, len(fields))
 	results := make([]*Result, len(fields))
 	err := parallel.ForEachCtx(ctx, len(fields), e.opt.Workers, func(i int) error {
-		blob, res, err := compress(ctx, fields[i], perField, e.scratch)
+		blob, res, err := compress(ctx, fields[i], perField, e.scratch, e.warm)
 		if err != nil {
 			return fmt.Errorf("fixedpsnr: field %q: %w", fields[i].Name, err)
 		}
