@@ -155,6 +155,9 @@ type ArchiveReader struct {
 	// data is set when the archive is already an in-memory blob; reads
 	// then slice it directly instead of copying through ReadAt.
 	data []byte
+	// scratch feeds region extraction's per-chunk decode transients;
+	// sync.Pool-backed, so concurrent extracts share it safely.
+	scratch *codec.Scratch
 }
 
 // OpenArchive opens an archive of the given total size. The reader keeps
@@ -174,6 +177,7 @@ func openArchiveBytes(data []byte) (*ArchiveReader, error) {
 }
 
 func openArchive(ar *ArchiveReader) (*ArchiveReader, error) {
+	ar.scratch = codec.NewScratch()
 	var head [5]byte
 	if ar.size < int64(len(head)) {
 		return nil, fmt.Errorf("fixedpsnr: archive too short")
@@ -405,7 +409,7 @@ func (ar *ArchiveReader) ExtractRegionAt(i int, off, ext []int) (*Field, *Stream
 			return nil, fmt.Errorf("chunk payload [%d,+%d) outside entry of %d bytes", lo, ck.Len, e.length)
 		}
 		return ar.readRange(e.off+lo, int64(ck.Len))
-	}, off, ext)
+	}, off, ext, ar.scratch)
 	if errors.Is(err, codec.ErrNotChunked) {
 		// Whole-entry fallback for streams without chunk access.
 		full, _, ferr := ar.ExtractAt(i)

@@ -1,0 +1,109 @@
+package fixedpsnr_test
+
+// Hot-loop throughput benchmarks: encode and decode MB/s on the chunkbench
+// field at 1 core and all cores. These are the datapoints the CI bench job
+// folds into BENCH_pr*.json via `fpsz-bench gobench`, so single-thread
+// bandwidth and core scaling are both tracked across PRs.
+//
+// The field is the same synthetic used by `fpsz-bench chunk` (separable
+// trigonometric modes plus a high-frequency perturbation), at a reduced
+// 128×192×192 so benchmark iterations stay affordable; MB/s numbers are
+// directly comparable across runs of the same grid.
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fixedpsnr"
+)
+
+var (
+	hotFieldOnce sync.Once
+	hotField     *fixedpsnr.Field
+)
+
+// chunkBenchField materializes the benchmark field (value range ⊂ [-2, 2]).
+func chunkBenchField() *fixedpsnr.Field {
+	hotFieldOnce.Do(func() {
+		dims := []int{128, 192, 192}
+		f := fixedpsnr.NewField("chunkbench", fixedpsnr.Float32, dims...)
+		plane := dims[1] * dims[2]
+		for i := range f.Data {
+			x := i / plane
+			rem := i % plane
+			y := rem / dims[2]
+			z := rem % dims[2]
+			v := math.Sin(float64(x)/17)*math.Cos(float64(y)/23) +
+				0.5*math.Sin(float64(z)/11) +
+				0.05*math.Sin(float64(i)/3)
+			f.Data[i] = float64(float32(v))
+		}
+		hotField = f
+	})
+	return hotField
+}
+
+// withCores pins both the scheduler (GOMAXPROCS, which bounds the decode
+// path's worker pool) and reports the bound so MB/s is per-configuration.
+func withCores(b *testing.B, cores int) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(cores)
+	b.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func benchmarkChunkedEncode(b *testing.B, cores int) {
+	f := chunkBenchField()
+	withCores(b, cores)
+	enc, err := fixedpsnr.NewEncoder(
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(80),
+		fixedpsnr.WithWorkers(cores),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := enc.Encode(ctx, f); err != nil { // warm pools + solver
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.Encode(ctx, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkChunkedDecode(b *testing.B, cores int) {
+	f := chunkBenchField()
+	stream, _, err := fixedpsnr.Compress(f, fixedpsnr.Options{
+		Mode: fixedpsnr.ModePSNR, TargetPSNR: 80,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	withCores(b, cores)
+	dec := fixedpsnr.NewDecoder()
+	ctx := context.Background()
+	if _, _, err := dec.Decode(ctx, stream); err != nil { // warm pools
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(ctx, stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChunkedEncode1Core(b *testing.B)    { benchmarkChunkedEncode(b, 1) }
+func BenchmarkChunkedEncodeAllCores(b *testing.B) { benchmarkChunkedEncode(b, runtime.NumCPU()) }
+func BenchmarkChunkedDecode1Core(b *testing.B)    { benchmarkChunkedDecode(b, 1) }
+func BenchmarkChunkedDecodeAllCores(b *testing.B) { benchmarkChunkedDecode(b, runtime.NumCPU()) }

@@ -98,6 +98,7 @@ func synthFieldForBench(dims []int) *fixedpsnr.Field {
 // materializes the field once for comparison.
 func chunkMain(args []string) error {
 	fs := flag.NewFlagSet("chunk", flag.ExitOnError)
+	pf := registerProfileFlags(fs)
 	var (
 		dimsArg     = fs.String("dims", "256x384x384", "synthetic field grid")
 		psnr        = fs.Float64("psnr", 80, "target PSNR in dB")
@@ -106,6 +107,11 @@ func chunkMain(args []string) error {
 		out         = fs.String("out", "-", "JSON output path (default stdout)")
 	)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	rec, err := chunkRecord(*dimsArg, *psnr, *chunkPoints, *workers)
 	if err != nil {

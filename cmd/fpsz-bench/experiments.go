@@ -13,6 +13,7 @@ import (
 // extension studies on the synthetic stand-in data sets.
 func experimentsMain(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	pf := registerProfileFlags(fs)
 	var (
 		name    = fs.String("experiment", "all", "experiment to run (table1, figure1, figure2, table2, overhead, baseline, transform, ablation, ratio, decimation, calibration, fixedratio, all)")
 		csvPath = fs.String("csv", "", "also write machine-readable CSV to this path (table2, figure1, figure2)")
@@ -23,9 +24,13 @@ func experimentsMain(args []string) error {
 		hurDims = fs.String("hurricane", "", "Hurricane grid, e.g. 25x125x125")
 	)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg := experiment.Config{Workers: *workers}
-	var err error
 	if cfg.NYXDims, err = parseDims(*nyxDims, 3); err != nil {
 		return err
 	}

@@ -27,9 +27,15 @@ type GoBenchResult struct {
 // benchmark results are ignored.
 func gobenchMain(args []string) error {
 	fs := flag.NewFlagSet("gobench", flag.ExitOnError)
+	pf := registerProfileFlags(fs)
 	in := fs.String("in", "-", "bench output file (default stdin)")
 	out := fs.String("out", "-", "JSON output file (default stdout)")
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	results, err := parseGoBenchFile(*in)
 	if err != nil {

@@ -110,3 +110,35 @@ func TestRatioRecordsRejectsUnknownCodec(t *testing.T) {
 		t.Fatal("expected unknown-codec error")
 	}
 }
+
+func TestThroughputRecords(t *testing.T) {
+	gb := []GoBenchResult{
+		{Name: "BenchmarkChunkedEncode1Core", MBPerSec: 75.2},
+		{Name: "BenchmarkChunkedEncodeAllCores", MBPerSec: 140.5},
+		{Name: "BenchmarkChunkedDecode1Core", MBPerSec: 280.1},
+		{Name: "BenchmarkChunkedDecodeAllCores", MBPerSec: 300.9},
+		{Name: "BenchmarkUnrelated", MBPerSec: 1.0},
+	}
+	recs := throughputRecords(gb)
+	if err := checkThroughput(recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Op != "encode" || recs[1].Op != "decode" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].OneCoreMBps != 75.2 || recs[0].AllCoresMBps != 140.5 {
+		t.Fatalf("encode datapoints = %+v", recs[0])
+	}
+	if want := recs[0].AllCoresMBps / recs[0].OneCoreMBps; recs[0].Scaling != want {
+		t.Fatalf("encode scaling = %g, want %g", recs[0].Scaling, want)
+	}
+
+	// Missing or zero datapoints must fail the CI assertion.
+	if err := checkThroughput(throughputRecords(gb[:2])); err == nil {
+		t.Fatal("want error with decode datapoints missing")
+	}
+	gb[2].MBPerSec = 0
+	if err := checkThroughput(throughputRecords(gb)); err == nil {
+		t.Fatal("want error with zero 1-core decode MB/s")
+	}
+}

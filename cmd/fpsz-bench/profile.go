@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags carries the -cpuprofile/-memprofile options every
+// subcommand registers, so any benchmark run can be profiled directly
+// (`fpsz-bench chunk -cpuprofile cpu.pprof ...`) without rigging up a
+// separate go-test harness around the hot paths.
+type profileFlags struct {
+	cpu string
+	mem string
+}
+
+// registerProfileFlags adds the profiling options to fs.
+func registerProfileFlags(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to `file` on exit")
+	return p
+}
+
+// start begins CPU profiling if requested and returns a stop function
+// that finalizes the CPU profile and snapshots the heap profile. stop is
+// idempotent and reports write failures on stderr so callers can defer
+// it.
+func (p *profileFlags) start() (stop func(), err error) {
+	var cpuF *os.File
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fpsz-bench: cpuprofile:", err)
+			}
+		}
+		if p.mem != "" {
+			f, err := os.Create(p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpsz-bench: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fpsz-bench: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -30,6 +30,7 @@ type RatioRecord struct {
 // field for each codec × target-ratio pair and emits the records.
 func ratioMain(args []string) error {
 	fs := flag.NewFlagSet("ratio", flag.ExitOnError)
+	pf := registerProfileFlags(fs)
 	var (
 		dimsArg   = fs.String("dims", "64x96x96", "synthetic field grid")
 		ratiosArg = fs.String("ratios", "8,16,32", "comma-separated target ratios")
@@ -38,6 +39,11 @@ func ratioMain(args []string) error {
 		out       = fs.String("out", "-", "JSON output path (default stdout)")
 	)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	recs, err := ratioRecords(*dimsArg, *ratiosArg, *codecsArg, *workers)
 	if err != nil {

@@ -39,6 +39,7 @@ type RegionRecord struct {
 // datapoints of the per-region steering stack.
 func regionMain(args []string) error {
 	fs := flag.NewFlagSet("region", flag.ExitOnError)
+	pf := registerProfileFlags(fs)
 	var (
 		dimsArg   = fs.String("dims", "64x96x96", "synthetic field grid")
 		roiPSNR   = fs.Float64("roipsnr", 80, "region-of-interest PSNR target in dB")
@@ -47,6 +48,11 @@ func regionMain(args []string) error {
 		out       = fs.String("out", "-", "JSON output path (default stdout)")
 	)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	recs, err := regionRecords(*dimsArg, *roiPSNR, *ratiosArg, *workers)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"strings"
 
 	"fixedpsnr"
 )
@@ -14,10 +15,63 @@ import (
 // (when -gobench is given) the parsed `go test -bench` session results —
 // one JSON file instead of one file per tool.
 type SuiteRecord struct {
-	Chunked    []ChunkRecord   `json:"chunked"`
-	FixedRatio []RatioRecord   `json:"fixed_ratio"`
-	Region     []RegionRecord  `json:"region"`
-	GoBench    []GoBenchResult `json:"go_bench,omitempty"`
+	Chunked    []ChunkRecord      `json:"chunked"`
+	FixedRatio []RatioRecord      `json:"fixed_ratio"`
+	Region     []RegionRecord     `json:"region"`
+	GoBench    []GoBenchResult    `json:"go_bench,omitempty"`
+	Throughput []ThroughputRecord `json:"throughput,omitempty"`
+}
+
+// ThroughputRecord is one encode/decode throughput datapoint distilled
+// from the BenchmarkChunked{Encode,Decode}{1Core,AllCores} go-bench
+// results: single-core and all-core MB/s on the chunked benchmark field,
+// plus the parallel scaling factor between them.
+type ThroughputRecord struct {
+	Op           string  `json:"op"` // "encode" or "decode"
+	OneCoreMBps  float64 `json:"one_core_mb_per_sec"`
+	AllCoresMBps float64 `json:"all_cores_mb_per_sec"`
+	Scaling      float64 `json:"scaling,omitempty"` // all-cores / one-core
+}
+
+// throughputRecords distills the chunked encode/decode datapoints from
+// parsed go-bench results. Missing benchmarks yield zero-valued fields;
+// an op with neither datapoint is omitted.
+func throughputRecords(gb []GoBenchResult) []ThroughputRecord {
+	mbps := make(map[string]float64, len(gb))
+	for _, r := range gb {
+		mbps[r.Name] = r.MBPerSec
+	}
+	var out []ThroughputRecord
+	for _, op := range []string{"Encode", "Decode"} {
+		one := mbps["BenchmarkChunked"+op+"1Core"]
+		all := mbps["BenchmarkChunked"+op+"AllCores"]
+		if one == 0 && all == 0 {
+			continue
+		}
+		tr := ThroughputRecord{Op: strings.ToLower(op), OneCoreMBps: one, AllCoresMBps: all}
+		if one > 0 {
+			tr.Scaling = all / one
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// checkThroughput enforces the CI contract: both ops present, with
+// non-zero single-core and all-core MB/s and a recorded scaling factor.
+func checkThroughput(recs []ThroughputRecord) error {
+	if len(recs) != 2 {
+		return fmt.Errorf("throughput: want encode and decode datapoints, got %d", len(recs))
+	}
+	for _, r := range recs {
+		if !(r.OneCoreMBps > 0) || !(r.AllCoresMBps > 0) {
+			return fmt.Errorf("throughput: %s MB/s not positive (1-core %.2f, all-cores %.2f)", r.Op, r.OneCoreMBps, r.AllCoresMBps)
+		}
+		if !(r.Scaling > 0) {
+			return fmt.Errorf("throughput: %s scaling factor missing", r.Op)
+		}
+	}
+	return nil
 }
 
 // suiteMain runs the chunked-encoder benchmark, the fixed-ratio sweep,
@@ -25,6 +79,7 @@ type SuiteRecord struct {
 // (BENCH_pr5.json in CI).
 func suiteMain(args []string) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	pf := registerProfileFlags(fs)
 	var (
 		chunkDims   = fs.String("dims", "256x384x384", "chunked benchmark grid")
 		psnr        = fs.Float64("psnr", 80, "chunked benchmark target PSNR in dB")
@@ -37,9 +92,15 @@ func suiteMain(args []string) error {
 		bgRatiosArg = fs.String("bgratios", "8,16", "region sweep background ratio targets")
 		workers     = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		gobenchPath = fs.String("gobench", "", "optional `go test -bench` output to fold in")
+		requireTP   = fs.Bool("require-throughput", false, "fail unless chunked encode/decode 1-core and all-core MB/s datapoints are present and non-zero")
 		out         = fs.String("out", "-", "JSON output path (default stdout)")
 	)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	chunk, err := chunkRecord(*chunkDims, *psnr, *chunkPoints, *workers)
 	if err != nil {
@@ -60,6 +121,12 @@ func suiteMain(args []string) error {
 			return fmt.Errorf("suite: gobench: %w", err)
 		}
 		rec.GoBench = gb
+		rec.Throughput = throughputRecords(gb)
+	}
+	if *requireTP {
+		if err := checkThroughput(rec.Throughput); err != nil {
+			return fmt.Errorf("suite: %w", err)
+		}
 	}
 	blob, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -95,6 +96,83 @@ func TestRemaining(t *testing.T) {
 	}
 }
 
+func TestWriterResetLifecycle(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1011, 4)
+	first := append([]byte(nil), w.Bytes()...)
+	w.Reset()
+	if w.Bits() != 0 {
+		t.Fatalf("Bits after Reset = %d", w.Bits())
+	}
+	w.WriteBits(0b1011, 4)
+	if got := w.Bytes(); !bytes.Equal(got, first) {
+		t.Fatalf("post-Reset bytes %x != first use %x", got, first)
+	}
+}
+
+func TestWriterSealedPanics(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBit(1)
+	w.Bytes()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write after Bytes without Reset should panic")
+		}
+	}()
+	w.WriteBits(3, 2)
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xA5})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+	r.Reset([]byte{0xFF, 0x00})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining after Reset = %d", r.Remaining())
+	}
+	v, err := r.ReadBits(16)
+	if err != nil || v != 0xFF00 {
+		t.Fatalf("ReadBits after Reset = %x, %v", v, err)
+	}
+}
+
+func TestPeekConsume(t *testing.T) {
+	r := NewReader([]byte{0b10110100, 0b11001010})
+	if got := r.Peek(3); got != 0b101 {
+		t.Fatalf("Peek(3) = %b", got)
+	}
+	// Peek must not consume.
+	if got := r.Peek(5); got != 0b10110 {
+		t.Fatalf("second Peek(5) = %b", got)
+	}
+	if err := r.Consume(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peek(11); got != 0b10011001010 {
+		t.Fatalf("Peek(11) = %011b", got)
+	}
+	// Peek past the end zero-pads.
+	if err := r.Consume(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peek(8); got != 0b01000000 {
+		t.Fatalf("padded Peek(8) = %08b", got)
+	}
+	if err := r.Consume(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Consume(1); err != ErrOutOfBits {
+		t.Fatalf("Consume past end = %v, want ErrOutOfBits", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", r.Remaining())
+	}
+}
+
 // Property: any sequence of (value, width) writes reads back identically.
 func TestRoundTripProperty(t *testing.T) {
 	type op struct {
@@ -160,5 +238,50 @@ func TestInterleavedBitAndBits(t *testing.T) {
 		if got != want {
 			t.Fatalf("op %d = %x, want %x", i, got, want)
 		}
+	}
+}
+
+func TestWindowSkipRefill(t *testing.T) {
+	// 12 bytes so the first refill takes the aligned 8-byte path and the
+	// top-up refill takes the branchless partial path.
+	buf := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef}
+	r := NewReader(buf)
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered before Refill = %d", r.Buffered())
+	}
+	r.Refill()
+	if r.Buffered() != 64 {
+		t.Fatalf("Buffered after aligned Refill = %d", r.Buffered())
+	}
+	if got := r.Window() >> (64 - 16); got != 0xdead {
+		t.Fatalf("Window top 16 = %04x", got)
+	}
+	r.Skip(16)
+	if r.Buffered() != 48 {
+		t.Fatalf("Buffered after Skip(16) = %d", r.Buffered())
+	}
+	if got := r.Window() >> (64 - 16); got != 0xbeef {
+		t.Fatalf("Window after Skip = %04x", got)
+	}
+	// Top-up refill must keep Remaining exact and extend the window.
+	rem := r.Remaining()
+	r.Refill()
+	if r.Remaining() != rem {
+		t.Fatalf("Refill changed Remaining: %d -> %d", rem, r.Remaining())
+	}
+	if r.Buffered() < 57 {
+		t.Fatalf("Buffered after top-up = %d, want >= 57", r.Buffered())
+	}
+	if got := r.Window() >> (64 - 56); got != 0xbeef0123456789 {
+		t.Fatalf("Window after top-up = %014x", got)
+	}
+	// Drain to the end through the checked API and confirm the tail bits.
+	r.Skip(48)
+	got, err := r.ReadBits(uint(r.Remaining()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x89abcdef {
+		t.Fatalf("tail = %x, want 89abcdef", got)
 	}
 }

@@ -1,0 +1,88 @@
+package bitstream
+
+// The bit-at-a-time Writer/Reader this package shipped before the
+// word-at-a-time rewrite, retained verbatim as the differential-testing
+// oracle: the fuzzers below require the optimized implementations to
+// produce identical bytes out and identical (value, err) sequences in,
+// including the exhausted terminal state at every bit offset.
+
+// refWriter is the original byte-at-a-time Writer.
+type refWriter struct {
+	buf  []byte
+	cur  uint64
+	n    uint
+	bits int
+}
+
+func (w *refWriter) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.n++
+	w.bits++
+	if w.n == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.n = 0, 0
+	}
+}
+
+func (w *refWriter) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 56 {
+		w.WriteBits(v>>32, width-32)
+		w.WriteBits(v&0xffffffff, 32)
+		return
+	}
+	w.cur = w.cur<<width | (v & (1<<width - 1))
+	w.n += width
+	w.bits += int(width)
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.n))
+	}
+	w.cur &= 1<<w.n - 1
+}
+
+func (w *refWriter) Bytes() []byte {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.n)))
+		w.cur, w.n = 0, 0
+	}
+	return w.buf
+}
+
+// refReader is the original bit-at-a-time Reader.
+type refReader struct {
+	buf []byte
+	pos int
+	cur uint
+}
+
+func (r *refReader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	b := (r.buf[r.pos] >> (7 - r.cur)) & 1
+	r.cur++
+	if r.cur == 8 {
+		r.cur = 0
+		r.pos++
+	}
+	return uint(b), nil
+}
+
+func (r *refReader) ReadBits(width uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+func (r *refReader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.cur)
+}

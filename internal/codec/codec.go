@@ -75,9 +75,24 @@ type ChunkCodec interface {
 	// DecompressChunk reverses CompressChunk: payload is chunk ci's
 	// payload bytes (exactly h.Chunks[ci].Len of them), h the parsed
 	// stream header, and dst the chunk's destination values
-	// (h.ChunkPoints(ci) of them). It returns ErrNotChunked for stream
-	// IDs the pipeline cannot decode chunk-by-chunk.
-	DecompressChunk(payload []byte, h *Header, ci int, dst []float64) error
+	// (h.ChunkPoints(ci) of them). Implementations should draw transient
+	// decode buffers from scratch when it is non-nil (nil is valid and
+	// means one-shot use). It returns ErrNotChunked for stream IDs the
+	// pipeline cannot decode chunk-by-chunk.
+	DecompressChunk(payload []byte, h *Header, ci int, dst []float64, scratch *Scratch) error
+}
+
+// ScratchDecompressor is the optional interface of pipelines whose
+// whole-stream decode path can reuse session scratch buffers. The
+// registry-level DecompressScratch routes through it when available, so a
+// session Decoder holding one Scratch stops paying the decode-side
+// transient allocations (inflate windows, Huffman tables, code slices)
+// on every call.
+type ScratchDecompressor interface {
+	Codec
+	// DecompressScratch is Decompress drawing transient buffers from sc.
+	// A nil sc must behave exactly like Decompress.
+	DecompressScratch(data []byte, sc *Scratch) (*field.Field, *Header, error)
 }
 
 // PWRelCodec is the optional interface of pipelines that implement the
@@ -168,6 +183,13 @@ func Names() []string {
 // byte. This is the single decode entry point for the public API, the
 // archive container, and the CLI.
 func Decompress(data []byte) (*field.Field, *Header, error) {
+	return DecompressScratch(data, nil)
+}
+
+// DecompressScratch is Decompress threading a session's scratch pools
+// into pipelines that can use them (ScratchDecompressor implementers);
+// other pipelines decode exactly as before. A nil sc is valid.
+func DecompressScratch(data []byte, sc *Scratch) (*field.Field, *Header, error) {
 	h, err := ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
@@ -175,6 +197,9 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 	c, ok := Lookup(h.Codec)
 	if !ok {
 		return nil, nil, fmt.Errorf("codec: no registered codec for stream ID %v", h.Codec)
+	}
+	if sd, ok := c.(ScratchDecompressor); ok {
+		return sd.DecompressScratch(data, sc)
 	}
 	return c.Decompress(data)
 }

@@ -20,15 +20,22 @@ import (
 // codecs, pointwise-relative) fall back to a full decode plus crop, so
 // the call succeeds on every registered stream.
 func DecompressRegion(data []byte, off, ext []int) (*field.Field, *Header, error) {
+	return DecompressRegionScratch(data, off, ext, nil)
+}
+
+// DecompressRegionScratch is DecompressRegion drawing per-chunk decode
+// transients (slab buffers, inflate windows, Huffman tables) from a
+// session's sc. A nil sc is valid and allocates fresh.
+func DecompressRegionScratch(data []byte, off, ext []int, sc *Scratch) (*field.Field, *Header, error) {
 	h, err := ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
 	}
 	out, err := DecompressRegionFrom(h, func(ci int) ([]byte, error) {
 		return ChunkPayload(data, h, ci)
-	}, off, ext)
+	}, off, ext, sc)
 	if errors.Is(err, ErrNotChunked) {
-		full, _, ferr := Decompress(data)
+		full, _, ferr := DecompressScratch(data, sc)
 		if ferr != nil {
 			return nil, nil, ferr
 		}
@@ -46,7 +53,7 @@ func DecompressRegion(data []byte, off, ext []int) (*field.Field, *Header, error
 // only the needed byte ranges. It returns ErrNotChunked when the stream
 // cannot be decoded chunk by chunk; such callers fall back to fetching
 // the whole entry.
-func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, ext []int) (*field.Field, error) {
+func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, ext []int, sc *Scratch) (*field.Field, error) {
 	if err := field.ValidateRegion(h.Dims, off, ext); err != nil {
 		return nil, err
 	}
@@ -88,8 +95,9 @@ func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, 
 		if err != nil {
 			return fmt.Errorf("codec: chunk %d: %w", ci, err)
 		}
-		slab := make([]float64, ck.Rows*inner)
-		if err := cc.DecompressChunk(pl, h, ci, slab); err != nil {
+		slab := sc.Floats(ck.Rows * inner)
+		defer sc.PutFloats(slab)
+		if err := cc.DecompressChunk(pl, h, ci, slab, sc); err != nil {
 			return err
 		}
 		// Intersect the chunk's rows with the requested row window, then

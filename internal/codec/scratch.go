@@ -24,12 +24,14 @@ import (
 // allocation and puts become no-ops, which is exactly the behavior of the
 // one-shot (non-session) API.
 type Scratch struct {
-	ints   sync.Pool // *[]int
-	floats sync.Pool // *[]float64
-	bytes  sync.Pool // *[]byte
-	bufs   sync.Pool // *bytes.Buffer
-	flates sync.Pool // *pooledFlate
-	huffs  sync.Pool // *huffman.Scratch
+	ints     sync.Pool // *[]int
+	floats   sync.Pool // *[]float64
+	bytes    sync.Pool // *[]byte
+	bufs     sync.Pool // *bytes.Buffer
+	flates   sync.Pool // *pooledFlate
+	huffs    sync.Pool // *huffman.Scratch
+	huffDecs sync.Pool // *huffman.DecodeScratch
+	flateRs  sync.Pool // io.ReadCloser + flate.Resetter
 }
 
 // pooledFlate remembers the level a pooled DEFLATE writer was created
@@ -146,6 +148,53 @@ func (s *Scratch) PutHuffman(h *huffman.Scratch) {
 		return
 	}
 	s.huffs.Put(h)
+}
+
+// HuffDecode returns a reusable Huffman decode scratch (nil when s is
+// nil, which huffman.DecodeInto accepts). Each instance serves one decode
+// at a time; get one per in-flight chunk and put it back after.
+func (s *Scratch) HuffDecode() *huffman.DecodeScratch {
+	if s == nil {
+		return nil
+	}
+	if v, ok := s.huffDecs.Get().(*huffman.DecodeScratch); ok {
+		return v
+	}
+	return huffman.NewDecodeScratch()
+}
+
+// PutHuffDecode returns a scratch obtained from HuffDecode to the pool.
+func (s *Scratch) PutHuffDecode(d *huffman.DecodeScratch) {
+	if s == nil || d == nil {
+		return
+	}
+	s.huffDecs.Put(d)
+}
+
+// FlateReader returns a DEFLATE reader over r, reusing a pooled reader's
+// window state when one is available (flate readers allocate ~50 KB of
+// history and dictionary per NewReader, which dominates small-chunk
+// decode profiles).
+func (s *Scratch) FlateReader(r io.Reader) io.ReadCloser {
+	if s != nil {
+		if v, ok := s.flateRs.Get().(io.ReadCloser); ok {
+			v.(flate.Resetter).Reset(r, nil)
+			return v
+		}
+	}
+	return flate.NewReader(r)
+}
+
+// PutFlateReader returns a reader obtained from FlateReader to the pool.
+// The caller must have called Close already.
+func (s *Scratch) PutFlateReader(fr io.ReadCloser) {
+	if s == nil || fr == nil {
+		return
+	}
+	if _, ok := fr.(flate.Resetter); !ok {
+		return
+	}
+	s.flateRs.Put(fr)
 }
 
 // FlateWriter returns a DEFLATE writer at the given level targeting w,

@@ -47,6 +47,7 @@ type Scratch struct {
 	nodes   []enode
 	heap    []int32
 	stack   []int64
+	w       bitstream.Writer
 }
 
 // NewScratch returns an empty Huffman scratch.
@@ -183,46 +184,79 @@ func heapPop(h []int32, nodes []enode) ([]int32, int32) {
 	return h, top
 }
 
-// canonical holds a canonical code: symbols sorted by (length, symbol) and
-// the assigned code words.
-type canonical struct {
-	symbols []int          // sorted by (length, symbol)
-	lengths []int          // parallel to symbols
-	codes   map[int]uint64 // symbol → code word
-	lenOf   map[int]int    // symbol → length
+// tableBits is the width of the one-level decode lookup table: the next
+// tableBits peeked bits resolve (canonical index, code length) for every
+// code no longer than tableBits in a single load. Canonical order sorts
+// short codes first, so at most 1<<tableBits of them exist and their
+// canonical indices fit 11 bits — one uint16 entry packs idx<<4 | length.
+// Longer codes (rare on real quantization-code distributions) fall back to
+// the canonical per-length walk.
+const tableBits = 11
+
+// DecodeScratch holds the Huffman decoder's reusable state — the lookup
+// table, the canonical symbol/length slices, and the per-length canonical
+// tables — so sessions that decode many chunks stop rebuilding map-backed
+// tables from the heap every call. A nil *DecodeScratch is valid and falls
+// back to fresh allocation. Not safe for concurrent use; pool instances
+// and hand one to each in-flight decode.
+type DecodeScratch struct {
+	syms []int   // symbols in canonical order (by length, then symbol)
+	lens []uint8 // parallel code lengths
+	dup  []int   // duplicate-detection scratch
+
+	table     [1 << tableBits]uint16 // peek pattern → idx<<4 | len; 0 = fallback
+	firstCode [maxCodeLen + 2]uint64
+	firstSym  [maxCodeLen + 2]int32
+	countAt   [maxCodeLen + 2]int32
+
+	r bitstream.Reader
 }
 
-func buildCanonical(lengths map[int]int) (*canonical, error) {
-	c := &canonical{
-		codes: make(map[int]uint64, len(lengths)),
-		lenOf: make(map[int]int, len(lengths)),
+// NewDecodeScratch returns an empty Huffman decode scratch.
+func NewDecodeScratch() *DecodeScratch { return &DecodeScratch{} }
+
+// symsBuf returns empty canonical symbol/length slices with capacity hint n.
+func (ds *DecodeScratch) symsBuf(n int) ([]int, []uint8) {
+	if ds == nil || cap(ds.syms) < n || cap(ds.lens) < n {
+		return make([]int, 0, n), make([]uint8, 0, n)
 	}
-	for s, l := range lengths {
-		if l > maxCodeLen {
-			return nil, fmt.Errorf("huffman: code length %d exceeds maximum %d", l, maxCodeLen)
-		}
-		c.symbols = append(c.symbols, s)
-		c.lenOf[s] = l
+	return ds.syms[:0], ds.lens[:0]
+}
+
+// dupBuf returns an empty duplicate-check slice with capacity hint n.
+func (ds *DecodeScratch) dupBuf(n int) []int {
+	if ds == nil || cap(ds.dup) < n {
+		return make([]int, 0, n)
 	}
-	sort.Slice(c.symbols, func(i, j int) bool {
-		li, lj := c.lenOf[c.symbols[i]], c.lenOf[c.symbols[j]]
-		if li != lj {
-			return li < lj
-		}
-		return c.symbols[i] < c.symbols[j]
-	})
-	c.lengths = make([]int, len(c.symbols))
-	var code uint64
-	prevLen := 0
-	for i, s := range c.symbols {
-		l := c.lenOf[s]
-		c.lengths[i] = l
-		code <<= uint(l - prevLen)
-		c.codes[s] = code
-		code++
-		prevLen = l
+	return ds.dup[:0]
+}
+
+// keep stores grown slices back so they survive to the next decode.
+func (ds *DecodeScratch) keep(syms []int, lens []uint8, dup []int) {
+	if ds == nil {
+		return
 	}
-	return c, nil
+	ds.syms, ds.lens, ds.dup = syms, lens, dup
+}
+
+// canonicalSorter orders parallel (symbol, length) slices by (length,
+// symbol) — the canonical code order. Only corrupt or foreign streams
+// need it: this package's encoder already emits the table sorted.
+type canonicalSorter struct {
+	syms []int
+	lens []uint8
+}
+
+func (c *canonicalSorter) Len() int { return len(c.syms) }
+func (c *canonicalSorter) Less(i, j int) bool {
+	if c.lens[i] != c.lens[j] {
+		return c.lens[i] < c.lens[j]
+	}
+	return c.syms[i] < c.syms[j]
+}
+func (c *canonicalSorter) Swap(i, j int) {
+	c.syms[i], c.syms[j] = c.syms[j], c.syms[i]
+	c.lens[i], c.lens[j] = c.lens[j], c.lens[i]
 }
 
 // Encode Huffman-encodes syms and returns a self-describing byte stream:
@@ -335,7 +369,15 @@ func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(lenOf[s]))
 	}
 
-	w := bitstream.NewWriter(len(syms) / 2)
+	var w *bitstream.Writer
+	if sc != nil {
+		// Reuse the scratch-owned Writer (and its buffer): body is copied
+		// into dst below, so nothing escapes.
+		sc.w.Reset()
+		w = &sc.w
+	} else {
+		w = bitstream.NewWriter(len(syms) / 2)
+	}
 	for _, s := range syms {
 		w.WriteBits(codes[s], uint(lenOf[s]))
 	}
@@ -351,6 +393,17 @@ func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
 // bytes consumed from buf, allowing the caller to embed the Huffman block
 // inside a larger stream.
 func Decode(buf []byte) (syms []int, consumed int, err error) {
+	return DecodeInto(nil, buf, nil)
+}
+
+// DecodeInto is Decode appending the symbols into dst[:0] (grown as
+// needed) and drawing every decoding table — the one-level lookup table,
+// the canonical symbol/length slices, the per-length canonical tables,
+// and the bit reader — from ds, so repeated decodes (one per chunk, in a
+// long-lived session) stop rebuilding them from the heap. Nil dst and/or
+// ds allocate fresh. The decoded symbols are identical whatever dst and
+// ds are.
+func DecodeInto(dst []int, buf []byte, ds *DecodeScratch) (syms []int, consumed int, err error) {
 	rd := buf
 	n, k := binary.Uvarint(rd)
 	if k <= 0 {
@@ -364,29 +417,60 @@ func Decode(buf []byte) (syms []int, consumed int, err error) {
 	}
 	rd = rd[k:]
 	consumed += k
+	if nsym > uint64(len(rd)) {
+		// Each table entry takes ≥ 2 bytes; reject the count before
+		// sizing buffers from it.
+		return nil, 0, fmt.Errorf("huffman: table size %d exceeds buffer", nsym)
+	}
 
-	lengths := make(map[int]int, nsym)
+	csyms, clens := ds.symsBuf(int(nsym))
+	sorted := true
+	prevLen, prevSym := uint8(0), -1
 	for i := uint64(0); i < nsym; i++ {
 		s, k1 := binary.Uvarint(rd)
 		if k1 <= 0 {
+			ds.keep(csyms, clens, ds.dupBuf(0))
 			return nil, 0, fmt.Errorf("huffman: truncated table entry")
 		}
 		rd = rd[k1:]
 		consumed += k1
 		l, k2 := binary.Uvarint(rd)
 		if k2 <= 0 {
+			ds.keep(csyms, clens, ds.dupBuf(0))
 			return nil, 0, fmt.Errorf("huffman: truncated table entry length")
 		}
 		rd = rd[k2:]
 		consumed += k2
 		if l == 0 || l > maxCodeLen {
+			ds.keep(csyms, clens, ds.dupBuf(0))
 			return nil, 0, fmt.Errorf("huffman: invalid code length %d", l)
 		}
-		lengths[int(s)] = int(l)
+		if uint8(l) < prevLen || (uint8(l) == prevLen && int(s) <= prevSym) {
+			sorted = false
+		}
+		prevLen, prevSym = uint8(l), int(s)
+		csyms = append(csyms, int(s))
+		clens = append(clens, uint8(l))
 	}
-	if uint64(len(lengths)) != nsym {
-		return nil, 0, fmt.Errorf("huffman: duplicate symbols in table")
+	// This package's encoder emits the table in canonical (length, symbol)
+	// order, so the sort below never runs on its own streams; foreign or
+	// mutated tables are normalized the slow way.
+	if !sorted {
+		sort.Sort(&canonicalSorter{syms: csyms, lens: clens})
 	}
+	// Duplicate symbols would make the code ambiguous; the canonical sort
+	// does not make equal symbols with different lengths adjacent, so the
+	// check sorts a scratch copy by symbol value.
+	dup := ds.dupBuf(len(csyms))
+	dup = append(dup, csyms...)
+	slices.Sort(dup)
+	for i := 1; i < len(dup); i++ {
+		if dup[i] == dup[i-1] {
+			ds.keep(csyms, clens, dup)
+			return nil, 0, fmt.Errorf("huffman: duplicate symbols in table")
+		}
+	}
+	defer ds.keep(csyms, clens, dup)
 
 	bodyLen, k := binary.Uvarint(rd)
 	if k <= 0 {
@@ -401,6 +485,9 @@ func Decode(buf []byte) (syms []int, consumed int, err error) {
 	consumed += int(bodyLen)
 
 	if n == 0 {
+		if dst != nil {
+			return dst[:0], consumed, nil
+		}
 		return []int{}, consumed, nil
 	}
 	if nsym == 0 {
@@ -412,21 +499,21 @@ func Decode(buf []byte) (syms []int, consumed int, err error) {
 		return nil, 0, fmt.Errorf("huffman: %d symbols cannot fit in %d body bytes", n, bodyLen)
 	}
 
-	c, err := buildCanonical(lengths)
-	if err != nil {
-		return nil, 0, err
-	}
-
 	// Canonical decoding tables: for each length, the first code word and
-	// the index of its first symbol in the sorted list.
-	firstCode := make([]uint64, maxCodeLen+2)
-	firstSym := make([]int, maxCodeLen+2)
-	countAt := make([]int, maxCodeLen+2)
-	for _, l := range c.lengths {
+	// the index of its first symbol in the canonical order.
+	var local DecodeScratch
+	if ds == nil {
+		ds = &local
+	}
+	firstCode := &ds.firstCode
+	firstSym := &ds.firstSym
+	countAt := &ds.countAt
+	clear(countAt[:])
+	for _, l := range clens {
 		countAt[l]++
 	}
 	var code uint64
-	idx := 0
+	var idx int32
 	for l := 1; l <= maxCodeLen; l++ {
 		firstCode[l] = code
 		firstSym[l] = idx
@@ -434,15 +521,65 @@ func Decode(buf []byte) (syms []int, consumed int, err error) {
 		idx += countAt[l]
 	}
 
-	r := bitstream.NewReader(body)
-	syms = make([]int, 0, n)
-	for uint64(len(syms)) < n {
+	// One-level lookup table: every code of length ≤ tableBits owns all
+	// 1<<(tableBits-len) patterns it prefixes; entry 0 marks the long-code
+	// fallback. Canonical order puts short codes first, so their indices
+	// fit the packed uint16.
+	table := &ds.table
+	clear(table[:])
+	code = 0
+	prev := uint8(0)
+	for i, l := range clens {
+		if uint(l) > tableBits {
+			break
+		}
+		code <<= uint(l - prev)
+		prev = l
+		lo := code << (tableBits - uint(l))
+		hi := lo + 1<<(tableBits-uint(l))
+		if lo >= uint64(len(table)) {
+			break // oversubscribed (corrupt) table; fallback still guards
+		}
+		if hi > uint64(len(table)) {
+			hi = uint64(len(table))
+		}
+		e := uint16(i)<<4 | uint16(l)
+		for j := lo; j < hi; j++ {
+			table[j] = e
+		}
+		code++
+	}
+
+	r := &ds.r
+	r.Reset(body)
+	if uint64(cap(dst)) < n {
+		dst = make([]int, n)
+	}
+	out := dst[:n]
+	// The hot loop refills the reader's 64-bit window once per symbol at
+	// most, resolves short codes with a single table load, and consumes
+	// their bits with an unchecked Skip — no per-bit calls, no double
+	// refill check from a Peek/Consume pair.
+	for pos := range out {
+		if r.Buffered() < tableBits {
+			r.Refill()
+		}
+		if e := table[r.Window()>>(64-tableBits)]; e != 0 {
+			l := uint(e & 0xf)
+			if l > r.Buffered() {
+				return nil, 0, fmt.Errorf("huffman: bit stream exhausted after %d of %d symbols", pos, n)
+			}
+			r.Skip(l)
+			out[pos] = csyms[e>>4]
+			continue
+		}
+		// Long code (or exhaustion): canonical walk, one bit at a time.
 		var cw uint64
 		l := 0
 		for {
 			b, err := r.ReadBit()
 			if err != nil {
-				return nil, 0, fmt.Errorf("huffman: bit stream exhausted after %d of %d symbols", len(syms), n)
+				return nil, 0, fmt.Errorf("huffman: bit stream exhausted after %d of %d symbols", pos, n)
 			}
 			cw = cw<<1 | uint64(b)
 			l++
@@ -450,10 +587,10 @@ func Decode(buf []byte) (syms []int, consumed int, err error) {
 				return nil, 0, fmt.Errorf("huffman: code longer than %d bits", maxCodeLen)
 			}
 			if countAt[l] > 0 && cw-firstCode[l] < uint64(countAt[l]) {
-				syms = append(syms, c.symbols[firstSym[l]+int(cw-firstCode[l])])
+				out[pos] = csyms[firstSym[l]+int32(cw-firstCode[l])]
 				break
 			}
 		}
 	}
-	return syms, consumed, nil
+	return out, consumed, nil
 }

@@ -24,11 +24,9 @@ package otc
 
 import (
 	"bytes"
-	"compress/flate"
 	"context"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"sync"
 
@@ -64,6 +62,11 @@ func (otcCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
 	return Decompress(data)
 }
 
+// DecompressScratch implements codec.ScratchDecompressor.
+func (otcCodec) DecompressScratch(data []byte, sc *codec.Scratch) (*field.Field, *codec.Header, error) {
+	return DecompressScratch(data, sc)
+}
+
 // CompressChunk implements codec.ChunkCodec: one row slab through the
 // blockwise transform pipeline. Blocks are cut to the chunk boundary, so
 // every chunk is independently decodable.
@@ -83,14 +86,14 @@ func (otcCodec) CompressChunk(ctx context.Context, data []float64, dims []int, p
 }
 
 // DecompressChunk implements codec.ChunkCodec for OTC streams.
-func (otcCodec) DecompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) error {
+func (otcCodec) DecompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc *codec.Scratch) error {
 	if h.Codec != codec.IDOTC {
 		return codec.ErrNotChunked
 	}
 	if len(dst) != h.ChunkPoints(ci) {
 		return fmt.Errorf("otc: chunk %d dst has %d points, want %d", ci, len(dst), h.ChunkPoints(ci))
 	}
-	return decompressChunk(payload, h, ci, dst)
+	return decompressChunk(payload, h, ci, dst, sc)
 }
 
 func init() { codec.Register(otcCodec{}) }
@@ -310,8 +313,14 @@ func applyBlock(buf []float64, sizes []int, tr Transform, inverse bool) error {
 				rem /= sizes[x]
 				base += c * strides[x]
 			}
-			for k := 0; k < L; k++ {
-				line[k] = buf[base+k*stride]
+			if stride == 1 {
+				copy(line, buf[base:base+L])
+			} else {
+				idx := base
+				for k := range line {
+					line[k] = buf[idx]
+					idx += stride
+				}
 			}
 			if useHaar {
 				levels := log2int(L)
@@ -330,8 +339,14 @@ func applyBlock(buf []float64, sizes []int, tr Transform, inverse bool) error {
 			} else {
 				d.Forward(out, line)
 			}
-			for k := 0; k < L; k++ {
-				buf[base+k*stride] = out[k]
+			if stride == 1 {
+				copy(buf[base:base+L], out)
+			} else {
+				idx := base
+				for k := range out {
+					buf[idx] = out[k]
+					idx += stride
+				}
 			}
 		}
 	}
@@ -483,7 +498,7 @@ func compressChunk(ctx context.Context, data []float64, dims []int, opt Options,
 			sc.PutFloats(buf)
 			return err
 		}
-		codes := make([]int, br.n)
+		codes := make([]int, len(buf))
 		var literals []float64
 		for i, c := range buf {
 			code, ok := q.Quantize(c)
@@ -542,6 +557,15 @@ func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
 // Decompress reconstructs a field from an OTC stream. It accepts constant
 // streams as well so callers can route by magic alone.
 func Decompress(data []byte) (*field.Field, *codec.Header, error) {
+	return DecompressScratch(data, nil)
+}
+
+// DecompressScratch is Decompress drawing transient decode buffers — the
+// inflate window, code and literal slices, Huffman decode tables, and
+// per-block coefficient buffers — from sc, so session callers reuse
+// allocations across streams. A nil sc allocates fresh; the
+// reconstruction is identical either way.
+func DecompressScratch(data []byte, sc *codec.Scratch) (*field.Field, *codec.Header, error) {
 	h, err := codec.ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
@@ -565,7 +589,7 @@ func Decompress(data []byte) (*field.Field, *codec.Header, error) {
 		}
 		lo := h.Chunks[ci].RowStart
 		hi := lo + h.Chunks[ci].Rows
-		if err := decompressChunk(payload, h, ci, out.Data[lo*inner:hi*inner]); err != nil {
+		if err := decompressChunk(payload, h, ci, out.Data[lo*inner:hi*inner], sc); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -574,12 +598,14 @@ func Decompress(data []byte) (*field.Field, *codec.Header, error) {
 
 // decompressChunk reverses compressChunk for chunk ci, reconstructing
 // into dst (the chunk's points). Blocks within the chunk run in
-// parallel.
-func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) error {
-	codes, literals, blockSize, tr, err := decodePayload(payload)
+// parallel. Transient buffers come from sc (nil = fresh allocations).
+func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc *codec.Scratch) error {
+	codes, literals, blockSize, tr, err := decodePayload(payload, sc)
 	if err != nil {
 		return err
 	}
+	defer sc.PutInts(codes)
+	defer sc.PutFloats(literals)
 	dims := h.ChunkDims(ci)
 	if len(codes) != len(dst) {
 		return fmt.Errorf("otc: chunk %d has %d codes for %d points", ci, len(codes), len(dst))
@@ -600,8 +626,8 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) err
 	for bi, br := range blocks {
 		codeOff[bi] = pos
 		litOff[bi] = lit
-		for i := 0; i < br.n; i++ {
-			if codes[pos+i] == 0 {
+		for _, c := range codes[pos : pos+br.n] {
+			if c == 0 {
 				lit++
 			}
 		}
@@ -615,10 +641,14 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) err
 
 	return parallel.ForEach(len(blocks), 0, func(bi int) error {
 		br := blocks[bi]
-		buf := make([]float64, br.n)
+		buf := sc.Floats(br.n)
+		defer sc.PutFloats(buf)
 		li := litOff[bi]
-		for i := 0; i < br.n; i++ {
-			c := codes[codeOff[bi]+i]
+		// Range over the block's code window with buf pinned to the same
+		// length so the compiler drops both bounds checks in the hot loop.
+		cs := codes[codeOff[bi]:codeOff[bi+1]]
+		buf = buf[:len(cs)]
+		for i, c := range cs {
 			if c == 0 {
 				buf[i] = literals[li]
 				li++
@@ -681,15 +711,22 @@ func encodePayload(codes []int, literals []float64, blockSize int, tr Transform,
 	return payload, nil
 }
 
-func decodePayload(payload []byte) (codes []int, literals []float64, blockSize int, tr Transform, err error) {
-	fr := flate.NewReader(bytes.NewReader(payload))
-	raw, err := io.ReadAll(fr)
-	if err != nil {
+// decodePayload reverses encodePayload. The inflate reader and staging
+// buffer, the Huffman decode tables, and the returned codes and literals
+// slices all come from sc (nil = fresh allocations); the caller owns the
+// returned slices and should PutInts/PutFloats them when done.
+func decodePayload(payload []byte, sc *codec.Scratch) (codes []int, literals []float64, blockSize int, tr Transform, err error) {
+	fr := sc.FlateReader(bytes.NewReader(payload))
+	buf := sc.Buffer()
+	defer sc.PutBuffer(buf)
+	if _, err := buf.ReadFrom(fr); err != nil {
 		return nil, nil, 0, 0, fmt.Errorf("otc: inflate: %w", err)
 	}
 	if err := fr.Close(); err != nil {
 		return nil, nil, 0, 0, err
 	}
+	sc.PutFlateReader(fr)
+	raw := buf.Bytes()
 	if len(raw) < 1 {
 		return nil, nil, 0, 0, fmt.Errorf("otc: empty payload")
 	}
@@ -708,11 +745,19 @@ func decodePayload(payload []byte) (codes []int, literals []float64, blockSize i
 		return nil, nil, 0, 0, fmt.Errorf("otc: truncated point count")
 	}
 	raw = raw[k:]
-	codes, consumed, err := huffman.Decode(raw)
+	if npoints > uint64(len(raw))*8 {
+		// Every code costs at least one bit downstream; reject a corrupt
+		// count before sizing the code buffer from it.
+		return nil, nil, 0, 0, fmt.Errorf("otc: %d codes cannot fit in %d payload bytes", npoints, len(raw))
+	}
+	hd := sc.HuffDecode()
+	codes, consumed, err := huffman.DecodeInto(sc.Ints(int(npoints))[:0], raw, hd)
+	sc.PutHuffDecode(hd)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
 	if uint64(len(codes)) != npoints {
+		sc.PutInts(codes)
 		return nil, nil, 0, 0, fmt.Errorf("otc: decoded %d codes, want %d", len(codes), npoints)
 	}
 	raw = raw[consumed:]
@@ -722,9 +767,10 @@ func decodePayload(payload []byte) (codes []int, literals []float64, blockSize i
 	}
 	raw = raw[k:]
 	if uint64(len(raw)) < nlit*8 {
+		sc.PutInts(codes)
 		return nil, nil, 0, 0, fmt.Errorf("otc: literal stream truncated")
 	}
-	literals = make([]float64, nlit)
+	literals = sc.Floats(int(nlit))
 	for i := range literals {
 		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 	}

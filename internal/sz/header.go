@@ -83,6 +83,11 @@ func (szCodec) Decompress(data []byte) (*field.Field, *codec.Header, error) {
 	return Decompress(data)
 }
 
+// DecompressScratch implements codec.ScratchDecompressor.
+func (szCodec) DecompressScratch(data []byte, sc *codec.Scratch) (*field.Field, *codec.Header, error) {
+	return DecompressScratch(data, sc)
+}
+
 // CompressChunk implements codec.ChunkCodec: one row slab through the
 // full Lorenzo pipeline. ctx is checked once up front; a chunk is the
 // cancellation granularity of this pipeline.
@@ -110,14 +115,14 @@ func (szCodec) CompressPWRel(ctx context.Context, f *field.Field, pwRel float64,
 // DecompressChunk implements codec.ChunkCodec for Lorenzo streams.
 // Constant and log-domain (pointwise-relative) streams are only decoded
 // whole and report ErrNotChunked.
-func (szCodec) DecompressChunk(payload []byte, h *codec.Header, ci int, dst []float64) error {
+func (szCodec) DecompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc *codec.Scratch) error {
 	if h.Codec != codec.IDLorenzo {
 		return codec.ErrNotChunked
 	}
 	if len(dst) != h.ChunkPoints(ci) {
 		return fmt.Errorf("sz: chunk %d dst has %d points, want %d", ci, len(dst), h.ChunkPoints(ci))
 	}
-	return decompressChunk(payload, h, ci, dst)
+	return decompressChunk(payload, h, ci, dst, sc)
 }
 
 func init() { codec.Register(szCodec{}) }

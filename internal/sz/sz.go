@@ -27,11 +27,9 @@ package sz
 
 import (
 	"bytes"
-	"compress/flate"
 	"context"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 
 	"fixedpsnr/internal/codec"
@@ -199,6 +197,15 @@ func compressConstant(f *field.Field, opt Options) ([]byte, *Stats, error) {
 
 // Decompress reconstructs a field from a compressed stream.
 func Decompress(data []byte) (*field.Field, *Header, error) {
+	return DecompressScratch(data, nil)
+}
+
+// DecompressScratch is Decompress drawing transient decode buffers — the
+// inflate window, quantization-code slices, literal slices, and Huffman
+// decode tables — from sc, so session callers reuse allocations across
+// streams. A nil sc allocates fresh; the reconstruction is identical
+// either way.
+func DecompressScratch(data []byte, sc *codec.Scratch) (*field.Field, *Header, error) {
 	h, err := ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
@@ -226,7 +233,7 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 		}
 		lo := h.Chunks[c].RowStart
 		hi := lo + h.Chunks[c].Rows
-		return decompressChunk(payload, h, c, out.Data[lo*inner:hi*inner])
+		return decompressChunk(payload, h, c, out.Data[lo*inner:hi*inner], sc)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -237,20 +244,25 @@ func Decompress(data []byte) (*field.Field, *Header, error) {
 // decompressChunk reverses compressChunk for chunk c of a parsed Lorenzo
 // stream, reconstructing into dst (the chunk's points). Per-chunk bounds
 // written by selective recompression take precedence over the header
-// bound.
-func decompressChunk(payload []byte, h *Header, c int, dst []float64) error {
+// bound. Transient buffers come from sc (nil = fresh allocations).
+func decompressChunk(payload []byte, h *Header, c int, dst []float64, sc *codec.Scratch) error {
 	q, err := quantizer.New(h.ChunkBound(c), h.Capacity)
 	if err != nil {
 		return err
 	}
-	codes, literals, err := decodeChunk(payload, h.Precision)
+	codes, literals, err := decodeChunk(payload, h.Precision, sc)
 	if err != nil {
 		return fmt.Errorf("sz: chunk %d: %w", c, err)
 	}
 	if len(codes) != len(dst) {
+		sc.PutInts(codes)
+		sc.PutFloats(literals)
 		return fmt.Errorf("sz: chunk %d has %d codes, want %d", c, len(codes), len(dst))
 	}
-	return decompressCore(dst, codes, literals, h.ChunkDims(c), q)
+	err = decompressCore(dst, codes, literals, h.ChunkDims(c), q)
+	sc.PutInts(codes)
+	sc.PutFloats(literals)
+	return err
 }
 
 // compressCore runs prediction + quantization over one slab, filling the
@@ -297,33 +309,59 @@ func compress1D(data []float64, codes []int, recon []float64, literals *[]float6
 	}
 }
 
+// compress2D runs the 2-D Lorenzo predictor row by row. The first row
+// and first column use reduced stencils (missing neighbors predict 0, so
+// their terms drop out); interior points read the full three-point
+// stencil from re-sliced current/upper rows, which lets the compiler
+// eliminate the per-point bounds checks the flat-index form pays.
 func compress2D(data []float64, dims []int, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
 	rows, cols := dims[0], dims[1]
-	for i := 0; i < rows; i++ {
+	drow := data[0:cols:cols]
+	rrow := recon[0:cols:cols]
+	crow := codes[0:cols:cols]
+	prev := 0.0
+	for j, v := range drow {
+		crow[j], rrow[j] = quantizeStep(v, prev, q, literals)
+		prev = rrow[j]
+	}
+	for i := 1; i < rows; i++ {
 		base := i * cols
-		for j := 0; j < cols; j++ {
-			idx := base + j
-			var a, b, d float64
-			if j > 0 {
-				a = recon[idx-1]
-			}
-			if i > 0 {
-				b = recon[idx-cols]
-				if j > 0 {
-					d = recon[idx-cols-1]
-				}
-			}
-			codes[idx], recon[idx] = quantizeStep(data[idx], a+b-d, q, literals)
+		drow := data[base : base+cols : base+cols]
+		rrow := recon[base : base+cols : base+cols]
+		crow := codes[base : base+cols : base+cols]
+		up := recon[base-cols : base : base]
+		crow[0], rrow[0] = quantizeStep(drow[0], up[0], q, literals)
+		for j := 1; j < cols; j++ {
+			crow[j], rrow[j] = quantizeStep(drow[j], rrow[j-1]+up[j]-up[j-1], q, literals)
 		}
 	}
 }
 
+// compress3D runs the 3-D Lorenzo predictor row by row. Rows with all
+// three preceding neighbor rows present (i > 0 and j > 0 — the vast
+// majority) take a fast path reading the seven-point stencil from four
+// re-sliced rows with no per-point existence or bounds checks; boundary
+// rows keep the generic guarded stencil.
 func compress3D(data []float64, dims []int, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
 	d0, d1, d2 := dims[0], dims[1], dims[2]
 	plane := d1 * d2
 	for i := 0; i < d0; i++ {
 		for j := 0; j < d1; j++ {
 			base := i*plane + j*d2
+			if i > 0 && j > 0 {
+				drow := data[base : base+d2 : base+d2]
+				rrow := recon[base : base+d2 : base+d2]
+				crow := codes[base : base+d2 : base+d2]
+				up := recon[base-d2 : base : base]                   // (i, j-1, ·)
+				pl := recon[base-plane : base-plane+d2]              // (i-1, j, ·)
+				pu := recon[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
+				crow[0], rrow[0] = quantizeStep(drow[0], pl[0]+up[0]-pu[0], q, literals)
+				for k := 1; k < d2; k++ {
+					pred := pl[k] + up[k] + rrow[k-1] - pu[k] - pl[k-1] - up[k-1] + pu[k-1]
+					crow[k], rrow[k] = quantizeStep(drow[k], pred, q, literals)
+				}
+				continue
+			}
 			for k := 0; k < d2; k++ {
 				idx := base + k
 				var x100, x010, x001, x110, x101, x011, x111 float64
@@ -382,39 +420,90 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 			prev = out[i]
 		}
 	case 2:
+		// First row, then interior rows: the same interior/border split
+		// as compress2D, with the stencil read from re-sliced rows so the
+		// per-point bounds checks vanish.
 		rows, cols := dims[0], dims[1]
-		for i := 0; i < rows; i++ {
+		cur := out[0:cols:cols]
+		prev := 0.0
+		for j, c := range codes[0:cols:cols] {
+			if c == 0 {
+				v, err := nextLiteral()
+				if err != nil {
+					return err
+				}
+				cur[j] = v
+			} else {
+				cur[j] = prev + q.Reconstruct(c)
+			}
+			prev = cur[j]
+		}
+		for i := 1; i < rows; i++ {
 			base := i * cols
-			for j := 0; j < cols; j++ {
-				idx := base + j
-				c := codes[idx]
+			cur := out[base : base+cols : base+cols]
+			crow := codes[base : base+cols : base+cols]
+			up := out[base-cols : base : base]
+			if c := crow[0]; c == 0 {
+				v, err := nextLiteral()
+				if err != nil {
+					return err
+				}
+				cur[0] = v
+			} else {
+				cur[0] = up[0] + q.Reconstruct(c)
+			}
+			for j := 1; j < cols; j++ {
+				c := crow[j]
 				if c == 0 {
 					v, err := nextLiteral()
 					if err != nil {
 						return err
 					}
-					out[idx] = v
+					cur[j] = v
 					continue
 				}
-				var a, b, d float64
-				if j > 0 {
-					a = out[idx-1]
-				}
-				if i > 0 {
-					b = out[idx-cols]
-					if j > 0 {
-						d = out[idx-cols-1]
-					}
-				}
-				out[idx] = a + b - d + q.Reconstruct(c)
+				cur[j] = cur[j-1] + up[j] - up[j-1] + q.Reconstruct(c)
 			}
 		}
 	case 3:
+		// Rows with all preceding neighbor rows present (i > 0 and j > 0)
+		// take the same re-sliced seven-point fast path as compress3D;
+		// boundary rows keep the generic guarded stencil.
 		d0, d1, d2 := dims[0], dims[1], dims[2]
 		plane := d1 * d2
 		for i := 0; i < d0; i++ {
 			for j := 0; j < d1; j++ {
 				base := i*plane + j*d2
+				if i > 0 && j > 0 {
+					cur := out[base : base+d2 : base+d2]
+					crow := codes[base : base+d2 : base+d2]
+					up := out[base-d2 : base : base]                   // (i, j-1, ·)
+					pl := out[base-plane : base-plane+d2]              // (i-1, j, ·)
+					pu := out[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
+					if c := crow[0]; c == 0 {
+						v, err := nextLiteral()
+						if err != nil {
+							return err
+						}
+						cur[0] = v
+					} else {
+						cur[0] = pl[0] + up[0] - pu[0] + q.Reconstruct(c)
+					}
+					for k := 1; k < d2; k++ {
+						c := crow[k]
+						if c == 0 {
+							v, err := nextLiteral()
+							if err != nil {
+								return err
+							}
+							cur[k] = v
+							continue
+						}
+						pred := pl[k] + up[k] + cur[k-1] - pu[k] - pl[k-1] - up[k-1] + pu[k-1]
+						cur[k] = pred + q.Reconstruct(c)
+					}
+					continue
+				}
 				for k := 0; k < d2; k++ {
 					idx := base + k
 					c := codes[idx]
@@ -503,34 +592,50 @@ func encodeChunk(codes []int, literals []float64, prec field.Precision, level in
 	return payload, nil
 }
 
-// decodeChunk reverses encodeChunk.
-func decodeChunk(payload []byte, prec field.Precision) (codes []int, literals []float64, err error) {
-	fr := flate.NewReader(bytes.NewReader(payload))
-	raw, err := io.ReadAll(fr)
-	if err != nil {
+// decodeChunk reverses encodeChunk. The inflate reader and staging
+// buffer, the Huffman decode tables, and the returned codes and literals
+// slices all come from sc (nil = fresh allocations); the caller owns the
+// returned slices and should PutInts/PutFloats them when done.
+func decodeChunk(payload []byte, prec field.Precision, sc *codec.Scratch) (codes []int, literals []float64, err error) {
+	fr := sc.FlateReader(bytes.NewReader(payload))
+	buf := sc.Buffer()
+	defer sc.PutBuffer(buf)
+	if _, err := buf.ReadFrom(fr); err != nil {
 		return nil, nil, fmt.Errorf("inflate: %w", err)
 	}
 	if err := fr.Close(); err != nil {
 		return nil, nil, err
 	}
+	sc.PutFlateReader(fr)
+	raw := buf.Bytes()
 	npoints, rest, err := readUvarint(raw)
 	if err != nil {
 		return nil, nil, err
 	}
-	codes, consumed, err := huffman.Decode(rest)
+	if npoints > uint64(len(rest))*8 {
+		// Every code costs at least one bit downstream; reject a corrupt
+		// count before sizing the code buffer from it.
+		return nil, nil, fmt.Errorf("sz: %d codes cannot fit in %d payload bytes", npoints, len(rest))
+	}
+	hd := sc.HuffDecode()
+	codes, consumed, err := huffman.DecodeInto(sc.Ints(int(npoints))[:0], rest, hd)
+	sc.PutHuffDecode(hd)
 	if err != nil {
 		return nil, nil, err
 	}
 	if uint64(len(codes)) != npoints {
+		sc.PutInts(codes)
 		return nil, nil, fmt.Errorf("sz: decoded %d codes, header says %d", len(codes), npoints)
 	}
 	rest = rest[consumed:]
 	nlit, rest, err := readUvarint(rest)
 	if err != nil {
+		sc.PutInts(codes)
 		return nil, nil, err
 	}
-	literals, err = readLiterals(rest, int(nlit), prec)
+	literals, err = readLiterals(rest, int(nlit), prec, sc)
 	if err != nil {
+		sc.PutInts(codes)
 		return nil, nil, err
 	}
 	return codes, literals, nil
@@ -553,12 +658,12 @@ func appendLiterals(b []byte, vals []float64, prec field.Precision) []byte {
 	return b
 }
 
-func readLiterals(b []byte, n int, prec field.Precision) ([]float64, error) {
+func readLiterals(b []byte, n int, prec field.Precision, sc *codec.Scratch) ([]float64, error) {
 	size := prec.Bytes()
 	if len(b) < n*size {
 		return nil, fmt.Errorf("sz: literal stream truncated (%d < %d)", len(b), n*size)
 	}
-	out := make([]float64, n)
+	out := sc.Floats(n)
 	if prec == field.Float32 {
 		for i := 0; i < n; i++ {
 			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))

@@ -263,11 +263,15 @@ func (e *Encoder) EncodeBatch(ctx context.Context, fields []*Field) ([][]byte, [
 // Decoder is the decompression session paired with Encoder. Decoding
 // routes by the codec byte in each stream header through the codec
 // registry, so one Decoder reads streams from any registered pipeline.
-// It is stateless and safe for concurrent use.
-type Decoder struct{}
+// It holds sync.Pool-backed scratch buffers (inflate windows, Huffman
+// decode tables, quantization-code slices) reused across calls, and is
+// safe for concurrent use.
+type Decoder struct {
+	scratch *codec.Scratch
+}
 
 // NewDecoder builds a decompression session.
-func NewDecoder() *Decoder { return &Decoder{} }
+func NewDecoder() *Decoder { return &Decoder{scratch: codec.NewScratch()} }
 
 // Decode reconstructs a field from any stream produced by an Encoder (or
 // Compress). A cancelled ctx returns ctx.Err() without touching data.
@@ -275,7 +279,7 @@ func (d *Decoder) Decode(ctx context.Context, data []byte) (*Field, *StreamInfo,
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return codec.Decompress(data)
+	return codec.DecompressScratch(data, d.scratch)
 }
 
 // DecodeRegion reconstructs only the axis-aligned sub-block starting at
@@ -289,7 +293,7 @@ func (d *Decoder) DecodeRegion(ctx context.Context, data []byte, off, ext []int)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return codec.DecompressRegion(data, off, ext)
+	return codec.DecompressRegionScratch(data, off, ext, d.scratch)
 }
 
 // DecodeFrom reads one complete compressed stream from r and
