@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/parallel"
@@ -89,6 +91,14 @@ func (aw *ArchiveWriter) WriteStream(blob []byte) error {
 	return aw.writeStreamNamed(h.Name, blob)
 }
 
+// WriteStreamNamed appends an already-compressed stream under an
+// explicit index name, regardless of the name recorded in its header —
+// the primitive an archive-rewriting catalog uses to carry entries from
+// one archive generation to the next without re-parsing them.
+func (aw *ArchiveWriter) WriteStreamNamed(name string, blob []byte) error {
+	return aw.writeStreamNamed(name, blob)
+}
+
 // writeStreamNamed appends raw stream bytes under an explicit index name.
 // Duplicate names are rejected up front: the v2 tail index is a
 // name→offset map, so a second entry under the same name would silently
@@ -144,17 +154,38 @@ func (aw *ArchiveWriter) Close() error {
 // ArchiveReader reads an archive through an io.ReaderAt without loading
 // it wholesale: opening a v2 archive reads only the preamble, footer, and
 // tail index, and each extraction reads only that entry's bytes. Version
-// 1 archives (no index) are scanned once at open. Methods are safe for
-// concurrent use after OpenArchive returns.
+// 1 archives (no index) are scanned once at open.
+//
+// Every method is safe for any number of concurrent readers after
+// OpenArchive returns — the guarantee a long-running server relies on
+// when it fans requests for the same archive across goroutines. The
+// pieces that make it hold: the underlying io.ReaderAt is only touched
+// through ReadAt (stateless by contract; *os.File and *bytes.Reader both
+// qualify), parsed entry headers are cached behind an atomic pointer and
+// treated as immutable from then on, and all decode transients come from
+// the sync.Pool-backed scratch, so no extraction ever shares a mutable
+// buffer with another. Close is the one exception: it must not race an
+// in-flight extraction on a file-backed reader (the read would hit a
+// closed fd) — owners that evict readers while requests are in flight
+// must drain them first, as the serving layer's catalog does.
 type ArchiveReader struct {
 	r       io.ReaderAt
 	size    int64
 	version uint8
 	entries []archiveEntry
 	closer  io.Closer
+	// closeOnce makes Close idempotent: the catalog layer may evict an
+	// archive from several paths, and only the first close counts.
+	closeOnce sync.Once
+	closeErr  error
 	// data is set when the archive is already an in-memory blob; reads
 	// then slice it directly instead of copying through ReadAt.
 	data []byte
+	// hdrs caches parsed entry headers, one slot per entry, so repeated
+	// region reads of one field parse its chunk table once instead of
+	// per request. Cached headers are shared across callers and must be
+	// treated as read-only.
+	hdrs []atomic.Pointer[codec.Header]
 	// scratch feeds region extraction's per-chunk decode transients;
 	// sync.Pool-backed, so concurrent extracts share it safely.
 	scratch *codec.Scratch
@@ -201,6 +232,7 @@ func openArchive(ar *ArchiveReader) (*ArchiveReader, error) {
 	default:
 		return nil, fmt.Errorf("fixedpsnr: unsupported archive version %d", head[4])
 	}
+	ar.hdrs = make([]atomic.Pointer[codec.Header], len(ar.entries))
 	return ar, nil
 }
 
@@ -329,11 +361,31 @@ func (ar *ArchiveReader) Stream(i int) ([]byte, error) {
 const infoPrefixLen = 64 << 10
 
 // Info parses the stream header of entry i without decompressing — or,
-// on a file-backed reader, even reading — its payload.
+// on a file-backed reader, even reading — its payload. The parsed header
+// is cached for the life of the reader and shared by every caller: treat
+// it as read-only.
 func (ar *ArchiveReader) Info(i int) (*StreamInfo, error) {
 	if i < 0 || i >= len(ar.entries) {
 		return nil, fmt.Errorf("fixedpsnr: archive entry %d out of range [0,%d)", i, len(ar.entries))
 	}
+	if h := ar.hdrs[i].Load(); h != nil {
+		return h, nil
+	}
+	h, err := ar.parseInfo(i)
+	if err != nil {
+		return nil, err
+	}
+	// A concurrent first Info may have raced us here; keep whichever
+	// header landed first so every caller shares one instance.
+	if !ar.hdrs[i].CompareAndSwap(nil, h) {
+		h = ar.hdrs[i].Load()
+	}
+	return h, nil
+}
+
+// parseInfo reads and parses entry i's header prefix (the slow path
+// behind Info's cache).
+func (ar *ArchiveReader) parseInfo(i int) (*StreamInfo, error) {
 	e := ar.entries[i]
 	n := e.length
 	if n > infoPrefixLen {
@@ -378,6 +430,38 @@ func (ar *ArchiveReader) Extract(name string) (*Field, *StreamInfo, error) {
 	return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
 }
 
+// Index returns the entry index of the named field, or ok=false when the
+// archive has no such entry.
+func (ar *ArchiveReader) Index(name string) (i int, ok bool) {
+	for i, e := range ar.entries {
+		if e.name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// ChunkPayload reads the compressed payload of chunk ci of entry i — the
+// byte-range primitive a decoded-chunk cache fills its misses from. Only
+// that chunk's bytes are read; on an in-memory archive the result aliases
+// the blob and must be treated as read-only.
+func (ar *ArchiveReader) ChunkPayload(i, ci int) ([]byte, error) {
+	h, err := ar.Info(i)
+	if err != nil {
+		return nil, err
+	}
+	if ci < 0 || ci >= len(h.Chunks) {
+		return nil, fmt.Errorf("fixedpsnr: entry %d chunk %d out of range [0,%d)", i, ci, len(h.Chunks))
+	}
+	e := ar.entries[i]
+	ck := h.Chunks[ci]
+	lo := int64(h.PayloadOffset() + ck.Off)
+	if lo+int64(ck.Len) > e.length {
+		return nil, fmt.Errorf("fixedpsnr: entry %d chunk %d payload [%d,+%d) outside entry of %d bytes", i, ci, lo, ck.Len, e.length)
+	}
+	return ar.readRange(e.off+lo, int64(ck.Len))
+}
+
 // ExtractRegion decompresses only the sub-block starting at off with
 // extents ext of the named entry. The access is chunk-granular end to
 // end: the tail index locates the entry, the entry's header prefix
@@ -387,31 +471,40 @@ func (ar *ArchiveReader) Extract(name string) (*Field, *StreamInfo, error) {
 // reads, not an entry scan. Streams without chunk-granular access fall
 // back to reading and decoding the whole entry, then cropping.
 func (ar *ArchiveReader) ExtractRegion(name string, off, ext []int) (*Field, *StreamInfo, error) {
-	for i, e := range ar.entries {
-		if e.name == name {
-			return ar.ExtractRegionAt(i, off, ext)
-		}
+	return ar.ExtractRegionContext(context.Background(), name, off, ext)
+}
+
+// ExtractRegionContext is ExtractRegion under a cancellable context: a
+// cancelled ctx aborts the decode within one chunk of work per worker and
+// returns ctx.Err() — the per-request form a server uses.
+func (ar *ArchiveReader) ExtractRegionContext(ctx context.Context, name string, off, ext []int) (*Field, *StreamInfo, error) {
+	i, ok := ar.Index(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
 	}
-	return nil, nil, fmt.Errorf("fixedpsnr: archive has no field %q", name)
+	return ar.ExtractRegionAtContext(ctx, i, off, ext)
 }
 
 // ExtractRegionAt is ExtractRegion by entry index.
 func (ar *ArchiveReader) ExtractRegionAt(i int, off, ext []int) (*Field, *StreamInfo, error) {
+	return ar.ExtractRegionAtContext(context.Background(), i, off, ext)
+}
+
+// ExtractRegionAtContext is ExtractRegionContext by entry index.
+func (ar *ArchiveReader) ExtractRegionAtContext(ctx context.Context, i int, off, ext []int) (*Field, *StreamInfo, error) {
 	h, err := ar.Info(i)
 	if err != nil {
 		return nil, nil, err
 	}
 	e := ar.entries[i]
-	f, err := codec.DecompressRegionFrom(h, func(ci int) ([]byte, error) {
-		ck := h.Chunks[ci]
-		lo := int64(h.PayloadOffset() + ck.Off)
-		if lo+int64(ck.Len) > e.length {
-			return nil, fmt.Errorf("chunk payload [%d,+%d) outside entry of %d bytes", lo, ck.Len, e.length)
-		}
-		return ar.readRange(e.off+lo, int64(ck.Len))
+	f, err := codec.DecompressRegionFrom(ctx, h, func(ci int) ([]byte, error) {
+		return ar.ChunkPayload(i, ci)
 	}, off, ext, ar.scratch)
 	if errors.Is(err, codec.ErrNotChunked) {
 		// Whole-entry fallback for streams without chunk access.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		full, _, ferr := ar.ExtractAt(i)
 		if ferr != nil {
 			return nil, nil, ferr
@@ -443,10 +536,16 @@ func (ar *ArchiveReader) DecompressAll() ([]*Field, error) {
 }
 
 // Close releases the underlying file when the reader was opened with
-// OpenArchiveFile; otherwise it is a no-op.
+// OpenArchiveFile; for byte-backed readers it is a no-op. Close is
+// idempotent — a catalog can evict the same reader from several paths
+// and only the first close touches the file — but it must not run
+// concurrently with extractions on a file-backed reader (drain them
+// first; see the type comment).
 func (ar *ArchiveReader) Close() error {
-	if ar.closer != nil {
-		return ar.closer.Close()
-	}
-	return nil
+	ar.closeOnce.Do(func() {
+		if ar.closer != nil {
+			ar.closeErr = ar.closer.Close()
+		}
+	})
+	return ar.closeErr
 }

@@ -53,6 +53,10 @@ func main() {
 		err = ratioMain(args)
 	case "region":
 		err = regionMain(args)
+	case "serve":
+		err = serveMain(args)
+	case "mkfield":
+		err = mkfieldMain(args)
 	case "suite":
 		err = suiteMain(args)
 	case "help", "-h", "--help":
@@ -73,7 +77,9 @@ func usage() {
   fpsz-bench chunk       [-dims HxWxD] [-psnr dB] [-chunkpoints N] [-workers N] [-out <json>]
   fpsz-bench ratio       [-dims HxWxD] [-ratios R,R,...] [-codecs sz,otc] [-workers N] [-out <json>]
   fpsz-bench region      [-dims HxWxD] [-roipsnr dB] [-bgratios R,R,...] [-workers N] [-out <json>]
-  fpsz-bench suite       [-out <json>] [-gobench <bench.out>] [chunk/ratio/region flags]`)
+  fpsz-bench serve       [-dims HxWxD] [-fields N] [-readers N] [-requests N] [-zipf s] [-out <json>]
+  fpsz-bench mkfield     -out <field.sdf> [-dims HxWxD] [-name <field>]
+  fpsz-bench suite       [-out <json>] [-gobench <bench.out>] [-serve] [chunk/ratio/region/serve flags]`)
 	os.Exit(2)
 }
 

@@ -18,6 +18,7 @@ type SuiteRecord struct {
 	Chunked    []ChunkRecord      `json:"chunked"`
 	FixedRatio []RatioRecord      `json:"fixed_ratio"`
 	Region     []RegionRecord     `json:"region"`
+	Serve      []ServeRecord      `json:"serve,omitempty"`
 	GoBench    []GoBenchResult    `json:"go_bench,omitempty"`
 	Throughput []ThroughputRecord `json:"throughput,omitempty"`
 }
@@ -81,19 +82,24 @@ func suiteMain(args []string) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	pf := registerProfileFlags(fs)
 	var (
-		chunkDims   = fs.String("dims", "256x384x384", "chunked benchmark grid")
-		psnr        = fs.Float64("psnr", 80, "chunked benchmark target PSNR in dB")
-		chunkPoints = fs.Int("chunkpoints", fixedpsnr.DefaultChunkPoints, "chunked benchmark chunk size in points")
-		ratioDims   = fs.String("ratiodims", "64x96x96", "fixed-ratio sweep grid")
-		ratiosArg   = fs.String("ratios", "8,16,32", "fixed-ratio sweep targets")
-		codecsArg   = fs.String("codecs", "sz,otc", "fixed-ratio sweep codecs")
-		regionDims  = fs.String("regiondims", "64x96x96", "region sweep grid")
-		roiPSNR     = fs.Float64("roipsnr", 80, "region sweep ROI PSNR target in dB")
-		bgRatiosArg = fs.String("bgratios", "8,16", "region sweep background ratio targets")
-		workers     = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-		gobenchPath = fs.String("gobench", "", "optional `go test -bench` output to fold in")
-		requireTP   = fs.Bool("require-throughput", false, "fail unless chunked encode/decode 1-core and all-core MB/s datapoints are present and non-zero")
-		out         = fs.String("out", "-", "JSON output path (default stdout)")
+		chunkDims     = fs.String("dims", "256x384x384", "chunked benchmark grid")
+		psnr          = fs.Float64("psnr", 80, "chunked benchmark target PSNR in dB")
+		chunkPoints   = fs.Int("chunkpoints", fixedpsnr.DefaultChunkPoints, "chunked benchmark chunk size in points")
+		ratioDims     = fs.String("ratiodims", "64x96x96", "fixed-ratio sweep grid")
+		ratiosArg     = fs.String("ratios", "8,16,32", "fixed-ratio sweep targets")
+		codecsArg     = fs.String("codecs", "sz,otc", "fixed-ratio sweep codecs")
+		regionDims    = fs.String("regiondims", "64x96x96", "region sweep grid")
+		roiPSNR       = fs.Float64("roipsnr", 80, "region sweep ROI PSNR target in dB")
+		bgRatiosArg   = fs.String("bgratios", "8,16", "region sweep background ratio targets")
+		withServe     = fs.Bool("serve", false, "include the archive-service load test")
+		serveDims     = fs.String("servedims", "96x96x96", "serve load-test per-field grid")
+		serveFields   = fs.Int("servefields", 2, "serve load-test fields per archive")
+		serveReaders  = fs.Int("servereaders", 200, "serve load-test concurrent readers")
+		serveRequests = fs.Int("serverequests", 4000, "serve load-test total requests")
+		workers       = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		gobenchPath   = fs.String("gobench", "", "optional `go test -bench` output to fold in")
+		requireTP     = fs.Bool("require-throughput", false, "fail unless chunked encode/decode 1-core and all-core MB/s datapoints are present and non-zero")
+		out           = fs.String("out", "-", "JSON output path (default stdout)")
 	)
 	fs.Parse(args)
 	stopProf, err := pf.start()
@@ -115,6 +121,17 @@ func suiteMain(args []string) error {
 		return fmt.Errorf("suite: region sweep: %w", err)
 	}
 	rec := SuiteRecord{Chunked: []ChunkRecord{chunk}, FixedRatio: ratios, Region: regions}
+	if *withServe {
+		sr, err := serveRecord(*serveDims, *serveFields, *serveReaders, *serveRequests, 64, 1.2, 256)
+		if err != nil {
+			return fmt.Errorf("suite: serve load test: %w", err)
+		}
+		if sr.FailedRequests > 0 || sr.MismatchedByte > 0 {
+			return fmt.Errorf("suite: serve load test: %d failed requests, %d mismatched responses (want 0/0)",
+				sr.FailedRequests, sr.MismatchedByte)
+		}
+		rec.Serve = []ServeRecord{sr}
+	}
 	if *gobenchPath != "" {
 		gb, err := parseGoBenchFile(*gobenchPath)
 		if err != nil {

@@ -27,13 +27,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
-	"strconv"
-	"strings"
 	"syscall"
 
 	"fixedpsnr"
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/fieldio"
+	"fixedpsnr/internal/serve"
 )
 
 func main() {
@@ -66,6 +65,8 @@ func main() {
 		err = list(os.Args[2:])
 	case "extract":
 		err = extract(os.Args[2:])
+	case "serve":
+		err = serveCmd(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -92,6 +93,7 @@ func usage() {
   fpsz archive    -dir <dir-of-sdf> -out <snapshot.fpsa> [-psnr <dB> | -ratio <R>]
   fpsz list       -in <snapshot.fpsa>
   fpsz extract    -in <snapshot.fpsa> -field <name> -out <field.sdf> [-region off:ext,...]
+  fpsz serve      [-addr :8080] [-root archives] [-cache-mb 256] [flags]  serve an archive catalog over HTTP
   fpsz info       alias of inspect; -chunks prints the per-chunk index (and region groups)`)
 	os.Exit(2)
 }
@@ -105,30 +107,9 @@ type roiFlags []fixedpsnr.RegionTarget
 func (r *roiFlags) String() string { return fmt.Sprintf("%d region targets", len(*r)) }
 
 func (r *roiFlags) Set(s string) error {
-	regionPart, targetPart, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf(`roi %q: want "off:ext[,off:ext...]=psnr:<dB>" or "...=ratio:<R>"`, s)
-	}
-	off, ext, err := parseRegion(regionPart)
+	rt, err := serve.ParseROISpec(s)
 	if err != nil {
-		return fmt.Errorf("roi: %w", err)
-	}
-	kind, valStr, ok := strings.Cut(targetPart, ":")
-	if !ok {
-		return fmt.Errorf("roi %q: target %q: want psnr:<dB> or ratio:<R>", s, targetPart)
-	}
-	val, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
-	if err != nil {
-		return fmt.Errorf("roi %q: bad target value %q", s, valStr)
-	}
-	rt := fixedpsnr.RegionTarget{Region: fixedpsnr.Region{Off: off, Ext: ext}}
-	switch strings.TrimSpace(kind) {
-	case "psnr":
-		rt.Mode, rt.TargetPSNR = fixedpsnr.ModePSNR, val
-	case "ratio":
-		rt.Mode, rt.TargetRatio = fixedpsnr.ModeRatio, val
-	default:
-		return fmt.Errorf("roi %q: unknown target kind %q (want psnr or ratio)", s, kind)
+		return err
 	}
 	*r = append(*r, rt)
 	return nil
@@ -563,20 +544,18 @@ func extract(args []string) error {
 }
 
 // parseRegion parses "off:ext,off:ext,..." into offset and extent
-// vectors.
+// vectors — one syntax shared with the server's ROI query parameters.
 func parseRegion(s string) (off, ext []int, err error) {
-	for _, part := range strings.Split(s, ",") {
-		o, e, ok := strings.Cut(part, ":")
-		if !ok {
-			return nil, nil, fmt.Errorf("region %q: want off:ext per dimension", s)
-		}
-		ov, err1 := strconv.Atoi(strings.TrimSpace(o))
-		ev, err2 := strconv.Atoi(strings.TrimSpace(e))
-		if err1 != nil || err2 != nil || ov < 0 || ev <= 0 {
-			return nil, nil, fmt.Errorf("region %q: bad component %q", s, part)
-		}
-		off = append(off, ov)
-		ext = append(ext, ev)
+	return serve.ParseRegionSpec(s)
+}
+
+// serveCmd runs the archive catalog daemon in-process — the same engine
+// as the standalone fpsz-serve binary. It serves until the first
+// SIGINT/SIGTERM, then drains gracefully.
+func serveCmd(ctx context.Context, args []string) error {
+	cfg, err := serve.ParseFlags("fpsz serve", args, os.Stderr)
+	if err != nil {
+		return err
 	}
-	return off, ext, nil
+	return serve.Run(ctx, cfg, os.Stderr)
 }

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,21 +21,26 @@ import (
 // codecs, pointwise-relative) fall back to a full decode plus crop, so
 // the call succeeds on every registered stream.
 func DecompressRegion(data []byte, off, ext []int) (*field.Field, *Header, error) {
-	return DecompressRegionScratch(data, off, ext, nil)
+	return DecompressRegionScratch(context.Background(), data, off, ext, nil)
 }
 
 // DecompressRegionScratch is DecompressRegion drawing per-chunk decode
 // transients (slab buffers, inflate windows, Huffman tables) from a
-// session's sc. A nil sc is valid and allocates fresh.
-func DecompressRegionScratch(data []byte, off, ext []int, sc *Scratch) (*field.Field, *Header, error) {
+// session's sc, under a cancellable context: a cancelled ctx aborts the
+// decode within one chunk of work per worker and returns ctx.Err(). A nil
+// sc is valid and allocates fresh.
+func DecompressRegionScratch(ctx context.Context, data []byte, off, ext []int, sc *Scratch) (*field.Field, *Header, error) {
 	h, err := ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := DecompressRegionFrom(h, func(ci int) ([]byte, error) {
+	out, err := DecompressRegionFrom(ctx, h, func(ci int) ([]byte, error) {
 		return ChunkPayload(data, h, ci)
 	}, off, ext, sc)
 	if errors.Is(err, ErrNotChunked) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		full, _, ferr := DecompressScratch(data, sc)
 		if ferr != nil {
 			return nil, nil, ferr
@@ -47,13 +53,45 @@ func DecompressRegionScratch(data []byte, off, ext []int, sc *Scratch) (*field.F
 	return out, h, nil
 }
 
+// DecompressChunkInto decodes chunk ci of a chunk-capable stream into
+// dst, which must hold exactly ChunkPoints(ci) values — the chunk's full
+// row slab. It returns ErrNotChunked for streams without chunk-granular
+// access (including the constant pseudo-codec, whose "payload" is the
+// header itself) so callers can fall back to a whole-stream decode. This
+// is the unit a decoded-chunk cache stores: one slab, reusable across
+// every region that intersects it.
+func DecompressChunkInto(dst []float64, h *Header, ci int, payload []byte, sc *Scratch) error {
+	if ci < 0 || ci >= len(h.Chunks) {
+		return fmt.Errorf("codec: chunk %d out of range [0,%d)", ci, len(h.Chunks))
+	}
+	if want := h.ChunkPoints(ci); len(dst) != want {
+		return fmt.Errorf("codec: chunk %d slab is %d values, want %d", ci, len(dst), want)
+	}
+	if h.Codec == IDConstant {
+		for i := range dst {
+			dst[i] = h.ConstValue
+		}
+		return nil
+	}
+	c, ok := Lookup(h.Codec)
+	if !ok {
+		return fmt.Errorf("codec: no registered codec for stream ID %v", h.Codec)
+	}
+	cc, ok := c.(ChunkCodec)
+	if !ok {
+		return ErrNotChunked
+	}
+	return cc.DecompressChunk(payload, h, ci, dst, sc)
+}
+
 // DecompressRegionFrom is the chunk-granular core of DecompressRegion
 // for callers that can fetch individual chunk payloads without holding
 // the whole stream — the archive reader passes a closure that ReadAts
 // only the needed byte ranges. It returns ErrNotChunked when the stream
 // cannot be decoded chunk by chunk; such callers fall back to fetching
-// the whole entry.
-func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, ext []int, sc *Scratch) (*field.Field, error) {
+// the whole entry. A cancelled ctx stops the decode within one chunk per
+// worker and surfaces ctx.Err().
+func DecompressRegionFrom(ctx context.Context, h *Header, payload func(ci int) ([]byte, error), off, ext []int, sc *Scratch) (*field.Field, error) {
 	if err := field.ValidateRegion(h.Dims, off, ext); err != nil {
 		return nil, err
 	}
@@ -88,7 +126,7 @@ func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, 
 	out := field.New(h.Name, h.Precision, ext...)
 	inner := h.InnerPoints()
 	dstOff := make([]int, len(ext))
-	err := parallel.ForEach(len(hit), 0, func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(hit), 0, func(i int) error {
 		ci := hit[i]
 		ck := h.Chunks[ci]
 		pl, err := payload(ci)
@@ -100,23 +138,39 @@ func DecompressRegionFrom(h *Header, payload func(ci int) ([]byte, error), off, 
 		if err := cc.DecompressChunk(pl, h, ci, slab, sc); err != nil {
 			return err
 		}
-		// Intersect the chunk's rows with the requested row window, then
-		// crop the inner dimensions while copying into the output block.
-		lo, hi := ck.RowStart, ck.RowStart+ck.Rows
-		if lo < rowLo {
-			lo = rowLo
-		}
-		if hi > rowHi {
-			hi = rowHi
-		}
-		srcOff := append([]int{lo - ck.RowStart}, off[1:]...)
-		dOff := append([]int{lo - rowLo}, dstOff[1:]...)
-		cext := append([]int{hi - lo}, ext[1:]...)
-		field.CopyRegion(out.Data, ext, dOff, slab, h.ChunkDims(ci), srcOff, cext)
+		copyChunkRegion(out.Data, ext, dstOff, slab, h, ci, off, rowLo, rowHi)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// copyChunkRegion copies the intersection of chunk ci's decoded slab with
+// the requested region into the output block: the chunk's rows are
+// clipped to the region's row window, then the inner dimensions are
+// cropped while copying. Shared by the streaming region decode above and
+// cache-fed region assembly in the serving layer.
+func copyChunkRegion(dst []float64, ext, dstOff []int, slab []float64, h *Header, ci int, off []int, rowLo, rowHi int) {
+	ck := h.Chunks[ci]
+	lo, hi := ck.RowStart, ck.RowStart+ck.Rows
+	if lo < rowLo {
+		lo = rowLo
+	}
+	if hi > rowHi {
+		hi = rowHi
+	}
+	srcOff := append([]int{lo - ck.RowStart}, off[1:]...)
+	dOff := append([]int{lo - rowLo}, dstOff[1:]...)
+	cext := append([]int{hi - lo}, ext[1:]...)
+	field.CopyRegion(dst, ext, dOff, slab, h.ChunkDims(ci), srcOff, cext)
+}
+
+// CopyChunkRegion is copyChunkRegion for external assemblers (the serving
+// layer's decoded-chunk cache): copy the part of chunk ci's full decoded
+// slab that falls inside the region (off, ext) into out, a region-shaped
+// block. The chunk must intersect the region's row window.
+func CopyChunkRegion(out []float64, h *Header, ci int, slab []float64, off, ext []int) {
+	copyChunkRegion(out, ext, make([]int, len(ext)), slab, h, ci, off, off[0], off[0]+ext[0])
 }

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Limiter is the bounded-concurrency admission layer in front of the
+// data-plane handlers: at most MaxInFlight requests execute at once, at
+// most QueueDepth more wait for a slot, and everything beyond that is
+// shed immediately with 429 — the server's memory stays bounded by
+// (MaxInFlight + QueueDepth) × per-request footprint no matter how hard
+// it is hammered. A queued request that cannot get a slot within
+// QueueTimeout (or whose client gives up) is shed with 503, so the queue
+// never holds work that has already missed its deadline.
+//
+// Status-code convention: 429 Too Many Requests means "rejected at the
+// door, the queue is full — back off"; 503 Service Unavailable means
+// "admitted to the queue but the service stayed saturated past the
+// timeout". Both carry Retry-After: 1.
+type Limiter struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	timeout time.Duration
+	met     *Metrics
+}
+
+// NewLimiter builds an admission layer. maxInFlight and queueDepth must
+// be positive; timeout <= 0 means queued requests wait as long as their
+// client does.
+func NewLimiter(maxInFlight, queueDepth int, timeout time.Duration, met *Metrics) *Limiter {
+	return &Limiter{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, queueDepth),
+		timeout: timeout,
+		met:     met,
+	}
+}
+
+// QueueDepth samples the number of requests currently waiting for a
+// slot.
+func (l *Limiter) QueueDepth() int { return len(l.queue) }
+
+// Wrap applies admission control to h. Control-plane endpoints
+// (/metrics, /healthz, /debug/pprof) must not be wrapped — they are how
+// an overloaded server is diagnosed.
+func (l *Limiter) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case l.slots <- struct{}{}:
+			// Fast path: a slot was free.
+		default:
+			// Saturated: try to queue, shedding on overflow.
+			select {
+			case l.queue <- struct{}{}:
+			default:
+				l.met.Shed429.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+				return
+			}
+			var timeout <-chan time.Time
+			if l.timeout > 0 {
+				t := time.NewTimer(l.timeout)
+				defer t.Stop()
+				timeout = t.C
+			}
+			select {
+			case l.slots <- struct{}{}:
+				<-l.queue
+			case <-timeout:
+				<-l.queue
+				l.met.Shed503.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "saturated past queue timeout", http.StatusServiceUnavailable)
+				return
+			case <-r.Context().Done():
+				<-l.queue
+				l.met.Shed503.Add(1)
+				http.Error(w, "client gave up in queue", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		defer func() { <-l.slots }()
+		l.met.InFlight.Add(1)
+		defer l.met.InFlight.Add(-1)
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fixedpsnr"
+)
+
+// Catalog is the on-disk archive set the server exposes: one .fpsa file
+// per archive under a root directory, each held open behind a cached
+// ArchiveReader. Reads of one archive proceed concurrently; an upload
+// rewrites the archive into a temp file, renames it over the old one,
+// and swaps in a fresh reader while in-flight reads drain the old one
+// before it is closed — readers never observe a half-written archive and
+// never read through a closed file handle.
+type Catalog struct {
+	root    string
+	nextGen atomic.Uint64
+
+	mu       sync.Mutex
+	archives map[string]*catalogEntry
+}
+
+// catalogEntry is one archive's slot: the current reader reference plus
+// the lock that serializes writers against reader swaps.
+type catalogEntry struct {
+	name string
+	path string
+	// mu guards rdr: shared for acquire (reads), exclusive for Put's
+	// rewrite-and-swap. Holding it shared only long enough to bump the
+	// refcount keeps reads concurrent with each other and with the old
+	// generation draining.
+	mu  sync.RWMutex
+	rdr *readerRef
+}
+
+// readerRef is one open generation of an archive: the reader, its cache
+// generation (chunk-cache keys embed it, so a swap invalidates cached
+// chunks implicitly), and a drain group counting in-flight requests.
+type readerRef struct {
+	ar  *fixedpsnr.ArchiveReader
+	gen uint64
+	wg  sync.WaitGroup
+}
+
+// archiveExt is the catalog's on-disk archive suffix.
+const archiveExt = ".fpsa"
+
+// nameRe constrains archive and field names to one path-safe segment: no
+// separators, no dot-prefix, nothing that could escape the root.
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,254}$`)
+
+// ValidateName reports whether s is usable as an archive or field name in
+// catalog paths and URLs.
+func ValidateName(s string) error {
+	if !nameRe.MatchString(s) || strings.Contains(s, "..") {
+		return fmt.Errorf("serve: invalid name %q (want a single [A-Za-z0-9._-] path segment)", s)
+	}
+	return nil
+}
+
+// NewCatalog opens (creating if needed) the catalog root and registers
+// every *.fpsa already present. Archives are opened lazily on first use,
+// so one corrupt file fails its own requests, not startup.
+func NewCatalog(root string) (*Catalog, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: catalog root: %w", err)
+	}
+	c := &Catalog{root: root, archives: make(map[string]*catalogEntry)}
+	matches, err := filepath.Glob(filepath.Join(root, "*"+archiveExt))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range matches {
+		name := strings.TrimSuffix(filepath.Base(p), archiveExt)
+		if ValidateName(name) != nil {
+			continue
+		}
+		c.archives[name] = &catalogEntry{name: name, path: p}
+	}
+	return c, nil
+}
+
+// Names lists the cataloged archives, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.archives))
+	for n := range c.archives {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Path returns the on-disk location of an archive (whether or not it
+// exists yet).
+func (c *Catalog) Path(name string) string {
+	return filepath.Join(c.root, name+archiveExt)
+}
+
+// lookup returns the entry for name, or nil when the catalog has none.
+func (c *Catalog) lookup(name string) *catalogEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.archives[name]
+}
+
+// entry returns the slot for name, creating it if needed (a PUT may
+// target a brand-new archive).
+func (c *Catalog) entry(name string) *catalogEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.archives[name]
+	if e == nil {
+		e = &catalogEntry{name: name, path: c.Path(name)}
+		c.archives[name] = e
+	}
+	return e
+}
+
+// Acquire pins the current generation of the named archive for one
+// request: the returned reader stays open until release is called, even
+// if a concurrent upload swaps in a newer generation meanwhile. gen keys
+// cached chunks of this generation.
+func (c *Catalog) Acquire(name string) (ar *fixedpsnr.ArchiveReader, gen uint64, release func(), err error) {
+	e := c.lookup(name)
+	if e == nil {
+		return nil, 0, nil, fmt.Errorf("serve: no archive %q", name)
+	}
+	ref, err := e.acquire(c)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return ref.ar, ref.gen, ref.wg.Done, nil
+}
+
+// acquire returns the entry's current readerRef with its refcount
+// bumped, opening the archive on first use.
+func (e *catalogEntry) acquire(c *Catalog) (*readerRef, error) {
+	e.mu.RLock()
+	if e.rdr != nil {
+		ref := e.rdr
+		ref.wg.Add(1)
+		e.mu.RUnlock()
+		return ref, nil
+	}
+	e.mu.RUnlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rdr == nil {
+		ar, err := fixedpsnr.OpenArchiveFile(e.path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: archive %q: %w", e.name, err)
+		}
+		e.rdr = &readerRef{ar: ar, gen: c.nextGen.Add(1)}
+	}
+	ref := e.rdr
+	ref.wg.Add(1)
+	return ref, nil
+}
+
+// Put installs (or replaces) one field's compressed stream in the named
+// archive. The archive is rewritten entry-by-entry into a temp file —
+// surviving entries are copied as raw bytes, never recompressed — then
+// renamed into place and reopened; the displaced reader generation is
+// closed in the background once its in-flight requests drain.
+func (c *Catalog) Put(archive, fieldName string, stream []byte) error {
+	if err := ValidateName(archive); err != nil {
+		return err
+	}
+	if err := ValidateName(fieldName); err != nil {
+		return err
+	}
+	e := c.entry(archive)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Open the current generation (if any) to carry its other entries
+	// over. e.rdr may be nil either on a brand-new archive or before
+	// first read of an existing file.
+	old := e.rdr
+	if old == nil {
+		if _, err := os.Stat(e.path); err == nil {
+			ar, err := fixedpsnr.OpenArchiveFile(e.path)
+			if err != nil {
+				return fmt.Errorf("serve: archive %q: %w", archive, err)
+			}
+			old = &readerRef{ar: ar, gen: c.nextGen.Add(1)}
+		}
+	}
+
+	tmp := e.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	aw, err := fixedpsnr.NewArchiveWriter(bw)
+	if err != nil {
+		return err
+	}
+	if old != nil {
+		for i, name := range old.ar.Names() {
+			if name == fieldName {
+				continue
+			}
+			blob, err := old.ar.Stream(i)
+			if err != nil {
+				return fmt.Errorf("serve: carrying entry %q: %w", name, err)
+			}
+			if err := aw.WriteStreamNamed(name, blob); err != nil {
+				return err
+			}
+		}
+	}
+	if err := aw.WriteStreamNamed(fieldName, stream); err != nil {
+		return err
+	}
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, e.path); err != nil {
+		return err
+	}
+	ok = true
+
+	ar, err := fixedpsnr.OpenArchiveFile(e.path)
+	if err != nil {
+		return fmt.Errorf("serve: reopening %q: %w", archive, err)
+	}
+	e.rdr = &readerRef{ar: ar, gen: c.nextGen.Add(1)}
+	if old != nil {
+		// Close the displaced generation once its readers drain. New
+		// acquires already see the new reader (we hold e.mu), so the
+		// refcount only falls from here.
+		go func(old *readerRef) {
+			old.wg.Wait()
+			old.ar.Close()
+		}(old)
+	}
+	return nil
+}
+
+// Close drains nothing and closes every open reader — call only after
+// the HTTP server has finished its graceful shutdown, when no requests
+// are in flight.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, e := range c.archives {
+		e.mu.Lock()
+		if e.rdr != nil {
+			if err := e.rdr.ar.Close(); err != nil && first == nil {
+				first = err
+			}
+			e.rdr = nil
+		}
+		e.mu.Unlock()
+	}
+	return first
+}

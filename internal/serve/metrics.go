@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's observability surface, exposed at /metrics in
+// the Prometheus text exposition format (hand-rolled — the module takes
+// no dependencies). It tracks per-route request counts by status code,
+// per-route latency histograms, the in-flight gauge, and shed counters;
+// cache statistics are appended from the ChunkCache at scrape time.
+type Metrics struct {
+	InFlight atomic.Int64
+	Shed429  atomic.Uint64
+	Shed503  atomic.Uint64
+
+	mu     sync.Mutex
+	counts map[routeCode]uint64
+	hists  map[string]*histogram
+}
+
+// routeCode labels one requests_total series.
+type routeCode struct {
+	route string
+	code  int
+}
+
+// latencyBuckets are the cumulative histogram bounds in seconds, spaced
+// for a service whose fast path is a sub-millisecond cache hit and whose
+// slow path is a multi-second cold multi-chunk decode.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bound latency histogram; the last bucket is the
+// +Inf overflow.
+type histogram struct {
+	buckets []uint64 // len(latencyBuckets)+1; last is the +Inf overflow
+	sum     float64
+	count   uint64
+}
+
+// NewMetrics builds an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counts: make(map[routeCode]uint64),
+		hists:  make(map[string]*histogram),
+	}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(route string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts[routeCode{route, code}]++
+	h := m.hists[route]
+	if h == nil {
+		h = &histogram{buckets: make([]uint64, len(latencyBuckets)+1)}
+		m.hists[route] = h
+	}
+	h.sum += sec
+	h.count++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(latencyBuckets)]++
+}
+
+// WriteTo renders the exposition text. queueDepth is sampled by the
+// caller (the limiter owns the queue).
+func (m *Metrics) WriteTo(w io.Writer, cache *ChunkCache, queueDepth int) {
+	fmt.Fprintf(w, "# TYPE fpsz_inflight_requests gauge\nfpsz_inflight_requests %d\n", m.InFlight.Load())
+	fmt.Fprintf(w, "# TYPE fpsz_queue_depth gauge\nfpsz_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# TYPE fpsz_shed_total counter\n")
+	fmt.Fprintf(w, "fpsz_shed_total{code=\"429\"} %d\n", m.Shed429.Load())
+	fmt.Fprintf(w, "fpsz_shed_total{code=\"503\"} %d\n", m.Shed503.Load())
+
+	m.mu.Lock()
+	countKeys := make([]routeCode, 0, len(m.counts))
+	for k := range m.counts {
+		countKeys = append(countKeys, k)
+	}
+	sort.Slice(countKeys, func(i, j int) bool {
+		if countKeys[i].route != countKeys[j].route {
+			return countKeys[i].route < countKeys[j].route
+		}
+		return countKeys[i].code < countKeys[j].code
+	})
+	fmt.Fprintf(w, "# TYPE fpsz_requests_total counter\n")
+	for _, k := range countKeys {
+		fmt.Fprintf(w, "fpsz_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.counts[k])
+	}
+	histKeys := make([]string, 0, len(m.hists))
+	for k := range m.hists {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(histKeys)
+	fmt.Fprintf(w, "# TYPE fpsz_request_seconds histogram\n")
+	for _, route := range histKeys {
+		h := m.hists[route]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "fpsz_request_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, ub, cum)
+		}
+		cum += h.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "fpsz_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(w, "fpsz_request_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(w, "fpsz_request_seconds_count{route=%q} %d\n", route, h.count)
+	}
+	m.mu.Unlock()
+
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(w, "# TYPE fpsz_cache_hits_total counter\nfpsz_cache_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# TYPE fpsz_cache_misses_total counter\nfpsz_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# TYPE fpsz_cache_coalesced_total counter\nfpsz_cache_coalesced_total %d\n", st.Coalesced)
+		fmt.Fprintf(w, "# TYPE fpsz_cache_evictions_total counter\nfpsz_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "# TYPE fpsz_cache_entries gauge\nfpsz_cache_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "# TYPE fpsz_cache_bytes gauge\nfpsz_cache_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "# TYPE fpsz_cache_hit_ratio gauge\nfpsz_cache_hit_ratio %g\n", st.HitRatio())
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config is the daemon's tuning surface. Zero values mean "use the
+// default" (see withDefaults), so a zero Config is runnable.
+type Config struct {
+	Addr           string        // listen address, e.g. ":8080"
+	Root           string        // catalog root directory of .fpsa archives
+	CacheBytes     int64         // decoded-chunk LRU capacity in bytes
+	MaxInFlight    int           // data-plane requests executing at once
+	QueueDepth     int           // data-plane requests allowed to wait
+	QueueTimeout   time.Duration // max wait for a slot before 503
+	MaxUploadBytes int64         // PUT body cap
+	ShutdownGrace  time.Duration // graceful drain window on shutdown
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Root == "" {
+		c.Root = "archives"
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 128
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 4 << 30
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// ParseFlags parses command-line arguments into a Config. It uses
+// flag.ContinueOnError and writes usage to errw, so callers (and tests)
+// decide what a parse failure does.
+func ParseFlags(prog string, args []string, errw io.Writer) (Config, error) {
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var cfg Config
+	var cacheMB, uploadMB int64
+	fs.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.Root, "root", "archives", "catalog root directory of .fpsa archives")
+	fs.Int64Var(&cacheMB, "cache-mb", 256, "decoded-chunk cache capacity (MiB)")
+	fs.IntVar(&cfg.MaxInFlight, "max-inflight", 128, "max concurrently executing data-plane requests")
+	fs.IntVar(&cfg.QueueDepth, "queue-depth", 256, "max data-plane requests waiting for a slot (beyond: 429)")
+	fs.DurationVar(&cfg.QueueTimeout, "queue-timeout", 2*time.Second, "max queue wait before shedding with 503")
+	fs.Int64Var(&uploadMB, "max-upload-mb", 4096, "max PUT body size (MiB)")
+	fs.DurationVar(&cfg.ShutdownGrace, "shutdown-grace", 10*time.Second, "graceful drain window on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	if fs.NArg() != 0 {
+		return Config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cacheMB < 0 || uploadMB <= 0 {
+		return Config{}, fmt.Errorf("cache-mb must be >= 0 and max-upload-mb > 0")
+	}
+	cfg.CacheBytes = cacheMB << 20
+	cfg.MaxUploadBytes = uploadMB << 20
+	return cfg, nil
+}
+
+// Run serves until ctx is cancelled (typically by SIGINT/SIGTERM), then
+// drains in-flight requests for up to ShutdownGrace before closing the
+// catalog. logw receives start/stop lines; pass io.Discard to silence.
+func Run(ctx context.Context, cfg Config, logw io.Writer) error {
+	cfg = cfg.withDefaults()
+	s, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(logw, "fpsz-serve: listening on %s (root %s, cache %d MiB, inflight %d, queue %d)\n",
+		ln.Addr(), cfg.Root, cfg.CacheBytes>>20, cfg.MaxInFlight, cfg.QueueDepth)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		s.cat.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "fpsz-serve: shutting down, draining for up to %s\n", cfg.ShutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.ShutdownGrace)
+	defer cancel()
+	err = srv.Shutdown(sctx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if cerr := s.cat.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	fmt.Fprintf(logw, "fpsz-serve: stopped\n")
+	return err
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fixedpsnr"
+)
+
+// Region and ROI spec parsing, shared by the fpsz CLI flags and the
+// server's query parameters so both surfaces speak one syntax:
+//
+//	region: "off:ext[,off:ext...]"        one off:ext pair per dimension
+//	roi:    "<region>=psnr:<dB>"          region steered to a fixed PSNR
+//	        "<region>=ratio:<R>"          region steered to a fixed ratio
+
+// ParseRegionSpec parses "off:ext,off:ext,..." into offset and extent
+// vectors, one pair per dimension.
+func ParseRegionSpec(s string) (off, ext []int, err error) {
+	for _, part := range strings.Split(s, ",") {
+		o, e, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("region %q: want off:ext per dimension", s)
+		}
+		ov, err1 := strconv.Atoi(strings.TrimSpace(o))
+		ev, err2 := strconv.Atoi(strings.TrimSpace(e))
+		if err1 != nil || err2 != nil || ov < 0 || ev <= 0 {
+			return nil, nil, fmt.Errorf("region %q: bad component %q", s, part)
+		}
+		off = append(off, ov)
+		ext = append(ext, ev)
+	}
+	return off, ext, nil
+}
+
+// ParseIntList parses "a,b,c" into ints — the query-parameter spelling of
+// an offset or extent vector.
+func ParseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseROISpec parses one region-target spec,
+// "off:ext[,off:ext...]=psnr:<dB>" or "...=ratio:<R>".
+func ParseROISpec(s string) (fixedpsnr.RegionTarget, error) {
+	var rt fixedpsnr.RegionTarget
+	regionPart, targetPart, ok := strings.Cut(s, "=")
+	if !ok {
+		return rt, fmt.Errorf(`roi %q: want "off:ext[,off:ext...]=psnr:<dB>" or "...=ratio:<R>"`, s)
+	}
+	off, ext, err := ParseRegionSpec(regionPart)
+	if err != nil {
+		return rt, fmt.Errorf("roi: %w", err)
+	}
+	kind, valStr, ok := strings.Cut(targetPart, ":")
+	if !ok {
+		return rt, fmt.Errorf("roi %q: target %q: want psnr:<dB> or ratio:<R>", s, targetPart)
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+	if err != nil {
+		return rt, fmt.Errorf("roi %q: bad target value %q", s, valStr)
+	}
+	rt.Region = fixedpsnr.Region{Off: off, Ext: ext}
+	switch strings.TrimSpace(kind) {
+	case "psnr":
+		rt.Mode, rt.TargetPSNR = fixedpsnr.ModePSNR, val
+	case "ratio":
+		rt.Mode, rt.TargetRatio = fixedpsnr.ModeRatio, val
+	default:
+		return rt, fmt.Errorf("roi %q: unknown target kind %q (want psnr or ratio)", s, kind)
+	}
+	return rt, nil
+}

@@ -293,7 +293,7 @@ func (d *Decoder) DecodeRegion(ctx context.Context, data []byte, off, ext []int)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return codec.DecompressRegionScratch(data, off, ext, d.scratch)
+	return codec.DecompressRegionScratch(ctx, data, off, ext, d.scratch)
 }
 
 // DecodeFrom reads one complete compressed stream from r and
