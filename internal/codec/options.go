@@ -28,8 +28,12 @@ type Options struct {
 	// DefaultChunkPoints for the streaming encoder. Values below
 	// MinChunkPoints are rejected by validation.
 	ChunkPoints int
-	// Level is the DEFLATE level (0 selects flate.BestSpeed, matching
-	// SZ's use of fast gzip).
+	// Level selects the DEFLATE back-end for the payload stage. Zero —
+	// the default — routes through the purpose-built internal/deflate
+	// encoder (entropy-gated match search tuned for entropy-coded
+	// payloads, matching SZ's use of fast gzip). An explicit
+	// compress/flate level (-2..9, nonzero) keeps the stdlib writer as
+	// an escape hatch; both back-ends emit conformant DEFLATE streams.
 	Level int
 	// BlockSize is the transform block edge (otc pipeline).
 	BlockSize int
@@ -42,7 +46,11 @@ type Options struct {
 	ValueRange float64
 }
 
-// FlateLevel resolves the DEFLATE level default.
+// FlateLevel resolves the level passed to compress/flate when the
+// stdlib escape hatch is selected (Level != 0). Level 0 does not reach
+// the stdlib writer at all — Scratch.AppendDeflate routes it to the
+// internal back-end — so the BestSpeed mapping here only preserves the
+// historical meaning for callers that resolve a level eagerly.
 func (o Options) FlateLevel() int {
 	if o.Level == 0 {
 		return flate.BestSpeed

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"fixedpsnr/internal/deflate"
 	"fixedpsnr/internal/huffman"
 )
 
@@ -32,6 +33,7 @@ type Scratch struct {
 	huffs    sync.Pool // *huffman.Scratch
 	huffDecs sync.Pool // *huffman.DecodeScratch
 	flateRs  sync.Pool // io.ReadCloser + flate.Resetter
+	deflates sync.Pool // *deflate.Encoder
 }
 
 // pooledFlate remembers the level a pooled DEFLATE writer was created
@@ -219,4 +221,61 @@ func (s *Scratch) PutFlateWriter(fw *flate.Writer, level int) {
 		return
 	}
 	s.flates.Put(&pooledFlate{w: fw, level: level})
+}
+
+// Deflater returns a pooled purpose-built DEFLATE encoder (the
+// internal/deflate back-end). An Encoder carries its hash table, token
+// buffers, and code tables — pooling them keeps the encode hot path
+// allocation-free.
+func (s *Scratch) Deflater() *deflate.Encoder {
+	if s != nil {
+		if v, ok := s.deflates.Get().(*deflate.Encoder); ok {
+			return v
+		}
+	}
+	return deflate.NewEncoder()
+}
+
+// PutDeflater returns an encoder obtained from Deflater to the pool.
+func (s *Scratch) PutDeflater(e *deflate.Encoder) {
+	if s == nil || e == nil {
+		return
+	}
+	s.deflates.Put(e)
+}
+
+// AppendDeflate compresses src into a complete DEFLATE stream appended
+// to dst and returns the extended slice. This is the single routing
+// point for the encode side: level 0 — the default everywhere — selects
+// the purpose-built internal/deflate encoder (entropy-gated match
+// search, one-pass dynamic Huffman); any explicit non-zero level keeps
+// the stdlib compress/flate writer as an escape hatch for debugging and
+// ratio comparisons. Both back-ends emit conformant DEFLATE, so readers
+// never care which one produced a stream.
+func (s *Scratch) AppendDeflate(dst, src []byte, level int) ([]byte, error) {
+	if level == 0 {
+		e := s.Deflater()
+		dst = e.AppendEncode(dst, src)
+		s.PutDeflater(e)
+		return dst, nil
+	}
+	buf := s.Buffer()
+	fw, err := s.FlateWriter(buf, level)
+	if err != nil {
+		s.PutBuffer(buf)
+		return nil, err
+	}
+	_, werr := fw.Write(src)
+	cerr := fw.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.PutBuffer(buf)
+		return nil, werr
+	}
+	dst = append(dst, buf.Bytes()...)
+	s.PutFlateWriter(fw, level)
+	s.PutBuffer(buf)
+	return dst, nil
 }

@@ -1,0 +1,504 @@
+// Package deflate implements a one-pass, throughput-oriented DEFLATE
+// (RFC 1951) encoder specialized for the fpsz chunk payloads: data that
+// is mostly already entropy-coded (the Huffman-packed quantization
+// codes) followed by short stretches of structured bytes (uvarint
+// counts, literal floats). A general-purpose encoder such as
+// compress/flate spends most of its time on LZ77 match search that can
+// never pay off on the near-incompressible section, so this encoder
+// inverts the default: every block first takes a cheap byte histogram,
+// and the match search only runs when the histogram says the block has
+// enough structure for matches to plausibly exist. Each block is then
+// emitted as whichever of stored / fixed-Huffman / dynamic-Huffman is
+// smallest by exact bit count.
+//
+// The output is a conformant DEFLATE stream: anything this package
+// emits inflates byte-identically with compress/flate (enforced by the
+// differential fuzzer FuzzDeflateVsStdlib), so it can replace the
+// stdlib writer behind any container format without a format change.
+//
+// The encoder only ever appends to the destination slice and keeps all
+// construction state (histograms, code tables, token buffers, the LZ
+// hash table) inside the Encoder value, so a pooled Encoder encodes
+// with zero steady-state heap allocations.
+package deflate
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"fixedpsnr/internal/bitstream"
+)
+
+const (
+	// maxBlock is the block granularity: the stored-block LEN field
+	// limit, so any block can fall back to stored.
+	maxBlock = 65535
+	// minMatch is the shortest match emitted. DEFLATE allows 3; this
+	// encoder requires 4 so the hash probe can work on 4-byte loads and
+	// marginal matches don't bloat the distance-code table.
+	minMatch = 4
+	// maxMatch and maxDist are the DEFLATE limits.
+	maxMatch = 258
+	maxDist  = 32768
+	// hashBits sizes the single-probe LZ hash table.
+	hashBits = 14
+	// lzEntropyGate is the decision threshold in bits per byte: blocks
+	// whose byte histogram entropy is at or above it skip the LZ77
+	// match search entirely (near-uniform bytes are near-random, where
+	// a 4-byte match is a ~2^-32 accident), and go straight to the
+	// literal-only stored/fixed/dynamic choice.
+	lzEntropyGate = 7.0
+)
+
+// token is one LZ77 output item: values < 256 are literal bytes;
+// matches pack 1<<24 | (length-minMatch)<<16 | (distance-1).
+type token = uint32
+
+// Encoder holds the reusable state of the purpose-built DEFLATE
+// encoder. The zero value is ready to use; an Encoder is not safe for
+// concurrent use (pool instances, one per in-flight chunk).
+type Encoder struct {
+	w bitstream.LSBWriter
+
+	litFreq  [numLitLen]uint32
+	byteFreq [numLitLen]uint32
+	distFreq [numDist]uint32
+	clFreq   [numCL]uint32
+
+	litLen   [numLitLen]uint8
+	litCode  [numLitLen]uint16
+	distLen  [numDist]uint8
+	distCode [numDist]uint16
+	clLen    [numCL]uint8
+	clCode   [numCL]uint16
+
+	allLens  [numLitLen + numDist]uint8
+	clTokens []clToken
+	tokens   []token
+	sortBuf  []uint32
+
+	// Dynamic-header geometry prepared by buildCLHeader for
+	// emitDynHeader.
+	nLit, nDist, nCL int
+
+	table [1 << hashBits]int32
+	// tableCleared tracks whether table has been wiped for the current
+	// AppendEncode call (positions are absolute per call, so entries
+	// from a previous stream must not leak in; blocks of the same call
+	// share the table so matches cross block boundaries).
+	tableCleared bool
+}
+
+// NewEncoder returns a ready Encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// AppendEncode compresses src into a complete DEFLATE stream (final
+// block marked) appended to dst, and returns the extended slice. The
+// Encoder may be reused immediately; successive streams are
+// independent.
+func (e *Encoder) AppendEncode(dst, src []byte) []byte {
+	e.w.ResetTo(dst)
+	e.tableCleared = false
+	if len(src) == 0 {
+		e.emitStoredHeader(true, 0)
+		return e.w.Bytes()
+	}
+	for base := 0; base < len(src); base += maxBlock {
+		end := base + maxBlock
+		if end > len(src) {
+			end = len(src)
+		}
+		e.encodeBlock(src, base, end, end == len(src))
+	}
+	return e.w.Bytes()
+}
+
+// encodeBlock histograms one block, decides whether LZ77 can pay, and
+// emits the block in its cheapest representation.
+func (e *Encoder) encodeBlock(src []byte, base, end int, final bool) {
+	block := src[base:end]
+	histogramBytes(block, &e.litFreq)
+	e.litFreq[endOfBlock] = 1
+
+	if byteEntropy(&e.litFreq, len(block)) >= lzEntropyGate || len(block) < 64 {
+		// Near-incompressible (or trivial) block: no matches, choose
+		// among stored / fixed / dynamic literal-only coding.
+		for i := range e.distFreq {
+			e.distFreq[i] = 0
+		}
+		e.tokens = e.tokens[:0]
+		e.chooseAndEmit(block, nil, final)
+		return
+	}
+
+	// Structured block: bounded greedy LZ77 (single hash probe per
+	// position), then the same exact-cost three-way choice.
+	e.byteFreq = e.litFreq // lz77 rebuilds litFreq from the token stream
+	e.lz77(src, base, end)
+
+	// On semi-random data the greedy matcher finds mostly spurious short
+	// matches whose distance codes cost more than the literals they
+	// replace. Compare the coded size of the token stream against plain
+	// literal coding and keep whichever is smaller (header sizes favor
+	// the literal side, so this comparison is conservative).
+	litOnlyBits := buildLens(e.byteFreq[:], maxBits, e.litLen[:], &e.sortBuf)
+	tokenBits := buildLens(e.litFreq[:], maxBits, e.litLen[:], &e.sortBuf) +
+		buildLens(e.distFreq[:], maxBits, e.distLen[:], &e.sortBuf) +
+		extraBitsTotal(e.tokens)
+	if litOnlyBits < tokenBits {
+		e.litFreq = e.byteFreq
+		for i := range e.distFreq {
+			e.distFreq[i] = 0
+		}
+		e.chooseAndEmit(block, nil, final)
+		return
+	}
+	e.chooseAndEmit(block, e.tokens, final)
+}
+
+// chooseAndEmit computes exact bit costs for the three block types over
+// the current histograms and emits the cheapest. tokens == nil means
+// literal-only emission straight from block (no token buffer was
+// built).
+func (e *Encoder) chooseAndEmit(block []byte, tokens []token, final bool) {
+	// A dynamic header must declare at least one distance code even if
+	// the block has no matches; give symbol 0 a 1-bit code.
+	distBits := buildLens(e.distFreq[:], maxBits, e.distLen[:], &e.sortBuf)
+	if e.distLen[0] == 0 && countUsed(e.distLen[:]) == 0 {
+		e.distLen[0] = 1
+	}
+	litBits := buildLens(e.litFreq[:], maxBits, e.litLen[:], &e.sortBuf)
+	headerBits := e.buildCLHeader()
+
+	extra := extraBitsTotal(tokens)
+	dynCost := 3 + headerBits + litBits + distBits + extra
+	fixedCost := e.fixedCost() + extra
+	storedCost := uint64(3+16+16) + 8*uint64(len(block)) + 7 // worst-case alignment
+
+	if storedCost <= dynCost && storedCost <= fixedCost {
+		e.emitStoredHeader(final, len(block))
+		e.w.WriteBytes(block)
+		return
+	}
+	if fixedCost <= dynCost {
+		e.w.WriteBits(b2u(final)|0b01<<1, 3)
+		e.emitData(block, tokens, &fixedLitCode, &fixedLitLen, &fixedDistCode, &fixedDistLen)
+		return
+	}
+	canonicalCodes(e.litLen[:], e.litCode[:])
+	canonicalCodes(e.distLen[:], e.distCode[:])
+	e.w.WriteBits(b2u(final)|0b10<<1, 3)
+	e.emitDynHeader()
+	e.emitData(block, tokens, &e.litCode, &e.litLen, &e.distCode, &e.distLen)
+}
+
+// emitStoredHeader writes a stored-block header: 3 header bits, byte
+// alignment, LEN and NLEN.
+func (e *Encoder) emitStoredHeader(final bool, n int) {
+	e.w.WriteBits(b2u(final), 3) // BTYPE=00
+	e.w.AlignByte()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(n))
+	binary.LittleEndian.PutUint16(hdr[2:], ^uint16(n))
+	e.w.WriteBytes(hdr[:])
+}
+
+// emitData replays the block through the given code tables: the token
+// stream when one was built, otherwise every byte as a literal. Ends
+// with the end-of-block code.
+func (e *Encoder) emitData(block []byte, tokens []token, litCode *[numLitLen]uint16, litLen *[numLitLen]uint8, distCode *[numDist]uint16, distLen *[numDist]uint8) {
+	w := &e.w
+	if tokens == nil {
+		// Literal-only blocks are the overwhelmingly common case for
+		// fpsz payloads; emit two bytes per WriteBits call (codes are
+		// ≤ 15 bits each, so a pair always fits one staged write).
+		i := 0
+		for ; i+2 <= len(block); i += 2 {
+			b0, b1 := block[i], block[i+1]
+			l0 := uint(litLen[b0])
+			w.WriteBits(uint64(litCode[b1])<<l0|uint64(litCode[b0]), l0+uint(litLen[b1]))
+		}
+		if i < len(block) {
+			b := block[i]
+			w.WriteBits(uint64(litCode[b]), uint(litLen[b]))
+		}
+	} else {
+		for _, t := range tokens {
+			if t < 256 {
+				w.WriteBits(uint64(litCode[t]), uint(litLen[t]))
+				continue
+			}
+			length := int(t>>16&0xff) + minMatch
+			dist := int(t&0xffff) + 1
+			lc := lengthCode(length)
+			sym := 257 + int(lc)
+			w.WriteBits(uint64(litCode[sym]), uint(litLen[sym]))
+			if eb := lenExtra[lc]; eb > 0 {
+				w.WriteBits(uint64(length)-uint64(lenBase[lc]), uint(eb))
+			}
+			dc := distanceCode(dist)
+			w.WriteBits(uint64(distCode[dc]), uint(distLen[dc]))
+			if eb := distExtra[dc]; eb > 0 {
+				w.WriteBits(uint64(dist)-uint64(distBase[dc]), uint(eb))
+			}
+		}
+	}
+	w.WriteBits(uint64(litCode[endOfBlock]), uint(litLen[endOfBlock]))
+}
+
+// buildCLHeader RLE-encodes the current litLen/distLen tables, builds
+// the code-length code over them, and returns the exact bit size of the
+// dynamic header it will emit (HLIT/HDIST/HCLEN fields, CL code
+// lengths, and the RLE token stream).
+func (e *Encoder) buildCLHeader() uint64 {
+	nLit := numLitLen
+	for nLit > 257 && e.litLen[nLit-1] == 0 {
+		nLit--
+	}
+	nDist := numDist
+	for nDist > 1 && e.distLen[nDist-1] == 0 {
+		nDist--
+	}
+	all := e.allLens[:0]
+	all = append(all, e.litLen[:nLit]...)
+	all = append(all, e.distLen[:nDist]...)
+	for i := range e.clFreq {
+		e.clFreq[i] = 0
+	}
+	e.clTokens = clEncode(all, e.clTokens[:0], &e.clFreq)
+	clBits := buildLens(e.clFreq[:], maxCLBits, e.clLen[:], &e.sortBuf)
+	canonicalCodes(e.clLen[:], e.clCode[:])
+
+	nCL := numCL
+	for nCL > 4 && e.clLen[clOrder[nCL-1]] == 0 {
+		nCL--
+	}
+	e.nLit, e.nDist, e.nCL = nLit, nDist, nCL
+
+	total := uint64(5+5+4) + 3*uint64(nCL) + clBits
+	for _, t := range e.clTokens {
+		total += uint64(clExtraBits(t.sym))
+	}
+	return total
+}
+
+// emitDynHeader writes the dynamic-block header prepared by
+// buildCLHeader.
+func (e *Encoder) emitDynHeader() {
+	w := &e.w
+	w.WriteBits(uint64(e.nLit-257), 5)
+	w.WriteBits(uint64(e.nDist-1), 5)
+	w.WriteBits(uint64(e.nCL-4), 4)
+	for i := 0; i < e.nCL; i++ {
+		w.WriteBits(uint64(e.clLen[clOrder[i]]), 3)
+	}
+	for _, t := range e.clTokens {
+		w.WriteBits(uint64(e.clCode[t.sym]), uint(e.clLen[t.sym]))
+		if eb := clExtraBits(t.sym); eb > 0 {
+			w.WriteBits(uint64(t.extra), eb)
+		}
+	}
+}
+
+// fixedCost is the exact bit count of the block under the fixed code
+// including the 3 header bits (length/distance extra bits excluded —
+// the caller adds them).
+func (e *Encoder) fixedCost() uint64 {
+	total := uint64(3)
+	for i, f := range e.litFreq {
+		if f != 0 {
+			total += uint64(f) * uint64(fixedLitLen[i])
+		}
+	}
+	for i, f := range e.distFreq {
+		if f != 0 {
+			total += uint64(f) * uint64(fixedDistLen[i])
+		}
+	}
+	return total
+}
+
+// lz77 runs the bounded greedy match search over src[base:end], filling
+// e.tokens and the litFreq/distFreq histograms with the token
+// distribution (litFreq was a plain byte histogram on entry and is
+// rebuilt). Hash-table entries hold absolute positions in src, so
+// matches reach back across block boundaries into the full 32 KB
+// DEFLATE window. A single hash probe per position, matches extended
+// eight bytes at a time, a same-distance continuation check after each
+// match (which turns runs into chains of cheap repeated-distance
+// matches), and a skip ramp on long literal stretches keep the per-byte
+// cost low when matches are sparse.
+func (e *Encoder) lz77(src []byte, base, end int) {
+	for i := range e.litFreq {
+		e.litFreq[i] = 0
+	}
+	for i := range e.distFreq {
+		e.distFreq[i] = 0
+	}
+	if !e.tableCleared {
+		for i := range e.table {
+			e.table[i] = 0
+		}
+		e.tableCleared = true
+	}
+	e.litFreq[endOfBlock] = 1
+	tokens := e.tokens[:0]
+	emitLits := func(lo, hi int) {
+		for _, b := range src[lo:hi] {
+			e.litFreq[b]++
+			tokens = append(tokens, token(b))
+		}
+	}
+	emitMatch := func(l, dist int) {
+		tokens = append(tokens, 1<<24|token(l-minMatch)<<16|token(dist-1))
+		e.litFreq[257+int(lengthCode(l))]++
+		e.distFreq[distanceCode(dist)]++
+	}
+	i, lastLit := base, base
+	for i+minMatch <= end {
+		h := hash4(binary.LittleEndian.Uint32(src[i:]))
+		cand := int(e.table[h]) - 1
+		e.table[h] = int32(i + 1)
+		if cand >= 0 && i-cand <= maxDist && cand < i &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			dist := i - cand
+			// The shifted compare handles overlapping matches (dist <
+			// length) exactly like an LZ77 decoder's byte-by-byte copy.
+			// Capping the window up front keeps long runs O(1) per match
+			// instead of scanning to the end of the block.
+			limit := end - i
+			if limit > maxMatch {
+				limit = maxMatch
+			}
+			l := minMatch + matchLen(src[cand+minMatch:], src[i+minMatch:i+limit])
+			// Marginal matches lose: a far distance code plus extra bits
+			// costs more than the handful of literals it replaces
+			// (zlib's too_far rule, shifted for the 4-byte minimum).
+			if l == minMatch && dist > 4096 {
+				i++
+				continue
+			}
+			emitLits(lastLit, i)
+			emitMatch(l, dist)
+			if i+1+minMatch <= end {
+				e.table[hash4(binary.LittleEndian.Uint32(src[i+1:]))] = int32(i + 2)
+			}
+			i += l
+			// Same-distance continuation: runs and repeated records
+			// chain here with no hashing at all.
+			for i+minMatch <= end &&
+				binary.LittleEndian.Uint32(src[i-dist:]) == binary.LittleEndian.Uint32(src[i:]) {
+				limit = end - i
+				if limit > maxMatch {
+					limit = maxMatch
+				}
+				l = minMatch + matchLen(src[i-dist+minMatch:], src[i+minMatch:i+limit])
+				emitMatch(l, dist)
+				i += l
+			}
+			lastLit = i
+			continue
+		}
+		// Miss: accelerate through literal stretches — the farther since
+		// the last match, the bigger the stride.
+		i += 1 + (i-lastLit)>>8
+	}
+	emitLits(lastLit, end)
+	e.tokens = tokens
+}
+
+// matchLen returns the length of the common prefix of a and b, capped
+// only by their lengths (the caller caps at maxMatch).
+func matchLen(a, b []byte) int {
+	n := 0
+	for len(a) >= 8 && len(b) >= 8 {
+		if x := binary.LittleEndian.Uint64(a) ^ binary.LittleEndian.Uint64(b); x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		a, b = a[8:], b[8:]
+		n += 8
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func hash4(v uint32) uint32 {
+	return v * 0x9E3779B1 >> (32 - hashBits)
+}
+
+// histogramBytes counts byte frequencies with four sub-histograms to
+// break the store-to-load dependency on repeated bytes, then merges.
+func histogramBytes(p []byte, freq *[numLitLen]uint32) {
+	var h0, h1, h2, h3 [256]uint32
+	i := 0
+	for ; i+4 <= len(p); i += 4 {
+		h0[p[i]]++
+		h1[p[i+1]]++
+		h2[p[i+2]]++
+		h3[p[i+3]]++
+	}
+	for ; i < len(p); i++ {
+		h0[p[i]]++
+	}
+	for b := 0; b < 256; b++ {
+		freq[b] = h0[b] + h1[b] + h2[b] + h3[b]
+	}
+	for b := 256; b < numLitLen; b++ {
+		freq[b] = 0
+	}
+}
+
+// byteEntropy returns the Shannon entropy of the byte histogram in bits
+// per byte (the EOB slot is ignored).
+func byteEntropy(freq *[numLitLen]uint32, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / float64(n)
+	h := 0.0
+	for _, f := range freq[:256] {
+		if f != 0 {
+			p := float64(f) * inv
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// extraBitsTotal sums the length/distance extra bits of the token
+// stream (identical under fixed and dynamic coding).
+func extraBitsTotal(tokens []token) uint64 {
+	total := uint64(0)
+	for _, t := range tokens {
+		if t < 256 {
+			continue
+		}
+		length := int(t>>16&0xff) + minMatch
+		dist := int(t&0xffff) + 1
+		total += uint64(lenExtra[lengthCode(length)]) + uint64(distExtra[distanceCode(dist)])
+	}
+	return total
+}
+
+func countUsed(lens []uint8) int {
+	n := 0
+	for _, l := range lens {
+		if l != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func b2u(final bool) uint64 {
+	if final {
+		return 1
+	}
+	return 0
+}

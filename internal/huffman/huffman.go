@@ -285,13 +285,46 @@ func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
 			maxSym = s
 		}
 	}
-	freq := sc.freqBuf(maxSym + 1)
+	return encodeBounded(dst, syms, maxSym, sc)
+}
+
+// EncodeScratchMax is EncodeScratch for callers that already know an
+// inclusive upper bound on every symbol value (e.g. a quantizer whose
+// codes are < capacity by construction): it skips the validation pass,
+// which on multi-megabyte symbol slices is a full extra trip through
+// memory. Every symbol MUST lie in [0, maxSym]; one outside that range
+// panics (slice bounds) rather than returning an error. The encoded
+// bytes are identical to EncodeScratch — the emitted table covers only
+// symbols that actually occur, so an over-estimated bound costs a
+// little scratch memory, not stream bytes.
+func EncodeScratchMax(dst []byte, syms []int, maxSym int, sc *Scratch) ([]byte, error) {
+	return encodeBounded(dst, syms, maxSym, sc)
+}
+
+func encodeBounded(dst []byte, syms []int, maxSym int, sc *Scratch) ([]byte, error) {
+	// Count into two interleaved lanes: runs of one dominant symbol (the
+	// common case for quantization codes) otherwise serialize on
+	// store-to-load forwarding of a single counter. The merge pass also
+	// rebuilds the present list, replacing the per-symbol branch.
+	m := maxSym + 1
+	lanes := sc.freqBuf(2 * m)
+	lane0, lane1 := lanes[:m], lanes[m:]
+	i := 0
+	for ; i+2 <= len(syms); i += 2 {
+		lane0[syms[i]]++
+		lane1[syms[i+1]]++
+	}
+	if i < len(syms) {
+		lane0[syms[i]]++
+	}
+	freq := lane0
 	present := sc.presentBuf(256)
-	for _, s := range syms {
-		if freq[s] == 0 {
+	for s, f := range lane0 {
+		f += lane1[s]
+		if f != 0 {
+			freq[s] = f
 			present = append(present, int32(s))
 		}
-		freq[s]++
 	}
 	nsym := len(present)
 
@@ -378,7 +411,22 @@ func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
 	} else {
 		w = bitstream.NewWriter(len(syms) / 2)
 	}
-	for _, s := range syms {
+	// Emit two symbols per WriteBits call when their combined width fits
+	// one staged write (almost always: typical code lengths are well
+	// under 28 bits), halving the per-call overhead on the hot loop.
+	i = 0
+	for ; i+2 <= len(syms); i += 2 {
+		s0, s1 := syms[i], syms[i+1]
+		l0, l1 := uint(lenOf[s0]), uint(lenOf[s1])
+		if l0+l1 <= 56 {
+			w.WriteBits(codes[s0]<<l1|codes[s1], l0+l1)
+			continue
+		}
+		w.WriteBits(codes[s0], l0)
+		w.WriteBits(codes[s1], l1)
+	}
+	if i < len(syms) {
+		s := syms[i]
 		w.WriteBits(codes[s], uint(lenOf[s]))
 	}
 	body := w.Bytes()

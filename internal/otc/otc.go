@@ -375,8 +375,11 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
 	}
-	_, _, vr := f.ValueRange()
-	if opt.ValueRange == 0 {
+	// Trust the value range the public layer already measured (see the
+	// matching comment in sz.CompressCtx); rescan only when absent.
+	vr := opt.ValueRange
+	if vr == 0 {
+		_, _, vr = f.ValueRange()
 		opt.ValueRange = vr
 	}
 	if vr == 0 {
@@ -523,7 +526,7 @@ func compressChunk(ctx context.Context, data []float64, dims []int, opt Options,
 		codes = append(codes, o.codes...)
 		literals = append(literals, o.literals...)
 	}
-	payload, err := encodePayload(codes, literals, blockEdge(opt), opt.Transform, opt.FlateLevel(), sc)
+	payload, err := encodePayload(codes, literals, blockEdge(opt), opt.Transform, opt.Level, sc)
 	if err != nil {
 		return nil, cst, err
 	}
@@ -667,9 +670,10 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc 
 
 // encodePayload serializes the transform id, block size, Huffman-coded
 // coefficient codes, and literal coefficients (always float64),
-// DEFLATE-compressed. Staging and output buffers plus the DEFLATE writer
-// come from sc (nil = fresh allocations); the returned payload is an
-// exact-size copy that shares no storage with the scratch pools.
+// DEFLATE-compressed. The staging buffer and DEFLATE encoder come from
+// sc (nil = fresh allocations); the returned payload shares no storage
+// with the scratch pools. level routes through Scratch.AppendDeflate
+// (0 = internal back-end, nonzero = stdlib escape hatch).
 func encodePayload(codes []int, literals []float64, blockSize int, tr Transform, level int, sc *codec.Scratch) ([]byte, error) {
 	raw := sc.Bytes(len(codes)/2 + len(literals)*8 + 64)
 	raw = append(raw, byte(tr))
@@ -688,26 +692,17 @@ func encodePayload(codes []int, literals []float64, blockSize int, tr Transform,
 		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
 		raw = append(raw, tmp[:]...)
 	}
-	buf := sc.Buffer()
-	fw, err := sc.FlateWriter(buf, level)
+	// Encode into a pooled staging buffer and hand back an exact-size
+	// copy, so append growth is amortized by the pool and the returned
+	// payload carries no slack capacity.
+	stage, err := sc.AppendDeflate(sc.Bytes(len(raw)/2+64), raw, level)
+	sc.PutBytes(raw)
 	if err != nil {
-		sc.PutBytes(raw)
-		sc.PutBuffer(buf)
+		sc.PutBytes(stage)
 		return nil, err
 	}
-	_, werr := fw.Write(raw)
-	cerr := fw.Close()
-	sc.PutBytes(raw)
-	if werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		sc.PutBuffer(buf)
-		return nil, werr
-	}
-	payload := append([]byte(nil), buf.Bytes()...)
-	sc.PutFlateWriter(fw, level)
-	sc.PutBuffer(buf)
+	payload := append([]byte(nil), stage...)
+	sc.PutBytes(stage)
 	return payload, nil
 }
 

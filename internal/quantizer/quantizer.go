@@ -25,9 +25,10 @@ const DefaultCapacity = 65536
 // Quantizer maps prediction errors to integer codes under a fixed absolute
 // error bound.
 type Quantizer struct {
-	eb     float64 // absolute error bound (half the bin width)
-	delta  float64 // bin width δ = 2·eb
-	radius int     // interval radius R = capacity/2
+	eb       float64 // absolute error bound (half the bin width)
+	delta    float64 // bin width δ = 2·eb
+	invDelta float64 // 1/δ, for the reciprocal-multiply fast path
+	radius   int     // interval radius R = capacity/2
 }
 
 // New creates a quantizer with the given absolute error bound and interval
@@ -43,7 +44,7 @@ func New(ebAbs float64, capacity int) (*Quantizer, error) {
 	if capacity < 4 || capacity%2 != 0 {
 		return nil, fmt.Errorf("quantizer: capacity must be an even number >= 4, got %d", capacity)
 	}
-	return &Quantizer{eb: ebAbs, delta: 2 * ebAbs, radius: capacity / 2}, nil
+	return &Quantizer{eb: ebAbs, delta: 2 * ebAbs, invDelta: 1 / (2 * ebAbs), radius: capacity / 2}, nil
 }
 
 // ErrorBound returns the absolute error bound.
@@ -51,6 +52,10 @@ func (q *Quantizer) ErrorBound() float64 { return q.eb }
 
 // Delta returns the quantization bin width δ = 2·ebabs.
 func (q *Quantizer) Delta() float64 { return q.delta }
+
+// InvDelta returns the precomputed reciprocal bin width 1/δ used by the
+// QuantizeRecon binning multiply, for callers hand-inlining that kernel.
+func (q *Quantizer) InvDelta() float64 { return q.invDelta }
 
 // Radius returns the interval radius R.
 func (q *Quantizer) Radius() int { return q.radius }
@@ -72,6 +77,59 @@ func (q *Quantizer) Quantize(diff float64) (code int, ok bool) {
 		return 0, false
 	}
 	return int(idx) + q.radius, true
+}
+
+// RoundMagic implements round-to-nearest (ties to even) by pushing the
+// value into the [2^52, 2^53) binade, where the floating-point grid
+// spacing is exactly 1: adding and subtracting 1.5·2^52 leaves the
+// nearest integer. Valid for |t| < 2^51, far beyond any radius.
+// Exported for callers that hand-inline the QuantizeRecon kernel into
+// their prediction loops (see internal/sz).
+const RoundMagic = 3 << 51
+
+const roundMagic = RoundMagic
+
+// QuantizeFast is Quantize without the math.Round call and the explicit
+// NaN/Inf pre-checks: the range comparison is false for non-finite
+// quotients, so they reject naturally. It differs from Quantize only on
+// exact half-bin ties, which it rounds to the even index instead of away
+// from zero — both choices sit exactly on the error bound, so the
+// reconstruction guarantee is unchanged.
+func (q *Quantizer) QuantizeFast(diff float64) (code int, ok bool) {
+	idx := (diff/q.delta + roundMagic) - roundMagic
+	if !(idx < float64(q.radius) && idx > -float64(q.radius)) {
+		return 0, false
+	}
+	return int(idx) + q.radius, true
+}
+
+// QuantizeRecon is the compression-loop fast path: it quantizes diff and
+// also returns the reconstructed prediction error rec (what Reconstruct
+// of the code would produce), computed without leaving the float domain.
+// The binning multiplies by the precomputed 1/δ instead of dividing —
+// one or two ulps cheaper than the quotient, which can land a borderline
+// diff in the neighboring bin — so the error bound is enforced the only
+// way that is airtight under any binning: by checking the reconstruction
+// itself. ok is false (store the value losslessly) when |diff − rec|
+// exceeds the bound or the index leaves the representable range;
+// non-finite inputs fail the comparisons and reject naturally. The
+// residual err = diff − rec (the exact pointwise reconstruction error)
+// comes back for free — callers accumulating distortion use it instead
+// of re-deriving the error in a second pass over the data.
+// The binning itself fuses the scale and the magic-constant add
+// (math.FMA) — one rounding instead of two, which both shortens the
+// serial dependency chain and is still a valid round-to-nearest of some
+// quotient near diff/δ; rec stays a plain (unfused) multiply because the
+// decoder reconstructs with exactly that expression.
+func (q *Quantizer) QuantizeRecon(diff float64) (code int, rec, err float64, ok bool) {
+	idx := math.FMA(diff, q.invDelta, roundMagic) - roundMagic
+	rec = idx * q.delta
+	err = diff - rec
+	if !(idx < float64(q.radius) && idx > -float64(q.radius) &&
+		err <= q.eb && err >= -q.eb) {
+		return 0, 0, 0, false
+	}
+	return int(idx) + q.radius, rec, err, true
 }
 
 // Reconstruct returns the decoded prediction error for a non-zero code:

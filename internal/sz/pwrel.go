@@ -2,7 +2,6 @@ package sz
 
 import (
 	"bytes"
-	"compress/flate"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -48,8 +47,12 @@ func CompressPWRelCtx(ctx context.Context, f *field.Field, ebRel float64, opt Op
 		return nil, nil, fmt.Errorf("sz: pointwise relative bound must be in (0, 1), got %g", ebRel)
 	}
 	n := f.Len()
-	signMask := make([]byte, (n+7)/8)
-	zeroMask := make([]byte, (n+7)/8)
+	// One backing array so the concatenated masks DEFLATE as a single
+	// write with no join copy.
+	maskBytes := (n + 7) / 8
+	masks := make([]byte, 2*maskBytes)
+	signMask := masks[:maskBytes]
+	zeroMask := masks[maskBytes:]
 	logField := field.New(f.Name, field.Float64, f.Dims...)
 	for i, v := range f.Data {
 		if math.Signbit(v) {
@@ -75,26 +78,15 @@ func CompressPWRelCtx(ctx context.Context, f *field.Field, ebRel float64, opt Op
 		return nil, nil, fmt.Errorf("sz: pwrel inner compression: %w", err)
 	}
 
-	var maskBuf bytes.Buffer
-	fw, err := sc.FlateWriter(&maskBuf, opt.FlateLevel())
+	maskStream, err := sc.AppendDeflate(nil, masks, opt.Level)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := fw.Write(signMask); err != nil {
-		return nil, nil, err
-	}
-	if _, err := fw.Write(zeroMask); err != nil {
-		return nil, nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, nil, err
-	}
-	sc.PutFlateWriter(fw, opt.FlateLevel())
 
-	payload := make([]byte, 0, 16+maskBuf.Len()+len(inner))
+	payload := make([]byte, 0, 16+len(maskStream)+len(inner))
 	payload = appendFloat64(payload, ebRel)
-	payload = binary.AppendUvarint(payload, uint64(maskBuf.Len()))
-	payload = append(payload, maskBuf.Bytes()...)
+	payload = binary.AppendUvarint(payload, uint64(len(maskStream)))
+	payload = append(payload, maskStream...)
 	payload = append(payload, inner...)
 
 	_, _, vr := f.ValueRange()
@@ -141,6 +133,14 @@ func CompressPWRelCtx(ctx context.Context, f *field.Field, ebRel float64, opt Op
 // DecompressPWRel reconstructs a field from a CodecLogLorenzo stream.
 // Decompress routes here automatically; callers normally use it instead.
 func DecompressPWRel(data []byte) (*field.Field, *Header, error) {
+	return DecompressPWRelScratch(data, nil)
+}
+
+// DecompressPWRelScratch is DecompressPWRel drawing the mask inflate
+// reader and the inner stream's decode buffers from sc, so session
+// callers reuse the ~50 KB flate window across streams. A nil sc
+// allocates fresh.
+func DecompressPWRelScratch(data []byte, sc *codec.Scratch) (*field.Field, *Header, error) {
 	h, err := ParseHeader(data)
 	if err != nil {
 		return nil, nil, err
@@ -167,14 +167,18 @@ func DecompressPWRel(data []byte) (*field.Field, *Header, error) {
 	if uint64(len(payload)) < maskLen {
 		return nil, nil, fmt.Errorf("sz: pwrel masks truncated")
 	}
-	fr := flate.NewReader(bytes.NewReader(payload[:maskLen]))
+	fr := sc.FlateReader(bytes.NewReader(payload[:maskLen]))
 	masks, err := io.ReadAll(fr)
 	if err != nil {
+		fr.Close()
+		sc.PutFlateReader(fr)
 		return nil, nil, fmt.Errorf("sz: pwrel masks: %w", err)
 	}
 	if err := fr.Close(); err != nil {
+		sc.PutFlateReader(fr)
 		return nil, nil, err
 	}
+	sc.PutFlateReader(fr)
 	n := h.NPoints()
 	maskBytes := (n + 7) / 8
 	if len(masks) != 2*maskBytes {
@@ -184,7 +188,7 @@ func DecompressPWRel(data []byte) (*field.Field, *Header, error) {
 	zeroMask := masks[maskBytes:]
 
 	inner := payload[maskLen:]
-	logField, _, err := Decompress(inner)
+	logField, _, err := DecompressScratch(inner, sc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sz: pwrel inner stream: %w", err)
 	}

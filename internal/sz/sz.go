@@ -72,8 +72,13 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 	if err := f.Validate(); err != nil {
 		return nil, nil, err
 	}
-	_, _, vr := f.ValueRange()
-	if opt.ValueRange == 0 {
+	// The public layer measures the value range to resolve its plan and
+	// passes it down in opt.ValueRange; trust it when present instead of
+	// rescanning the whole field (the scan is a measurable slice of the
+	// encode profile on large fields).
+	vr := opt.ValueRange
+	if vr == 0 {
+		_, _, vr = f.ValueRange()
 		opt.ValueRange = vr
 	}
 
@@ -160,16 +165,16 @@ func compressChunk(data []float64, dims []int, prec field.Precision, opt Options
 	}
 	codes := sc.Ints(len(data))
 	recon := sc.Floats(len(data))
-	literals, sumSq := compressCore(data, dims, q, codes, recon)
+	literals, sumSq, min, max := compressCore(data, dims, q, codes, recon)
 	sc.PutFloats(recon)
-	payload, err := encodeChunk(codes, literals, prec, opt.FlateLevel(), sc)
+	payload, err := encodeChunk(codes, literals, prec, opt.Capacity, opt.Level, sc)
 	sc.PutInts(codes)
 	if err != nil {
 		return nil, cst, err
 	}
 	cst.Unpredictable = len(literals)
 	cst.MSE = sumSq / float64(len(data))
-	cst.Min, cst.Max = codec.ValueBounds(data)
+	cst.Min, cst.Max = min, max
 	return payload, cst, nil
 }
 
@@ -218,7 +223,7 @@ func DecompressScratch(data []byte, sc *codec.Scratch) (*field.Field, *Header, e
 		return out, h, nil
 	}
 	if h.Codec == CodecLogLorenzo {
-		return DecompressPWRel(data)
+		return DecompressPWRelScratch(data, sc)
 	}
 	if h.Codec != CodecLorenzo {
 		return nil, nil, fmt.Errorf("sz: cannot decode codec %v here", h.Codec)
@@ -269,42 +274,66 @@ func decompressChunk(payload []byte, h *Header, c int, dst []float64, sc *codec.
 // caller-supplied codes buffer (one code per point; 0 marks a literal)
 // and using recon as the reconstructed-value working buffer (both must
 // have length len(data); prior contents are ignored and overwritten). It
-// returns the literal values in scan order and the exact sum of squared
+// returns the literal values in scan order, the exact sum of squared
 // reconstruction errors over the slab (non-finite pointwise errors
-// excluded).
-func compressCore(data []float64, dims []int, q *quantizer.Quantizer, codes []int, recon []float64) (literals []float64, sumSq float64) {
+// excluded), and the slab's value bounds (NaNs skipped; NaN/NaN when
+// every value is NaN) — measured here because this pass already streams
+// the data, so a separate bounds scan would cost a full trip through
+// memory.
+func compressCore(data []float64, dims []int, q *quantizer.Quantizer, codes []int, recon []float64) (literals []float64, sumSq, min, max float64) {
+	st := coreState{min: math.Inf(1), max: math.Inf(-1)}
 	switch len(dims) {
 	case 1:
-		compress1D(data, codes, recon, &literals, q)
+		compress1D(data, codes, recon, &st, q)
 	case 2:
-		compress2D(data, dims, codes, recon, &literals, q)
+		compress2D(data, dims, codes, recon, &st, q)
 	case 3:
-		compress3D(data, dims, codes, recon, &literals, q)
+		compress3D(data, dims, codes, recon, &st, q)
 	default:
 		panic("sz: unsupported rank")
 	}
-	for i, v := range data {
-		if e := v - recon[i]; e == e { // skip NaN
-			sumSq += e * e
-		}
+	if st.min > st.max { // all NaN or empty
+		st.min, st.max = math.NaN(), math.NaN()
 	}
-	return literals, sumSq
+	return st.literals, st.sumSq, st.min, st.max
 }
 
-func quantizeStep(v, pred float64, q *quantizer.Quantizer, literals *[]float64) (code int, recon float64) {
-	diff := v - pred
-	code, ok := q.Quantize(diff)
+// coreState accumulates the slab statistics inside the prediction loop
+// itself. The loop is latency-bound on the serial recon dependency, so
+// the extra adds and compares hide under it — measuring here saves the
+// second full trip through data and recon that a separate
+// sumSq/ValueBounds pass costs.
+type coreState struct {
+	literals []float64
+	sumSq    float64
+	min, max float64
+}
+
+// quantizeStep quantizes one point against its prediction, accumulating
+// the point's squared reconstruction error and value bounds. Literals
+// reconstruct exactly (error zero), and NaN values skip the bounds
+// because every comparison against them is false — matching what a
+// post-pass over data/recon would measure.
+func quantizeStep(v, pred float64, q *quantizer.Quantizer, st *coreState) (code int, recon float64) {
+	if v < st.min {
+		st.min = v
+	}
+	if v > st.max {
+		st.max = v
+	}
+	code, rec, err, ok := q.QuantizeRecon(v - pred)
 	if !ok {
-		*literals = append(*literals, v)
+		st.literals = append(st.literals, v)
 		return 0, v
 	}
-	return code, pred + q.Reconstruct(code)
+	st.sumSq += err * err
+	return code, pred + rec
 }
 
-func compress1D(data []float64, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
+func compress1D(data []float64, codes []int, recon []float64, st *coreState, q *quantizer.Quantizer) {
 	prev := 0.0
 	for i, v := range data {
-		codes[i], recon[i] = quantizeStep(v, prev, q, literals)
+		codes[i], recon[i] = quantizeStep(v, prev, q, st)
 		prev = recon[i]
 	}
 }
@@ -314,14 +343,14 @@ func compress1D(data []float64, codes []int, recon []float64, literals *[]float6
 // their terms drop out); interior points read the full three-point
 // stencil from re-sliced current/upper rows, which lets the compiler
 // eliminate the per-point bounds checks the flat-index form pays.
-func compress2D(data []float64, dims []int, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
+func compress2D(data []float64, dims []int, codes []int, recon []float64, st *coreState, q *quantizer.Quantizer) {
 	rows, cols := dims[0], dims[1]
 	drow := data[0:cols:cols]
 	rrow := recon[0:cols:cols]
 	crow := codes[0:cols:cols]
 	prev := 0.0
 	for j, v := range drow {
-		crow[j], rrow[j] = quantizeStep(v, prev, q, literals)
+		crow[j], rrow[j] = quantizeStep(v, prev, q, st)
 		prev = rrow[j]
 	}
 	for i := 1; i < rows; i++ {
@@ -330,9 +359,9 @@ func compress2D(data []float64, dims []int, codes []int, recon []float64, litera
 		rrow := recon[base : base+cols : base+cols]
 		crow := codes[base : base+cols : base+cols]
 		up := recon[base-cols : base : base]
-		crow[0], rrow[0] = quantizeStep(drow[0], up[0], q, literals)
+		crow[0], rrow[0] = quantizeStep(drow[0], up[0], q, st)
 		for j := 1; j < cols; j++ {
-			crow[j], rrow[j] = quantizeStep(drow[j], rrow[j-1]+up[j]-up[j-1], q, literals)
+			crow[j], rrow[j] = quantizeStep(drow[j], rrow[j-1]+up[j]-up[j-1], q, st)
 		}
 	}
 }
@@ -342,9 +371,19 @@ func compress2D(data []float64, dims []int, codes []int, recon []float64, litera
 // majority) take a fast path reading the seven-point stencil from four
 // re-sliced rows with no per-point existence or bounds checks; boundary
 // rows keep the generic guarded stencil.
-func compress3D(data []float64, dims []int, codes []int, recon []float64, literals *[]float64, q *quantizer.Quantizer) {
+//
+// The fast path hand-inlines quantizer.QuantizeRecon (the call is past
+// the inlining budget) and keeps the slab statistics in locals: stores
+// to rrow could alias *st as far as the compiler knows, so accumulating
+// through the pointer would reload every field each point.
+func compress3D(data []float64, dims []int, codes []int, recon []float64, st *coreState, q *quantizer.Quantizer) {
 	d0, d1, d2 := dims[0], dims[1], dims[2]
 	plane := d1 * d2
+	invDelta, delta := q.InvDelta(), q.Delta()
+	eb, radius := q.ErrorBound(), q.Radius()
+	radiusF := float64(radius)
+	smin, smax, ssum := st.min, st.max, st.sumSq
+	lits := st.literals
 	for i := 0; i < d0; i++ {
 		for j := 0; j < d1; j++ {
 			base := i*plane + j*d2
@@ -355,10 +394,32 @@ func compress3D(data []float64, dims []int, codes []int, recon []float64, litera
 				up := recon[base-d2 : base : base]                   // (i, j-1, ·)
 				pl := recon[base-plane : base-plane+d2]              // (i-1, j, ·)
 				pu := recon[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
-				crow[0], rrow[0] = quantizeStep(drow[0], pl[0]+up[0]-pu[0], q, literals)
-				for k := 1; k < d2; k++ {
-					pred := pl[k] + up[k] + rrow[k-1] - pu[k] - pl[k-1] - up[k-1] + pu[k-1]
-					crow[k], rrow[k] = quantizeStep(drow[k], pred, q, literals)
+				pred := pl[0] + up[0] - pu[0]
+				for k := 0; k < d2; k++ {
+					v := drow[k]
+					if v < smin {
+						smin = v
+					}
+					if v > smax {
+						smax = v
+					}
+					// Keep in sync with quantizer.QuantizeRecon.
+					diff := v - pred
+					idx := math.FMA(diff, invDelta, quantizer.RoundMagic) - quantizer.RoundMagic
+					rec := idx * delta
+					e := diff - rec
+					if idx < radiusF && idx > -radiusF && e <= eb && e >= -eb {
+						crow[k] = int(idx) + radius
+						rrow[k] = pred + rec
+						ssum += e * e
+					} else {
+						lits = append(lits, v)
+						crow[k] = 0
+						rrow[k] = v
+					}
+					if k+1 < d2 {
+						pred = pl[k+1] + up[k+1] + rrow[k] - pu[k+1] - pl[k] - up[k] + pu[k]
+					}
 				}
 				continue
 			}
@@ -387,10 +448,27 @@ func compress3D(data []float64, dims []int, codes []int, recon []float64, litera
 					x111 = recon[idx-plane-d2-1]
 				}
 				pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
-				codes[idx], recon[idx] = quantizeStep(data[idx], pred, q, literals)
+				v := data[idx]
+				if v < smin {
+					smin = v
+				}
+				if v > smax {
+					smax = v
+				}
+				code, rec, e, ok := q.QuantizeRecon(v - pred)
+				if ok {
+					codes[idx] = code
+					recon[idx] = pred + rec
+					ssum += e * e
+				} else {
+					lits = append(lits, v)
+					codes[idx] = 0
+					recon[idx] = v
+				}
 			}
 		}
 	}
+	st.min, st.max, st.sumSq, st.literals = smin, smax, ssum, lits
 }
 
 // decompressCore reconstructs one slab in place into out.
@@ -552,15 +630,18 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 }
 
 // encodeChunk serializes one slab: Huffman-coded quantization codes, then
-// the literal values, DEFLATE-compressed as a whole. The staging buffer,
-// output buffer, and DEFLATE writer come from sc (nil = fresh
-// allocations); the returned payload is an exact-size copy that shares no
-// storage with the scratch pools.
-func encodeChunk(codes []int, literals []float64, prec field.Precision, level int, sc *codec.Scratch) ([]byte, error) {
+// the literal values, DEFLATE-compressed as a whole. The staging buffer
+// and DEFLATE encoder come from sc (nil = fresh allocations); the
+// returned payload shares no storage with the scratch pools. level 0
+// selects the purpose-built internal/deflate back-end, any other level
+// the stdlib writer (see Scratch.AppendDeflate). capacity is the
+// quantizer capacity that produced codes (every code is < capacity by
+// construction), which lets the Huffman coder skip its validation pass.
+func encodeChunk(codes []int, literals []float64, prec field.Precision, capacity, level int, sc *codec.Scratch) ([]byte, error) {
 	raw := sc.Bytes(len(codes)/2 + len(literals)*8 + 64)
 	raw = binary.AppendUvarint(raw, uint64(len(codes)))
 	hs := sc.Huffman()
-	raw, err := huffman.EncodeScratch(raw, codes, hs)
+	raw, err := huffman.EncodeScratchMax(raw, codes, capacity-1, hs)
 	sc.PutHuffman(hs)
 	if err != nil {
 		sc.PutBytes(raw)
@@ -569,26 +650,17 @@ func encodeChunk(codes []int, literals []float64, prec field.Precision, level in
 	raw = binary.AppendUvarint(raw, uint64(len(literals)))
 	raw = appendLiterals(raw, literals, prec)
 
-	buf := sc.Buffer()
-	fw, err := sc.FlateWriter(buf, level)
+	// Encode into a pooled staging buffer and hand back an exact-size
+	// copy, so append growth is amortized by the pool and the returned
+	// payload carries no slack capacity.
+	stage, err := sc.AppendDeflate(sc.Bytes(len(raw)/2+64), raw, level)
+	sc.PutBytes(raw)
 	if err != nil {
-		sc.PutBytes(raw)
-		sc.PutBuffer(buf)
+		sc.PutBytes(stage)
 		return nil, err
 	}
-	_, werr := fw.Write(raw)
-	cerr := fw.Close()
-	sc.PutBytes(raw)
-	if werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		sc.PutBuffer(buf)
-		return nil, werr
-	}
-	payload := append([]byte(nil), buf.Bytes()...)
-	sc.PutFlateWriter(fw, level)
-	sc.PutBuffer(buf)
+	payload := append([]byte(nil), stage...)
+	sc.PutBytes(stage)
 	return payload, nil
 }
 
@@ -601,9 +673,12 @@ func decodeChunk(payload []byte, prec field.Precision, sc *codec.Scratch) (codes
 	buf := sc.Buffer()
 	defer sc.PutBuffer(buf)
 	if _, err := buf.ReadFrom(fr); err != nil {
+		fr.Close()
+		sc.PutFlateReader(fr)
 		return nil, nil, fmt.Errorf("inflate: %w", err)
 	}
 	if err := fr.Close(); err != nil {
+		sc.PutFlateReader(fr)
 		return nil, nil, err
 	}
 	sc.PutFlateReader(fr)

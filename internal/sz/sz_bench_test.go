@@ -46,7 +46,7 @@ func BenchmarkDecompressCore3D(b *testing.B) {
 	q, _ := quantizer.New(1e-4, quantizer.DefaultCapacity)
 	codes := make([]int, f.Len())
 	recon := make([]float64, f.Len())
-	literals, _ := compressCore(f.Data, f.Dims, q, codes, recon)
+	literals, _, _, _ := compressCore(f.Data, f.Dims, q, codes, recon)
 	out := make([]float64, f.Len())
 	b.SetBytes(int64(f.Len() * 8))
 	b.ResetTimer()

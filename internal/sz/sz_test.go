@@ -229,7 +229,7 @@ func TestEquationOneIdentity(t *testing.T) {
 	}
 	codes := make([]int, f.Len())
 	work := make([]float64, f.Len())
-	literals, _ := compressCore(f.Data, f.Dims, q, codes, work)
+	literals, _, _, _ := compressCore(f.Data, f.Dims, q, codes, work)
 
 	recon := make([]float64, f.Len())
 	if err := decompressCore(recon, codes, literals, f.Dims, q); err != nil {
@@ -276,7 +276,7 @@ func TestTheoremOneMSEEquality(t *testing.T) {
 	q, _ := quantizer.New(eb, 4096)
 	codes := make([]int, f.Len())
 	work := make([]float64, f.Len())
-	literals, _ := compressCore(f.Data, f.Dims, q, codes, work)
+	literals, _, _, _ := compressCore(f.Data, f.Dims, q, codes, work)
 	recon := make([]float64, f.Len())
 	if err := decompressCore(recon, codes, literals, f.Dims, q); err != nil {
 		t.Fatal(err)

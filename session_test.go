@@ -224,6 +224,37 @@ func TestEncoderReuseAllocatesLess(t *testing.T) {
 	}
 }
 
+// Pin the absolute warm-Encoder allocation count, not just the margin
+// over one-shot: the scratch pools (including the internal DEFLATE
+// encoder) hold every large transient, so a warm encode should cost a
+// small fixed number of allocations — the returned stream, the chunk
+// table, and per-chunk payload copies. A creeping count here means a
+// pool stopped being used on the hot path.
+func TestEncoderWarmAllocsPinned(t *testing.T) {
+	f := waveField("allocs-pin", 200, 250)
+	enc := mustEncoder(t,
+		fixedpsnr.WithMode(fixedpsnr.ModePSNR),
+		fixedpsnr.WithTargetPSNR(80),
+		fixedpsnr.WithWorkers(1),
+	)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm the pools
+		if _, _, err := enc.Encode(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := enc.Encode(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm encoder: %.0f allocs/op", allocs)
+	const maxAllocs = 40
+	if allocs > maxAllocs {
+		t.Fatalf("warm encoder allocates %.0f/op, want <= %d", allocs, maxAllocs)
+	}
+}
+
 func TestEncodeBatch(t *testing.T) {
 	fields := []*fixedpsnr.Field{
 		waveField("U", 40, 50),
