@@ -30,6 +30,7 @@ func gobenchMain(args []string) error {
 	pf := registerProfileFlags(fs)
 	in := fs.String("in", "-", "bench output file (default stdin)")
 	out := fs.String("out", "-", "JSON output file (default stdout)")
+	requireScale := fs.Float64("require-scaling", 0, "fail unless every chunked throughput datapoint's all-core/1-core scaling factor is at least this value (0 = no check)")
 	fs.Parse(args)
 	stopProf, err := pf.start()
 	if err != nil {
@@ -43,6 +44,11 @@ func gobenchMain(args []string) error {
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found")
+	}
+	if *requireScale > 0 {
+		if err := checkScaling(throughputRecords(results), *requireScale); err != nil {
+			return err
+		}
 	}
 	blob, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

@@ -142,3 +142,30 @@ func TestThroughputRecords(t *testing.T) {
 		t.Fatal("want error with zero 1-core decode MB/s")
 	}
 }
+
+func TestCheckScaling(t *testing.T) {
+	gb := []GoBenchResult{
+		{Name: "BenchmarkChunkedEncode1Core", MBPerSec: 100},
+		{Name: "BenchmarkChunkedEncodeAllCores", MBPerSec: 320},
+		{Name: "BenchmarkChunkedDecode1Core", MBPerSec: 200},
+		{Name: "BenchmarkChunkedDecodeAllCores", MBPerSec: 500},
+	}
+	recs := throughputRecords(gb)
+	if recs[0].ScalingEfficiency <= 0 || recs[0].Cores <= 0 {
+		t.Fatalf("encode record missing scaling efficiency: %+v", recs[0])
+	}
+	if got, want := recs[0].ScalingEfficiency, recs[0].Scaling/float64(recs[0].Cores); got != want {
+		t.Fatalf("encode efficiency = %g, want %g", got, want)
+	}
+	// Decode scales 2.5x, encode 3.2x: a floor of 2.4 passes, 2.6 trips
+	// on decode.
+	if err := checkScaling(recs, 2.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkScaling(recs, 2.6); err == nil {
+		t.Fatal("want error with decode scaling 2.5 below floor 2.6")
+	}
+	if err := checkScaling(nil, 1.0); err == nil {
+		t.Fatal("want error with no throughput datapoints")
+	}
+}

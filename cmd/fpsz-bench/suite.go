@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"fixedpsnr"
@@ -32,6 +33,10 @@ type ThroughputRecord struct {
 	OneCoreMBps  float64 `json:"one_core_mb_per_sec"`
 	AllCoresMBps float64 `json:"all_cores_mb_per_sec"`
 	Scaling      float64 `json:"scaling,omitempty"` // all-cores / one-core
+	Cores        int     `json:"cores,omitempty"`   // cores the all-core run used
+	// ScalingEfficiency is Scaling normalized by the core count: 1.0 is
+	// perfect linear scaling, and the ISSUE 9 all-core target is ≥ 0.7.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // throughputRecords distills the chunked encode/decode datapoints from
@@ -49,9 +54,10 @@ func throughputRecords(gb []GoBenchResult) []ThroughputRecord {
 		if one == 0 && all == 0 {
 			continue
 		}
-		tr := ThroughputRecord{Op: strings.ToLower(op), OneCoreMBps: one, AllCoresMBps: all}
+		tr := ThroughputRecord{Op: strings.ToLower(op), OneCoreMBps: one, AllCoresMBps: all, Cores: runtime.GOMAXPROCS(0)}
 		if one > 0 {
 			tr.Scaling = all / one
+			tr.ScalingEfficiency = tr.Scaling / float64(tr.Cores)
 		}
 		out = append(out, tr)
 	}
@@ -70,6 +76,24 @@ func checkThroughput(recs []ThroughputRecord) error {
 		}
 		if !(r.Scaling > 0) {
 			return fmt.Errorf("throughput: %s scaling factor missing", r.Op)
+		}
+	}
+	return nil
+}
+
+// checkScaling enforces a parallel-scaling floor: every throughput
+// datapoint's all-core/1-core factor must be at least `factor`. It is
+// the CI guard against regressions that serialize the chunk pipeline
+// (a lock on the scratch pools, a single-threaded stage) without
+// slowing the single-core numbers.
+func checkScaling(recs []ThroughputRecord, factor float64) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("scaling: no throughput datapoints (need go-bench results with 1-core and all-core runs)")
+	}
+	for _, r := range recs {
+		if !(r.Scaling >= factor) {
+			return fmt.Errorf("scaling: %s all-core/1-core factor %.2f below required %.2f (1-core %.2f MB/s, all-cores %.2f MB/s on %d cores)",
+				r.Op, r.Scaling, factor, r.OneCoreMBps, r.AllCoresMBps, r.Cores)
 		}
 	}
 	return nil
@@ -99,6 +123,7 @@ func suiteMain(args []string) error {
 		workers       = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		gobenchPath   = fs.String("gobench", "", "optional `go test -bench` output to fold in")
 		requireTP     = fs.Bool("require-throughput", false, "fail unless chunked encode/decode 1-core and all-core MB/s datapoints are present and non-zero")
+		requireScale  = fs.Float64("require-scaling", 0, "fail unless every throughput datapoint's all-core/1-core scaling factor is at least this value (0 = no check)")
 		out           = fs.String("out", "-", "JSON output path (default stdout)")
 	)
 	fs.Parse(args)
@@ -142,6 +167,11 @@ func suiteMain(args []string) error {
 	}
 	if *requireTP {
 		if err := checkThroughput(rec.Throughput); err != nil {
+			return fmt.Errorf("suite: %w", err)
+		}
+	}
+	if *requireScale > 0 {
+		if err := checkScaling(rec.Throughput, *requireScale); err != nil {
 			return fmt.Errorf("suite: %w", err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"fixedpsnr"
+	"fixedpsnr/internal/kernels"
 )
 
 // -update regenerates the committed stream fixtures from the current
@@ -61,7 +62,7 @@ func fixtureConfigs() map[string]fixedpsnr.Options {
 		},
 		"otc_psnr": {
 			Mode: fixedpsnr.ModePSNR, TargetPSNR: 60,
-			Compressor: fixedpsnr.CompressorTransform,
+			Compressor:  fixedpsnr.CompressorTransform,
 			ChunkPoints: fixedpsnr.MinChunkPoints, Workers: 2,
 		},
 	}
@@ -105,6 +106,38 @@ func TestStreamFixtures(t *testing.T) {
 			}
 			if d := fixedpsnr.CompareFields(f, g); !(d.PSNR > 40) {
 				t.Fatalf("fixture round-trip PSNR %.2f dB", d.PSNR)
+			}
+		})
+	}
+}
+
+// TestStreamFixturesKernelIndependent is the kernel-drift guard: every
+// fixture input is encoded twice in one process — once under whatever
+// kernel implementation init dispatched (AVX2 assembly on capable amd64
+// hosts) and once with the generic kernels forced — and the container
+// bytes must be identical. Together with the committed-fixture
+// comparison in TestStreamFixtures this pins the bit-identity contract:
+// no assembly change can silently alter stream bytes without tripping
+// one of the two. On builds where dispatch already selected the generic
+// kernels the two encodes coincide; the test still guards against a
+// ForceGeneric restore bug.
+func TestStreamFixturesKernelIndependent(t *testing.T) {
+	f := fixtureField("fixture", fixedpsnr.Float32, 64, 64, 16)
+	for name, opt := range fixtureConfigs() {
+		t.Run(name, func(t *testing.T) {
+			dispatched, _, err := fixedpsnr.Compress(f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restore := kernels.ForceGeneric()
+			generic, _, genErr := fixedpsnr.Compress(f, opt)
+			restore()
+			if genErr != nil {
+				t.Fatal(genErr)
+			}
+			if !bytes.Equal(dispatched, generic) {
+				t.Fatalf("%s: %s-kernel stream (%d bytes) differs from generic-kernel stream (%d bytes): kernel implementations must be bit-identical",
+					name, kernels.Active(), len(dispatched), len(generic))
 			}
 		})
 	}

@@ -83,6 +83,11 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 
 // writeBits is the staging fast path for width ≤ 56: one shift-or into the
 // accumulator, then a single multi-byte flush of every completed byte.
+// The flush stores a full 8-byte word and truncates the length back to
+// the 1–7 bytes actually completed — when capacity allows — so the hot
+// path is one branch and one store, with no memmove/growslice call per
+// flush; the bytes emitted are identical to the append path it falls
+// back to near the end of the buffer.
 func (w *Writer) writeBits(v uint64, width uint) {
 	w.cur = w.cur<<width | (v & (1<<width - 1))
 	w.n += width
@@ -90,9 +95,16 @@ func (w *Writer) writeBits(v uint64, width uint) {
 	if w.n >= 8 {
 		k := w.n >> 3 // 1..7 whole bytes ready
 		w.n &= 7
-		var tmp [8]byte
-		binary.BigEndian.PutUint64(tmp[:], w.cur>>w.n<<(64-8*k))
-		w.buf = append(w.buf, tmp[:k]...)
+		word := w.cur >> w.n << (64 - 8*k)
+		if n := len(w.buf); cap(w.buf)-n >= 8 {
+			w.buf = w.buf[: n+8 : cap(w.buf)]
+			binary.BigEndian.PutUint64(w.buf[n:], word)
+			w.buf = w.buf[:n+int(k)]
+		} else {
+			var tmp [8]byte
+			binary.BigEndian.PutUint64(tmp[:], word)
+			w.buf = append(w.buf, tmp[:k]...)
+		}
 		w.cur &= 1<<w.n - 1
 	}
 }

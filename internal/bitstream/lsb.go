@@ -47,9 +47,19 @@ func (w *LSBWriter) WriteBits(v uint64, width uint) {
 	w.n += width
 	if w.n >= 8 {
 		k := w.n >> 3 // 1..7 whole bytes ready
-		var tmp [8]byte
-		binary.LittleEndian.PutUint64(tmp[:], w.cur)
-		w.buf = append(w.buf, tmp[:k]...)
+		// Store a full 8-byte word and truncate to the completed bytes
+		// when capacity allows: one branch and one store per flush,
+		// no memmove/growslice call. Identical bytes to the append
+		// fallback taken near the end of the buffer.
+		if n := len(w.buf); cap(w.buf)-n >= 8 {
+			w.buf = w.buf[: n+8 : cap(w.buf)]
+			binary.LittleEndian.PutUint64(w.buf[n:], w.cur)
+			w.buf = w.buf[:n+int(k)]
+		} else {
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], w.cur)
+			w.buf = append(w.buf, tmp[:k]...)
+		}
 		w.cur >>= k * 8
 		w.n &= 7
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fixedpsnr/internal/kernels"
 	"fixedpsnr/internal/parallel"
 )
 
@@ -93,69 +94,11 @@ func PlanChunkSpans(c Codec, dims []int, opt Options) [][2]int {
 
 // ValueBounds scans a chunk's min and max, skipping NaNs (NaN/NaN when
 // every value is NaN) — the per-chunk value range recorded in the chunk
-// table. Like field.ValueRange it runs unrolled accumulator chains and
+// table. The scan is the runtime-dispatched kernels.MinMax, which
 // relies on NaN comparisons being false instead of testing for NaN.
 func ValueBounds(data []float64) (min, max float64) {
-	min, max = math.Inf(1), math.Inf(-1)
-	min1, max1 := min, max
-	min2, max2 := min, max
-	min3, max3 := min, max
-	i := 0
-	for ; i+4 <= len(data); i += 4 {
-		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
-		if v0 < min {
-			min = v0
-		}
-		if v0 > max {
-			max = v0
-		}
-		if v1 < min1 {
-			min1 = v1
-		}
-		if v1 > max1 {
-			max1 = v1
-		}
-		if v2 < min2 {
-			min2 = v2
-		}
-		if v2 > max2 {
-			max2 = v2
-		}
-		if v3 < min3 {
-			min3 = v3
-		}
-		if v3 > max3 {
-			max3 = v3
-		}
-	}
-	for ; i < len(data); i++ {
-		v := data[i]
-		if v < min {
-			min = v
-		}
-		if v > max {
-			max = v
-		}
-	}
-	if min1 < min {
-		min = min1
-	}
-	if min2 < min {
-		min = min2
-	}
-	if min3 < min {
-		min = min3
-	}
-	if max1 > max {
-		max = max1
-	}
-	if max2 > max {
-		max = max2
-	}
-	if max3 > max {
-		max = max3
-	}
-	if min > max {
+	min, max = kernels.MinMax(data)
+	if min > max { // all NaN or empty
 		return math.NaN(), math.NaN()
 	}
 	return min, max

@@ -25,7 +25,7 @@ import (
 // allocation and puts become no-ops, which is exactly the behavior of the
 // one-shot (non-session) API.
 type Scratch struct {
-	ints     sync.Pool // *[]int
+	int32s   sync.Pool // *[]int32
 	floats   sync.Pool // *[]float64
 	bytes    sync.Pool // *[]byte
 	bufs     sync.Pool // *bytes.Buffer
@@ -34,6 +34,9 @@ type Scratch struct {
 	huffDecs sync.Pool // *huffman.DecodeScratch
 	flateRs  sync.Pool // io.ReadCloser + flate.Resetter
 	deflates sync.Pool // *deflate.Encoder
+
+	mu     sync.Mutex // guards shards
+	shards []*Scratch // per-worker children, created lazily by Shard
 }
 
 // pooledFlate remembers the level a pooled DEFLATE writer was created
@@ -46,24 +49,48 @@ type pooledFlate struct {
 // NewScratch returns an empty scratch pool set.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// Ints returns an int slice of length n. Contents are unspecified; the
-// caller must fully overwrite it.
-func (s *Scratch) Ints(n int) []int {
+// Shard returns the per-worker child scratch for worker slot w,
+// creating it on first use. Shards live as long as their parent, so a
+// session's buffers stay warm across encodes, but each shard is only
+// ever handed to one worker slot of a parallel section at a time —
+// buffers recycled by a worker are reused by the same worker, never
+// migrated through a pool another core is hammering. Negative w (or a
+// nil receiver) returns the receiver itself, preserving the nil-safe
+// one-shot behavior.
+func (s *Scratch) Shard(w int) *Scratch {
+	if s == nil || w < 0 {
+		return s
+	}
+	s.mu.Lock()
+	for len(s.shards) <= w {
+		s.shards = append(s.shards, &Scratch{})
+	}
+	sh := s.shards[w]
+	s.mu.Unlock()
+	return sh
+}
+
+// Int32s returns an int32 slice of length n — the element type of the
+// quantization-code buffers, which at tens of millions of points per
+// field halves the memory traffic of every pass over the codes compared
+// to a machine-word slice. Contents are unspecified; the caller must
+// fully overwrite it.
+func (s *Scratch) Int32s(n int) []int32 {
 	if s != nil {
-		if v, ok := s.ints.Get().(*[]int); ok && cap(*v) >= n {
+		if v, ok := s.int32s.Get().(*[]int32); ok && cap(*v) >= n {
 			return (*v)[:n]
 		}
 	}
-	return make([]int, n)
+	return make([]int32, n)
 }
 
-// PutInts returns a slice obtained from Ints to the pool.
-func (s *Scratch) PutInts(p []int) {
+// PutInt32s returns a slice obtained from Int32s to the pool.
+func (s *Scratch) PutInt32s(p []int32) {
 	if s == nil || cap(p) == 0 {
 		return
 	}
 	p = p[:0]
-	s.ints.Put(&p)
+	s.int32s.Put(&p)
 }
 
 // Floats returns a float64 slice of length n. Contents are unspecified;

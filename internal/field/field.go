@@ -11,7 +11,8 @@ package field
 
 import (
 	"fmt"
-	"math"
+
+	"fixedpsnr/internal/kernels"
 )
 
 // Precision identifies the storage precision of a field's values.
@@ -148,70 +149,11 @@ func (f *Field) Set3(i, j, k int, v float64) {
 // (vr = max − min) over the field's data. A constant field has range 0.
 // NaNs are skipped; if every value is NaN the range is (0, 0, 0).
 //
-// The scan runs four independent accumulator chains so the comparisons
-// pipeline instead of serializing on one min/max pair; NaNs need no
+// The scan is the runtime-dispatched kernels.MinMax — AVX2 on capable
+// amd64 hosts, a four-lane unrolled loop elsewhere; NaNs need no
 // explicit test because every comparison against them is false.
 func (f *Field) ValueRange() (min, max, vr float64) {
-	data := f.Data
-	min, max = math.Inf(1), math.Inf(-1)
-	min1, max1 := min, max
-	min2, max2 := min, max
-	min3, max3 := min, max
-	i := 0
-	for ; i+4 <= len(data); i += 4 {
-		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
-		if v0 < min {
-			min = v0
-		}
-		if v0 > max {
-			max = v0
-		}
-		if v1 < min1 {
-			min1 = v1
-		}
-		if v1 > max1 {
-			max1 = v1
-		}
-		if v2 < min2 {
-			min2 = v2
-		}
-		if v2 > max2 {
-			max2 = v2
-		}
-		if v3 < min3 {
-			min3 = v3
-		}
-		if v3 > max3 {
-			max3 = v3
-		}
-	}
-	for ; i < len(data); i++ {
-		v := data[i]
-		if v < min {
-			min = v
-		}
-		if v > max {
-			max = v
-		}
-	}
-	if min1 < min {
-		min = min1
-	}
-	if min2 < min {
-		min = min2
-	}
-	if min3 < min {
-		min = min3
-	}
-	if max1 > max {
-		max = max1
-	}
-	if max2 > max {
-		max = max2
-	}
-	if max3 > max {
-		max = max3
-	}
+	min, max = kernels.MinMax(f.Data)
 	if min > max { // all NaN or empty
 		return 0, 0, 0
 	}

@@ -9,12 +9,12 @@ import (
 // Huffman tree degenerates to a chain: the canonical code has lengths
 // 1..depth. depth = tableBits exercises the last all-table code length;
 // depth = tableBits+1 forces the canonical-walk fallback.
-func skewedStream(tb testing.TB, depth int) ([]int, []byte) {
-	var syms []int
+func skewedStream(tb testing.TB, depth int) ([]int32, []byte) {
+	var syms []int32
 	a, b := 1, 1
 	for s := 0; s <= depth; s++ {
 		for j := 0; j < a; j++ {
-			syms = append(syms, s)
+			syms = append(syms, int32(s))
 		}
 		a, b = b, a+b
 	}
@@ -56,8 +56,8 @@ func TestSkewedDepthReachesFallback(t *testing.T) {
 // reuse of one scratch across differently-shaped streams.
 func TestDecodeIntoMatchesDecode(t *testing.T) {
 	ds := NewDecodeScratch()
-	var dst []int
-	corpora := [][]int{
+	var dst []int32
+	corpora := [][]int32{
 		{},
 		{7},
 		{5, 5, 5, 5, 5},
@@ -117,11 +117,11 @@ func TestDecodeIntoNoAllocs(t *testing.T) {
 // tableBits and tableBits+1 — the lookup-table/fallback boundary.
 func FuzzDecodeScratchDifferential(f *testing.F) {
 	for depth := tableBits - 1; depth <= tableBits+1; depth++ {
-		var syms []int
+		var syms []int32
 		a, b := 1, 1
 		for s := 0; s <= depth; s++ {
 			for j := 0; j < a; j++ {
-				syms = append(syms, s)
+				syms = append(syms, int32(s))
 			}
 			a, b = b, a+b
 		}
@@ -135,7 +135,7 @@ func FuzzDecodeScratchDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{5, 0})
 	ds := NewDecodeScratch()
-	var dst []int
+	var dst []int32
 	f.Fuzz(func(t *testing.T, data []byte) {
 		want, wantN, wantErr := Decode(data)
 		got, gotN, gotErr := DecodeInto(dst, data, ds)
@@ -160,7 +160,7 @@ func BenchmarkDecodeScratch(b *testing.B) {
 		b.Fatal(err)
 	}
 	ds := NewDecodeScratch()
-	dst := make([]int, 0, len(syms))
+	dst := make([]int32, 0, len(syms))
 	b.SetBytes(int64(len(syms)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

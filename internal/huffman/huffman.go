@@ -4,8 +4,9 @@
 // compact table (code lengths only) followed by the packed bit stream, and
 // the decoder reconstructs the canonical code from the lengths.
 //
-// Symbols are non-negative ints smaller than the alphabet size passed to
-// Encode. Typical alphabets are the 2n quantization codes of the SZ
+// Symbols are non-negative int32s — the quantization-code element type,
+// which halves the memory traffic of the counting and emit passes over
+// multi-megapoint symbol slices compared to machine-word ints. Typical alphabets are the 2n quantization codes of the SZ
 // quantizer (tens of thousands of possible symbols of which a few hundred
 // occur).
 package huffman
@@ -17,6 +18,7 @@ import (
 	"sort"
 
 	"fixedpsnr/internal/bitstream"
+	"fixedpsnr/internal/kernels"
 )
 
 // maxCodeLen bounds canonical code lengths. A Huffman tree over n symbols
@@ -200,9 +202,9 @@ const tableBits = 11
 // back to fresh allocation. Not safe for concurrent use; pool instances
 // and hand one to each in-flight decode.
 type DecodeScratch struct {
-	syms []int   // symbols in canonical order (by length, then symbol)
+	syms []int32 // symbols in canonical order (by length, then symbol)
 	lens []uint8 // parallel code lengths
-	dup  []int   // duplicate-detection scratch
+	dup  []int32 // duplicate-detection scratch
 
 	table     [1 << tableBits]uint16 // peek pattern → idx<<4 | len; 0 = fallback
 	firstCode [maxCodeLen + 2]uint64
@@ -216,23 +218,23 @@ type DecodeScratch struct {
 func NewDecodeScratch() *DecodeScratch { return &DecodeScratch{} }
 
 // symsBuf returns empty canonical symbol/length slices with capacity hint n.
-func (ds *DecodeScratch) symsBuf(n int) ([]int, []uint8) {
+func (ds *DecodeScratch) symsBuf(n int) ([]int32, []uint8) {
 	if ds == nil || cap(ds.syms) < n || cap(ds.lens) < n {
-		return make([]int, 0, n), make([]uint8, 0, n)
+		return make([]int32, 0, n), make([]uint8, 0, n)
 	}
 	return ds.syms[:0], ds.lens[:0]
 }
 
 // dupBuf returns an empty duplicate-check slice with capacity hint n.
-func (ds *DecodeScratch) dupBuf(n int) []int {
+func (ds *DecodeScratch) dupBuf(n int) []int32 {
 	if ds == nil || cap(ds.dup) < n {
-		return make([]int, 0, n)
+		return make([]int32, 0, n)
 	}
 	return ds.dup[:0]
 }
 
 // keep stores grown slices back so they survive to the next decode.
-func (ds *DecodeScratch) keep(syms []int, lens []uint8, dup []int) {
+func (ds *DecodeScratch) keep(syms []int32, lens []uint8, dup []int32) {
 	if ds == nil {
 		return
 	}
@@ -243,7 +245,7 @@ func (ds *DecodeScratch) keep(syms []int, lens []uint8, dup []int) {
 // symbol) — the canonical code order. Only corrupt or foreign streams
 // need it: this package's encoder already emits the table sorted.
 type canonicalSorter struct {
-	syms []int
+	syms []int32
 	lens []uint8
 }
 
@@ -262,12 +264,12 @@ func (c *canonicalSorter) Swap(i, j int) {
 // Encode Huffman-encodes syms and returns a self-describing byte stream:
 // the canonical table followed by the packed code words. The alphabet is
 // implicit in the symbols themselves; symbols must be non-negative.
-func Encode(syms []int) ([]byte, error) { return EncodeScratch(nil, syms, nil) }
+func Encode(syms []int32) ([]byte, error) { return EncodeScratch(nil, syms, nil) }
 
 // EncodeTo appends the encoded stream Encode would produce to dst and
 // returns the extended slice, so callers staging a larger container can
 // reuse one append buffer instead of copying a freshly allocated block.
-func EncodeTo(dst []byte, syms []int) ([]byte, error) { return EncodeScratch(dst, syms, nil) }
+func EncodeTo(dst []byte, syms []int32) ([]byte, error) { return EncodeScratch(dst, syms, nil) }
 
 // EncodeScratch is EncodeTo drawing every construction table — the dense
 // frequency counts, the arena-allocated Huffman tree, the heap, and the
@@ -275,8 +277,8 @@ func EncodeTo(dst []byte, syms []int) ([]byte, error) { return EncodeScratch(dst
 // compression, in a long-lived session) stop rebuilding them from the
 // heap. A nil sc allocates fresh. The encoded bytes are identical
 // whatever sc is.
-func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
-	maxSym := 0
+func EncodeScratch(dst []byte, syms []int32, sc *Scratch) ([]byte, error) {
+	maxSym := int32(0)
 	for _, s := range syms {
 		if s < 0 {
 			return nil, fmt.Errorf("huffman: negative symbol %d", s)
@@ -285,7 +287,7 @@ func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
 			maxSym = s
 		}
 	}
-	return encodeBounded(dst, syms, maxSym, sc)
+	return encodeBounded(dst, syms, int(maxSym), sc)
 }
 
 // EncodeScratchMax is EncodeScratch for callers that already know an
@@ -297,30 +299,27 @@ func EncodeScratch(dst []byte, syms []int, sc *Scratch) ([]byte, error) {
 // bytes are identical to EncodeScratch — the emitted table covers only
 // symbols that actually occur, so an over-estimated bound costs a
 // little scratch memory, not stream bytes.
-func EncodeScratchMax(dst []byte, syms []int, maxSym int, sc *Scratch) ([]byte, error) {
+func EncodeScratchMax(dst []byte, syms []int32, maxSym int, sc *Scratch) ([]byte, error) {
 	return encodeBounded(dst, syms, maxSym, sc)
 }
 
-func encodeBounded(dst []byte, syms []int, maxSym int, sc *Scratch) ([]byte, error) {
-	// Count into two interleaved lanes: runs of one dominant symbol (the
-	// common case for quantization codes) otherwise serialize on
-	// store-to-load forwarding of a single counter. The merge pass also
+func encodeBounded(dst []byte, syms []int32, maxSym int, sc *Scratch) ([]byte, error) {
+	// Count into four interleaved lanes (kernels.CountLanes4): runs of
+	// one dominant symbol (the common case for quantization codes)
+	// otherwise serialize on store-to-load forwarding of a single
+	// counter. Only the summed totals matter, so the lane count is free
+	// to change without touching the stream. The merge pass also
 	// rebuilds the present list, replacing the per-symbol branch.
 	m := maxSym + 1
-	lanes := sc.freqBuf(2 * m)
-	lane0, lane1 := lanes[:m], lanes[m:]
+	lanes := sc.freqBuf(4 * m)
+	lane0, lane1 := lanes[:m], lanes[m:2*m]
+	lane2, lane3 := lanes[2*m:3*m], lanes[3*m:]
+	kernels.CountLanes4(lane0, lane1, lane2, lane3, syms)
 	i := 0
-	for ; i+2 <= len(syms); i += 2 {
-		lane0[syms[i]]++
-		lane1[syms[i+1]]++
-	}
-	if i < len(syms) {
-		lane0[syms[i]]++
-	}
 	freq := lane0
 	present := sc.presentBuf(256)
 	for s, f := range lane0 {
-		f += lane1[s]
+		f += lane1[s] + lane2[s] + lane3[s]
 		if f != 0 {
 			freq[s] = f
 			present = append(present, int32(s))
@@ -440,7 +439,7 @@ func encodeBounded(dst []byte, syms []int, maxSym int, sc *Scratch) ([]byte, err
 // Decode reverses Encode. It returns the decoded symbols and the number of
 // bytes consumed from buf, allowing the caller to embed the Huffman block
 // inside a larger stream.
-func Decode(buf []byte) (syms []int, consumed int, err error) {
+func Decode(buf []byte) (syms []int32, consumed int, err error) {
 	return DecodeInto(nil, buf, nil)
 }
 
@@ -451,7 +450,7 @@ func Decode(buf []byte) (syms []int, consumed int, err error) {
 // long-lived session) stop rebuilding them from the heap. Nil dst and/or
 // ds allocate fresh. The decoded symbols are identical whatever dst and
 // ds are.
-func DecodeInto(dst []int, buf []byte, ds *DecodeScratch) (syms []int, consumed int, err error) {
+func DecodeInto(dst []int32, buf []byte, ds *DecodeScratch) (syms []int32, consumed int, err error) {
 	rd := buf
 	n, k := binary.Uvarint(rd)
 	if k <= 0 {
@@ -493,11 +492,15 @@ func DecodeInto(dst []int, buf []byte, ds *DecodeScratch) (syms []int, consumed 
 			ds.keep(csyms, clens, ds.dupBuf(0))
 			return nil, 0, fmt.Errorf("huffman: invalid code length %d", l)
 		}
+		if s > 1<<31-1 {
+			ds.keep(csyms, clens, ds.dupBuf(0))
+			return nil, 0, fmt.Errorf("huffman: symbol %d out of range", s)
+		}
 		if uint8(l) < prevLen || (uint8(l) == prevLen && int(s) <= prevSym) {
 			sorted = false
 		}
 		prevLen, prevSym = uint8(l), int(s)
-		csyms = append(csyms, int(s))
+		csyms = append(csyms, int32(s))
 		clens = append(clens, uint8(l))
 	}
 	// This package's encoder emits the table in canonical (length, symbol)
@@ -536,7 +539,7 @@ func DecodeInto(dst []int, buf []byte, ds *DecodeScratch) (syms []int, consumed 
 		if dst != nil {
 			return dst[:0], consumed, nil
 		}
-		return []int{}, consumed, nil
+		return []int32{}, consumed, nil
 	}
 	if nsym == 0 {
 		return nil, 0, fmt.Errorf("huffman: %d symbols declared but table is empty", n)
@@ -601,7 +604,7 @@ func DecodeInto(dst []int, buf []byte, ds *DecodeScratch) (syms []int, consumed 
 	r := &ds.r
 	r.Reset(body)
 	if uint64(cap(dst)) < n {
-		dst = make([]int, n)
+		dst = make([]int32, n)
 	}
 	out := dst[:n]
 	// The hot loop refills the reader's 64-bit window once per symbol at

@@ -7,10 +7,10 @@ import (
 
 // quantCodes builds a realistic SZ code stream: Laplacian-ish codes around
 // the interval radius with occasional unpredictable markers.
-func quantCodes(n int, seed int64) []int {
+func quantCodes(n int, seed int64) []int32 {
 	rng := rand.New(rand.NewSource(seed))
 	radius := 32768
-	syms := make([]int, n)
+	syms := make([]int32, n)
 	for i := range syms {
 		mag := int(rng.ExpFloat64() * 2)
 		if rng.Intn(2) == 0 {
@@ -26,7 +26,7 @@ func quantCodes(n int, seed int64) []int {
 		if rng.Intn(1000) == 0 {
 			c = 0
 		}
-		syms[i] = c
+		syms[i] = int32(c)
 	}
 	return syms
 }

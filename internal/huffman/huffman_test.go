@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 )
 
-func roundTrip(t *testing.T, syms []int) {
+func roundTrip(t *testing.T, syms []int32) {
 	t.Helper()
 	enc, err := Encode(syms)
 	if err != nil {
@@ -25,18 +25,18 @@ func roundTrip(t *testing.T, syms []int) {
 	}
 }
 
-func TestRoundTripEmpty(t *testing.T)        { roundTrip(t, []int{}) }
-func TestRoundTripSingle(t *testing.T)       { roundTrip(t, []int{7}) }
-func TestRoundTripOneSymbol(t *testing.T)    { roundTrip(t, []int{5, 5, 5, 5, 5}) }
-func TestRoundTripTwoSymbols(t *testing.T)   { roundTrip(t, []int{1, 2, 1, 2, 2, 2, 1}) }
-func TestRoundTripWideAlphabet(t *testing.T) { roundTrip(t, []int{0, 65535, 32768, 1, 65535, 0}) }
+func TestRoundTripEmpty(t *testing.T)        { roundTrip(t, []int32{}) }
+func TestRoundTripSingle(t *testing.T)       { roundTrip(t, []int32{7}) }
+func TestRoundTripOneSymbol(t *testing.T)    { roundTrip(t, []int32{5, 5, 5, 5, 5}) }
+func TestRoundTripTwoSymbols(t *testing.T)   { roundTrip(t, []int32{1, 2, 1, 2, 2, 2, 1}) }
+func TestRoundTripWideAlphabet(t *testing.T) { roundTrip(t, []int32{0, 65535, 32768, 1, 65535, 0}) }
 
 func TestRoundTripSkewed(t *testing.T) {
 	// Highly skewed frequencies exercise deep codes.
-	var syms []int
+	var syms []int32
 	for i := 0; i < 12; i++ {
 		for j := 0; j < 1<<i; j++ {
-			syms = append(syms, i)
+			syms = append(syms, int32(i))
 		}
 	}
 	roundTrip(t, syms)
@@ -46,7 +46,7 @@ func TestRoundTripRandomQuantCodes(t *testing.T) {
 	// Mimic SZ quantization codes: Laplacian-ish around a radius.
 	rng := rand.New(rand.NewSource(7))
 	radius := 32768
-	syms := make([]int, 50000)
+	syms := make([]int32, 50000)
 	for i := range syms {
 		mag := int(rng.ExpFloat64() * 3)
 		if rng.Intn(2) == 0 {
@@ -62,19 +62,19 @@ func TestRoundTripRandomQuantCodes(t *testing.T) {
 		if rng.Intn(500) == 0 {
 			c = 0 // unpredictable marker
 		}
-		syms[i] = c
+		syms[i] = int32(c)
 	}
 	roundTrip(t, syms)
 }
 
 func TestEncodeRejectsNegative(t *testing.T) {
-	if _, err := Encode([]int{1, -2}); err == nil {
+	if _, err := Encode([]int32{1, -2}); err == nil {
 		t.Fatal("expected error for negative symbol")
 	}
 }
 
 func TestDecodeRejectsTruncated(t *testing.T) {
-	enc, err := Encode([]int{1, 2, 3, 1, 2, 3, 3, 3})
+	enc, err := Encode([]int32{1, 2, 3, 1, 2, 3, 3, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 			// if counts allow; a fully valid decode of a strict prefix
 			// that consumed everything would be a bug.
 			dec, consumed, _ := Decode(enc[:cut])
-			if consumed == cut && reflect.DeepEqual(dec, []int{1, 2, 3, 1, 2, 3, 3, 3}) {
+			if consumed == cut && reflect.DeepEqual(dec, []int32{1, 2, 3, 1, 2, 3, 3, 3}) {
 				t.Fatalf("truncated stream (cut=%d) decoded to the full input", cut)
 			}
 		}
@@ -101,7 +101,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 func TestDecodeTrailingBytesIgnored(t *testing.T) {
-	syms := []int{4, 4, 2, 9}
+	syms := []int32{4, 4, 2, 9}
 	enc, err := Encode(syms)
 	if err != nil {
 		t.Fatal(err)
@@ -123,9 +123,9 @@ func TestCompressionBeatsFixedWidth(t *testing.T) {
 	// 64k symbols drawn from a peaked distribution should code well
 	// under 16 bits each.
 	rng := rand.New(rand.NewSource(3))
-	syms := make([]int, 65536)
+	syms := make([]int32, 65536)
 	for i := range syms {
-		syms[i] = 32768 + int(rng.NormFloat64()*2)
+		syms[i] = int32(32768 + int(rng.NormFloat64()*2))
 	}
 	enc, err := Encode(syms)
 	if err != nil {
@@ -139,9 +139,9 @@ func TestCompressionBeatsFixedWidth(t *testing.T) {
 // Property: arbitrary non-negative symbol streams round-trip.
 func TestRoundTripProperty(t *testing.T) {
 	if err := quick.Check(func(raw []uint16) bool {
-		syms := make([]int, len(raw))
+		syms := make([]int32, len(raw))
 		for i, v := range raw {
-			syms[i] = int(v)
+			syms[i] = int32(v)
 		}
 		enc, err := Encode(syms)
 		if err != nil {

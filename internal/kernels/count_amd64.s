@@ -1,0 +1,80 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func countLanes4Asm(l0, l1, l2, l3 []int64, syms []int32)
+//
+// The four-lane frequency count with the per-symbol bounds checks kept:
+// an out-of-range symbol routes to countLanes4OOB (which panics)
+// instead of writing outside the lane slices, matching the generic
+// implementation's contract. Four lanes put the increments to any one
+// counter at least four iterations apart, which is what beats the
+// store-to-load forwarding latency on runs of one dominant symbol —
+// the common shape for quantization codes. Counter increments are
+// commutative, so the order of checks and increments within an
+// iteration does not change the lane contents. Not NOSPLIT: the panic
+// path CALLs into Go.
+TEXT ·countLanes4Asm(SB), $0-120
+	MOVQ l0_base+0(FP), R8
+	MOVQ l0_len+8(FP), DI
+	MOVQ l1_base+24(FP), R9
+	MOVQ l1_len+32(FP), R12
+	MOVQ l2_base+48(FP), R10
+	MOVQ l2_len+56(FP), R13
+	MOVQ l3_base+72(FP), R11
+	MOVQ l3_len+80(FP), R15
+	MOVQ syms_base+96(FP), SI
+	MOVQ syms_len+104(FP), DX
+
+	MOVQ DX, CX
+	SHRQ $2, CX
+	JZ   tail
+
+loop:
+	MOVLQSX (SI), AX
+	MOVLQSX 4(SI), BX
+	CMPQ    AX, DI
+	JAE     oob
+	CMPQ    BX, R12
+	JAE     oob
+	INCQ    (R8)(AX*8)
+	INCQ    (R9)(BX*8)
+	MOVLQSX 8(SI), AX
+	MOVLQSX 12(SI), BX
+	CMPQ    AX, R13
+	JAE     oob
+	CMPQ    BX, R15
+	JAE     oob
+	INCQ    (R10)(AX*8)
+	INCQ    (R11)(BX*8)
+	ADDQ    $16, SI
+	DECQ    CX
+	JNZ     loop
+
+tail:
+	// The final n mod 4 symbols go to lanes 0.. in order.
+	ANDQ    $3, DX
+	JZ      done
+	MOVLQSX (SI), AX
+	CMPQ    AX, DI
+	JAE     oob
+	INCQ    (R8)(AX*8)
+	DECQ    DX
+	JZ      done
+	MOVLQSX 4(SI), AX
+	CMPQ    AX, R12
+	JAE     oob
+	INCQ    (R9)(AX*8)
+	DECQ    DX
+	JZ      done
+	MOVLQSX 8(SI), AX
+	CMPQ    AX, R13
+	JAE     oob
+	INCQ    (R10)(AX*8)
+
+done:
+	RET
+
+oob:
+	CALL ·countLanes4OOB(SB)
+	RET

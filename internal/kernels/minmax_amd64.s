@@ -1,0 +1,103 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func minMaxAVX2(data []float64) (min, max float64)
+//
+// Vector form of minMaxGeneric: four YMM accumulator pairs hold the
+// sixteen lanes (lane = i mod 16), giving eight independent
+// VMINPD/VMAXPD dependency chains so the scan is memory-bound rather
+// than bound on one chain's 4-cycle latency. The accumulator sits in
+// the NaN/tie-keeping source position, reproducing the generic
+// `if v < min` comparisons exactly; the scalar tail folds into lane 0
+// and lanes 1–15 merge in the generic's ascending order. The lane
+// count and merge order are part of the kernel spec (they pick the
+// winner among equal ±0 extrema) — change them only together with
+// minMaxGeneric.
+//
+// Frame: 0..127 spilled mins (lane l at 8l), 128..255 spilled maxs.
+TEXT ·minMaxAVX2(SB), NOSPLIT, $256-40
+	MOVQ data_base+0(FP), SI
+	MOVQ data_len+8(FP), CX
+
+	// Seed all lanes with +Inf / -Inf.
+	MOVQ         $0x7FF0000000000000, AX
+	MOVQ         AX, X0
+	VBROADCASTSD X0, Y0
+	VMOVAPD      Y0, Y1
+	VMOVAPD      Y0, Y2
+	VMOVAPD      Y0, Y3
+	MOVQ         $0xFFF0000000000000, AX
+	MOVQ         AX, X4
+	VBROADCASTSD X4, Y4
+	VMOVAPD      Y4, Y5
+	VMOVAPD      Y4, Y6
+	VMOVAPD      Y4, Y7
+
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+vloop:
+	CMPQ    BX, DX
+	JGE     vdone
+	VMOVUPD (SI)(BX*8), Y8
+	VMOVUPD 32(SI)(BX*8), Y9
+	VMOVUPD 64(SI)(BX*8), Y10
+	VMOVUPD 96(SI)(BX*8), Y11
+	VMINPD  Y0, Y8, Y0
+	VMAXPD  Y4, Y8, Y4
+	VMINPD  Y1, Y9, Y1
+	VMAXPD  Y5, Y9, Y5
+	VMINPD  Y2, Y10, Y2
+	VMAXPD  Y6, Y10, Y6
+	VMINPD  Y3, Y11, Y3
+	VMAXPD  Y7, Y11, Y7
+	ADDQ    $16, BX
+	JMP     vloop
+
+vdone:
+	VMOVUPD    Y0, 0(SP)
+	VMOVUPD    Y1, 32(SP)
+	VMOVUPD    Y2, 64(SP)
+	VMOVUPD    Y3, 96(SP)
+	VMOVUPD    Y4, 128(SP)
+	VMOVUPD    Y5, 160(SP)
+	VMOVUPD    Y6, 192(SP)
+	VMOVUPD    Y7, 224(SP)
+	VZEROUPPER
+	VMOVSD     0(SP), X0   // min lane 0
+	VMOVSD     128(SP), X1 // max lane 0
+
+tail:
+	CMPQ   BX, CX
+	JGE    merge
+	VMOVSD (SI)(BX*8), X2
+	VMINSD X0, X2, X0
+	VMAXSD X1, X2, X1
+	INCQ   BX
+	JMP    tail
+
+merge:
+	// Lanes 1..15, mins then maxes, in minMaxGeneric's merge order.
+	MOVQ SP, DI
+	MOVQ $1, BX
+
+minmerge:
+	VMOVSD (DI)(BX*8), X2
+	VMINSD X0, X2, X0
+	INCQ   BX
+	CMPQ   BX, $16
+	JLT    minmerge
+	MOVQ   $1, BX
+
+maxmerge:
+	VMOVSD 128(DI)(BX*8), X2
+	VMAXSD X1, X2, X1
+	INCQ   BX
+	CMPQ   BX, $16
+	JLT    maxmerge
+
+	VMOVSD X0, min+24(FP)
+	VMOVSD X1, max+32(FP)
+	RET

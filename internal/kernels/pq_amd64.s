@@ -1,0 +1,683 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Round-to-nearest magic (3<<51, must equal quantizer.RoundMagic) and a
+// 128-bit sign-flip mask for negating eb/radiusF in the prologues.
+DATA magic<>+0(SB)/8, $0x4338000000000000
+GLOBL magic<>(SB), RODATA, $8
+
+DATA sign128<>+0(SB)/8, $0x8000000000000000
+DATA sign128<>+8(SB)/8, $0x0000000000000000
+GLOBL sign128<>(SB), RODATA, $16
+
+// Struct offsets (asserted by TestAsmStructOffsets):
+//   Quant: InvDelta+0  Delta+8  EB+16  RadiusF+24  Radius+32
+//   PQRow: Data+0 Recon+24 Codes+48 Up+72 Pl+96 Pu+120
+//          Lits ptr+144 len+152  SumSq+168
+
+// func pqRowAsm(q *Quant, a *PQRow)
+//
+// Register-for-register transcription of pqRowGeneric. The accept test
+// is evaluated as four UCOMISD branches arranged so every NaN path
+// lands on the literal branch, exactly the generic comparisons'
+// outcome; ssum accumulates via separate VMULSD+VADDSD (no FMA), and
+// the prediction update chains strictly left to right.
+TEXT ·pqRowAsm(SB), NOSPLIT, $0-16
+	MOVQ   q+0(FP), AX
+	VMOVSD 0(AX), X0            // invDelta
+	VMOVSD 8(AX), X1            // delta
+	VMOVSD 16(AX), X2           // eb
+	VMOVSD 24(AX), X4           // radiusF
+	MOVQ   32(AX), DX           // radius
+	VXORPD sign128<>(SB), X2, X3 // -eb
+	VXORPD sign128<>(SB), X4, X5 // -radiusF
+
+	MOVQ   a+8(FP), DI
+	MOVQ   0(DI), SI   // Data
+	MOVQ   8(DI), CX   // n
+	MOVQ   24(DI), R8  // Recon
+	MOVQ   48(DI), R9  // Codes
+	MOVQ   72(DI), R10 // Up
+	MOVQ   96(DI), R11 // Pl
+	MOVQ   120(DI), R12 // Pu
+	MOVQ   144(DI), R13 // Lits base
+	MOVQ   152(DI), R15 // Lits len
+	VMOVSD 168(DI), X8  // ssum
+
+	TESTQ CX, CX
+	JZ    done
+
+	// pred = pl[0] + up[0] - pu[0]
+	VMOVSD (R11), X9
+	VADDSD (R10), X9, X9
+	VSUBSD (R12), X9, X9
+	XORQ   BX, BX
+
+loop:
+	VMOVSD (SI)(BX*8), X10 // v
+	VSUBSD X9, X10, X11    // diff = v - pred
+
+	VMOVAPD     X11, X12
+	VFMADD213SD magic<>(SB), X0, X12
+	VSUBSD      magic<>(SB), X12, X12 // idx
+	VMULSD      X1, X12, X13          // rec = idx*delta
+	VSUBSD      X13, X11, X14         // e = diff - rec
+
+	UCOMISD X12, X4 // radiusF cmp idx: stay iff idx < radiusF, ordered
+	JLS     lit
+	UCOMISD X5, X12 // idx cmp -radiusF: stay iff idx > -radiusF, ordered
+	JLS     lit
+	UCOMISD X14, X2 // eb cmp e: stay iff e <= eb, ordered
+	JCS     lit
+	UCOMISD X3, X14 // e cmp -eb: stay iff e >= -eb, ordered
+	JCS     lit
+
+	CVTTSD2SQ X12, AX
+	ADDQ      DX, AX
+	MOVL      AX, (R9)(BX*4)  // codes[k] = int32(int(idx) + radius)
+	VADDSD    X13, X9, X10    // ra = pred + rec
+	VMOVSD    X10, (R8)(BX*8)
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X8, X8     // ssum += e*e
+	JMP       next
+
+lit:
+	VMOVSD X10, (R13)(R15*8) // lits = append(lits, v)
+	INCQ   R15
+	MOVL   $0, (R9)(BX*4)
+	VMOVSD X10, (R8)(BX*8)   // recon[k] = v; X10 stays ra
+
+next:
+	INCQ BX
+	CMPQ BX, CX
+	JGE  done
+
+	// pred = pl[k+1] + up[k+1] + ra - pu[k+1] - pl[k] - up[k] + pu[k]
+	// (BX is k+1 here; -8 displacements reach the k column)
+	VMOVSD (R11)(BX*8), X9
+	VADDSD (R10)(BX*8), X9, X9
+	VADDSD X10, X9, X9
+	VSUBSD (R12)(BX*8), X9, X9
+	VSUBSD -8(R11)(BX*8), X9, X9
+	VSUBSD -8(R10)(BX*8), X9, X9
+	VADDSD -8(R12)(BX*8), X9, X9
+	JMP    loop
+
+done:
+	MOVQ   a+8(FP), DI
+	VMOVSD X8, 168(DI)
+	MOVQ   R15, 152(DI)
+	RET
+
+// func pqRows2Asm(q *Quant, a, b *PQRow)
+//
+// Two independent rows per iteration: lane A then lane B, each lane's
+// instruction sequence identical to pqRowAsm's, so the out-of-order
+// core overlaps the two serial recon dependency chains. Cold operands
+// (codes/lits pointers, pu row B, compare constants) live in the frame;
+// the compare constants move to the memory side of UCOMISD, which flips
+// the branch senses relative to pqRowAsm (reject-on-pass instead of
+// stay-on-pass) while keeping the accept predicate's outcome — NaNs
+// rejected — bit-identical.
+//
+// Frame: 0 codesA, 8 codesB, 16 puB, 24 litsA, 32 litsB, 40 cntA,
+// 48 cntB, 56 eb, 64 -eb, 72 radiusF, 80 -radiusF, 88 radius.
+TEXT ·pqRows2Asm(SB), NOSPLIT, $96-24
+	MOVQ   q+0(FP), AX
+	VMOVSD 0(AX), X0  // invDelta
+	VMOVSD 8(AX), X1  // delta
+	VMOVSD 16(AX), X2
+	VMOVSD X2, 56(SP) // eb
+	VXORPD sign128<>(SB), X2, X2
+	VMOVSD X2, 64(SP) // -eb
+	VMOVSD 24(AX), X2
+	VMOVSD X2, 72(SP) // radiusF
+	VXORPD sign128<>(SB), X2, X2
+	VMOVSD X2, 80(SP) // -radiusF
+	MOVQ   32(AX), DX
+	MOVQ   DX, 88(SP) // radius
+
+	MOVQ   a+8(FP), AX
+	MOVQ   0(AX), SI    // dataA
+	MOVQ   8(AX), CX    // n
+	MOVQ   24(AX), R8   // reconA
+	MOVQ   48(AX), DX
+	MOVQ   DX, 0(SP)    // codesA
+	MOVQ   72(AX), R10  // upA
+	MOVQ   96(AX), R12  // plA
+	MOVQ   120(AX), R15 // puA
+	MOVQ   144(AX), DX
+	MOVQ   DX, 24(SP)   // litsA
+	MOVQ   152(AX), DX
+	MOVQ   DX, 40(SP)   // cntA
+	VMOVSD 168(AX), X10 // ssumA
+
+	MOVQ   b+16(FP), AX
+	MOVQ   0(AX), DI   // dataB
+	MOVQ   24(AX), R9  // reconB
+	MOVQ   48(AX), DX
+	MOVQ   DX, 8(SP)   // codesB
+	MOVQ   72(AX), R11 // upB
+	MOVQ   96(AX), R13 // plB
+	MOVQ   120(AX), DX
+	MOVQ   DX, 16(SP)  // puB
+	MOVQ   144(AX), DX
+	MOVQ   DX, 32(SP)  // litsB
+	MOVQ   152(AX), DX
+	MOVQ   DX, 48(SP)  // cntB
+	VMOVSD 168(AX), X13 // ssumB
+
+	TESTQ CX, CX
+	JZ    done
+
+	// predA = plA[0] + upA[0] - puA[0]
+	VMOVSD (R12), X6
+	VADDSD (R10), X6, X6
+	VSUBSD (R15), X6, X6
+
+	// predB = plB[0] + upB[0] - puB[0]
+	MOVQ   16(SP), DX
+	VMOVSD (R13), X7
+	VADDSD (R11), X7, X7
+	VSUBSD (DX), X7, X7
+
+	XORQ BX, BX
+
+loop:
+	// ---- lane A (temps X2 v, X3 diff, X4 idx, X5 rec, X14 e) ----
+	VMOVSD (SI)(BX*8), X2
+	VSUBSD X6, X2, X3
+
+	VMOVAPD     X3, X4
+	VFMADD213SD magic<>(SB), X0, X4
+	VSUBSD      magic<>(SB), X4, X4
+	VMULSD      X1, X4, X5
+	VSUBSD      X5, X3, X14
+
+	UCOMISD 72(SP), X4  // idx cmp radiusF: reject iff idx >= radiusF, ordered
+	JCC     litA
+	UCOMISD 80(SP), X4  // idx cmp -radiusF: reject iff idx <= -radiusF or NaN
+	JLS     litA
+	UCOMISD 56(SP), X14 // e cmp eb: reject iff e > eb, ordered
+	JHI     litA
+	UCOMISD 64(SP), X14 // e cmp -eb: reject iff e < -eb or NaN
+	JCS     litA
+
+	CVTTSD2SQ X4, AX
+	ADDQ      88(SP), AX
+	MOVQ      0(SP), DX
+	MOVL      AX, (DX)(BX*4)
+	VADDSD    X5, X6, X2    // raA
+	VMOVSD    X2, (R8)(BX*8)
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X10, X10
+	JMP       laneB
+
+litA:
+	MOVQ   24(SP), DX
+	MOVQ   40(SP), AX
+	VMOVSD X2, (DX)(AX*8)
+	INCQ   40(SP)
+	MOVQ   0(SP), DX
+	MOVL   $0, (DX)(BX*4)
+	VMOVSD X2, (R8)(BX*8) // X2 stays raA = v
+
+laneB:
+	// ---- lane B (temps X3 v, X4 diff, X5 idx, X6 rec, X14 e;
+	// X6/predA is dead once raA exists) ----
+	VMOVSD (DI)(BX*8), X3
+	VSUBSD X7, X3, X4
+
+	VMOVAPD     X4, X5
+	VFMADD213SD magic<>(SB), X0, X5
+	VSUBSD      magic<>(SB), X5, X5
+	VMULSD      X1, X5, X6
+	VSUBSD      X6, X4, X14
+
+	UCOMISD 72(SP), X5
+	JCC     litB
+	UCOMISD 80(SP), X5
+	JLS     litB
+	UCOMISD 56(SP), X14
+	JHI     litB
+	UCOMISD 64(SP), X14
+	JCS     litB
+
+	CVTTSD2SQ X5, AX
+	ADDQ      88(SP), AX
+	MOVQ      8(SP), DX
+	MOVL      AX, (DX)(BX*4)
+	VADDSD    X6, X7, X3    // raB
+	VMOVSD    X3, (R9)(BX*8)
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X13, X13
+	JMP       next
+
+litB:
+	MOVQ   32(SP), DX
+	MOVQ   48(SP), AX
+	VMOVSD X3, (DX)(AX*8)
+	INCQ   48(SP)
+	MOVQ   8(SP), DX
+	MOVL   $0, (DX)(BX*4)
+	VMOVSD X3, (R9)(BX*8) // X3 stays raB = v
+
+next:
+	INCQ BX
+	CMPQ BX, CX
+	JGE  done
+
+	// predA = plA[k+1]+upA[k+1]+raA-puA[k+1]-plA[k]-upA[k]+puA[k]
+	VMOVSD (R12)(BX*8), X6
+	VADDSD (R10)(BX*8), X6, X6
+	VADDSD X2, X6, X6
+	VSUBSD (R15)(BX*8), X6, X6
+	VSUBSD -8(R12)(BX*8), X6, X6
+	VSUBSD -8(R10)(BX*8), X6, X6
+	VADDSD -8(R15)(BX*8), X6, X6
+
+	// predB likewise, puB from the frame
+	MOVQ   16(SP), DX
+	VMOVSD (R13)(BX*8), X7
+	VADDSD (R11)(BX*8), X7, X7
+	VADDSD X3, X7, X7
+	VSUBSD (DX)(BX*8), X7, X7
+	VSUBSD -8(R13)(BX*8), X7, X7
+	VSUBSD -8(R11)(BX*8), X7, X7
+	VADDSD -8(DX)(BX*8), X7, X7
+	JMP    loop
+
+done:
+	MOVQ   a+8(FP), AX
+	VMOVSD X10, 168(AX)
+	MOVQ   40(SP), DX
+	MOVQ   DX, 152(AX)
+	MOVQ   b+16(FP), AX
+	VMOVSD X13, 168(AX)
+	MOVQ   48(SP), DX
+	MOVQ   DX, 152(AX)
+	RET
+
+// func pqRows4Asm(q *Quant, a, b, c, d *PQRow)
+//
+// Four independent rows per iteration, lane A through lane D, each
+// lane's instruction sequence identical to pqRowAsm's. Four ~20-cycle
+// serial recon chains in flight cover the chain latency almost
+// completely, leaving the loop bound by uop throughput and the
+// data/recon/codes memory streams. There are not enough registers for
+// four lanes' pointers, so every pointer lives in the frame (L1-hot,
+// off the critical path); only the four running predictions
+// (X2..X5), the four Σe² accumulators (X6..X9), and the quantizer
+// constants (X0/X1 plus the frame-spilled compare bounds) stay in
+// registers. Prediction updates for all four lanes sit after the
+// k+1 < n check at next:, reaching the k column with -8 displacements
+// and reloading ra from the just-stored recon slot.
+//
+// Frame: per-lane blocks at 0 (A), 64 (B), 128 (C), 192 (D), each
+// {data+0 recon+8 codes+16 up+24 pl+32 pu+40 lits+48 cnt+56}; then
+// 256 eb, 264 -eb, 272 radiusF, 280 -radiusF, 288 radius.
+TEXT ·pqRows4Asm(SB), NOSPLIT, $296-40
+	MOVQ   q+0(FP), AX
+	VMOVSD 0(AX), X0  // invDelta
+	VMOVSD 8(AX), X1  // delta
+	VMOVSD 16(AX), X2
+	VMOVSD X2, 256(SP) // eb
+	VXORPD sign128<>(SB), X2, X2
+	VMOVSD X2, 264(SP) // -eb
+	VMOVSD 24(AX), X2
+	VMOVSD X2, 272(SP) // radiusF
+	VXORPD sign128<>(SB), X2, X2
+	VMOVSD X2, 280(SP) // -radiusF
+	MOVQ   32(AX), DX
+	MOVQ   DX, 288(SP) // radius
+
+	MOVQ   a+8(FP), AX
+	MOVQ   0(AX), DX
+	MOVQ   DX, 0(SP)   // dataA
+	MOVQ   8(AX), CX   // n
+	MOVQ   24(AX), DX
+	MOVQ   DX, 8(SP)   // reconA
+	MOVQ   48(AX), DX
+	MOVQ   DX, 16(SP)  // codesA
+	MOVQ   72(AX), DX
+	MOVQ   DX, 24(SP)  // upA
+	MOVQ   96(AX), DX
+	MOVQ   DX, 32(SP)  // plA
+	MOVQ   120(AX), DX
+	MOVQ   DX, 40(SP)  // puA
+	MOVQ   144(AX), DX
+	MOVQ   DX, 48(SP)  // litsA
+	MOVQ   152(AX), DX
+	MOVQ   DX, 56(SP)  // cntA
+	VMOVSD 168(AX), X6 // ssumA
+
+	MOVQ   b+16(FP), AX
+	MOVQ   0(AX), DX
+	MOVQ   DX, 64(SP)
+	MOVQ   24(AX), DX
+	MOVQ   DX, 72(SP)
+	MOVQ   48(AX), DX
+	MOVQ   DX, 80(SP)
+	MOVQ   72(AX), DX
+	MOVQ   DX, 88(SP)
+	MOVQ   96(AX), DX
+	MOVQ   DX, 96(SP)
+	MOVQ   120(AX), DX
+	MOVQ   DX, 104(SP)
+	MOVQ   144(AX), DX
+	MOVQ   DX, 112(SP)
+	MOVQ   152(AX), DX
+	MOVQ   DX, 120(SP)
+	VMOVSD 168(AX), X7 // ssumB
+
+	MOVQ   c+24(FP), AX
+	MOVQ   0(AX), DX
+	MOVQ   DX, 128(SP)
+	MOVQ   24(AX), DX
+	MOVQ   DX, 136(SP)
+	MOVQ   48(AX), DX
+	MOVQ   DX, 144(SP)
+	MOVQ   72(AX), DX
+	MOVQ   DX, 152(SP)
+	MOVQ   96(AX), DX
+	MOVQ   DX, 160(SP)
+	MOVQ   120(AX), DX
+	MOVQ   DX, 168(SP)
+	MOVQ   144(AX), DX
+	MOVQ   DX, 176(SP)
+	MOVQ   152(AX), DX
+	MOVQ   DX, 184(SP)
+	VMOVSD 168(AX), X8 // ssumC
+
+	MOVQ   d+32(FP), AX
+	MOVQ   0(AX), DX
+	MOVQ   DX, 192(SP)
+	MOVQ   24(AX), DX
+	MOVQ   DX, 200(SP)
+	MOVQ   48(AX), DX
+	MOVQ   DX, 208(SP)
+	MOVQ   72(AX), DX
+	MOVQ   DX, 216(SP)
+	MOVQ   96(AX), DX
+	MOVQ   DX, 224(SP)
+	MOVQ   120(AX), DX
+	MOVQ   DX, 232(SP)
+	MOVQ   144(AX), DX
+	MOVQ   DX, 240(SP)
+	MOVQ   152(AX), DX
+	MOVQ   DX, 248(SP)
+	VMOVSD 168(AX), X9 // ssumD
+
+	TESTQ CX, CX
+	JZ    done
+
+	// predL = plL[0] + upL[0] - puL[0], lanes A..D in X2..X5
+	MOVQ   32(SP), SI
+	MOVQ   24(SP), DI
+	MOVQ   40(SP), AX
+	VMOVSD (SI), X2
+	VADDSD (DI), X2, X2
+	VSUBSD (AX), X2, X2
+	MOVQ   96(SP), SI
+	MOVQ   88(SP), DI
+	MOVQ   104(SP), AX
+	VMOVSD (SI), X3
+	VADDSD (DI), X3, X3
+	VSUBSD (AX), X3, X3
+	MOVQ   160(SP), SI
+	MOVQ   152(SP), DI
+	MOVQ   168(SP), AX
+	VMOVSD (SI), X4
+	VADDSD (DI), X4, X4
+	VSUBSD (AX), X4, X4
+	MOVQ   224(SP), SI
+	MOVQ   216(SP), DI
+	MOVQ   232(SP), AX
+	VMOVSD (SI), X5
+	VADDSD (DI), X5, X5
+	VSUBSD (AX), X5, X5
+
+	XORQ BX, BX
+
+loop:
+	// ---- lane A (pred X2, ssum X6; temps X10 v/ra, X11 diff,
+	// X12 idx, X13 rec, X14 e) ----
+	MOVQ   0(SP), SI
+	VMOVSD (SI)(BX*8), X10
+	VSUBSD X2, X10, X11
+
+	VMOVAPD     X11, X12
+	VFMADD213SD magic<>(SB), X0, X12
+	VSUBSD      magic<>(SB), X12, X12
+	VMULSD      X1, X12, X13
+	VSUBSD      X13, X11, X14
+
+	UCOMISD 272(SP), X12 // idx cmp radiusF: reject iff idx >= radiusF, ordered
+	JCC     litA
+	UCOMISD 280(SP), X12 // idx cmp -radiusF: reject iff idx <= -radiusF or NaN
+	JLS     litA
+	UCOMISD 256(SP), X14 // e cmp eb: reject iff e > eb, ordered
+	JHI     litA
+	UCOMISD 264(SP), X14 // e cmp -eb: reject iff e < -eb or NaN
+	JCS     litA
+
+	CVTTSD2SQ X12, AX
+	ADDQ      288(SP), AX
+	MOVQ      16(SP), DX
+	MOVL      AX, (DX)(BX*4)
+	VADDSD    X13, X2, X10 // raA
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X6, X6
+	JMP       storeA
+
+litA:
+	MOVQ   48(SP), DX
+	MOVQ   56(SP), AX
+	VMOVSD X10, (DX)(AX*8)
+	INCQ   56(SP)
+	MOVQ   16(SP), DX
+	MOVL   $0, (DX)(BX*4)
+
+storeA:
+	MOVQ   8(SP), DX
+	VMOVSD X10, (DX)(BX*8)
+
+	// ---- lane B (pred X3, ssum X7) ----
+	MOVQ   64(SP), SI
+	VMOVSD (SI)(BX*8), X10
+	VSUBSD X3, X10, X11
+
+	VMOVAPD     X11, X12
+	VFMADD213SD magic<>(SB), X0, X12
+	VSUBSD      magic<>(SB), X12, X12
+	VMULSD      X1, X12, X13
+	VSUBSD      X13, X11, X14
+
+	UCOMISD 272(SP), X12
+	JCC     litB
+	UCOMISD 280(SP), X12
+	JLS     litB
+	UCOMISD 256(SP), X14
+	JHI     litB
+	UCOMISD 264(SP), X14
+	JCS     litB
+
+	CVTTSD2SQ X12, AX
+	ADDQ      288(SP), AX
+	MOVQ      80(SP), DX
+	MOVL      AX, (DX)(BX*4)
+	VADDSD    X13, X3, X10 // raB
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X7, X7
+	JMP       storeB
+
+litB:
+	MOVQ   112(SP), DX
+	MOVQ   120(SP), AX
+	VMOVSD X10, (DX)(AX*8)
+	INCQ   120(SP)
+	MOVQ   80(SP), DX
+	MOVL   $0, (DX)(BX*4)
+
+storeB:
+	MOVQ   72(SP), DX
+	VMOVSD X10, (DX)(BX*8)
+
+	// ---- lane C (pred X4, ssum X8) ----
+	MOVQ   128(SP), SI
+	VMOVSD (SI)(BX*8), X10
+	VSUBSD X4, X10, X11
+
+	VMOVAPD     X11, X12
+	VFMADD213SD magic<>(SB), X0, X12
+	VSUBSD      magic<>(SB), X12, X12
+	VMULSD      X1, X12, X13
+	VSUBSD      X13, X11, X14
+
+	UCOMISD 272(SP), X12
+	JCC     litC
+	UCOMISD 280(SP), X12
+	JLS     litC
+	UCOMISD 256(SP), X14
+	JHI     litC
+	UCOMISD 264(SP), X14
+	JCS     litC
+
+	CVTTSD2SQ X12, AX
+	ADDQ      288(SP), AX
+	MOVQ      144(SP), DX
+	MOVL      AX, (DX)(BX*4)
+	VADDSD    X13, X4, X10 // raC
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X8, X8
+	JMP       storeC
+
+litC:
+	MOVQ   176(SP), DX
+	MOVQ   184(SP), AX
+	VMOVSD X10, (DX)(AX*8)
+	INCQ   184(SP)
+	MOVQ   144(SP), DX
+	MOVL   $0, (DX)(BX*4)
+
+storeC:
+	MOVQ   136(SP), DX
+	VMOVSD X10, (DX)(BX*8)
+
+	// ---- lane D (pred X5, ssum X9) ----
+	MOVQ   192(SP), SI
+	VMOVSD (SI)(BX*8), X10
+	VSUBSD X5, X10, X11
+
+	VMOVAPD     X11, X12
+	VFMADD213SD magic<>(SB), X0, X12
+	VSUBSD      magic<>(SB), X12, X12
+	VMULSD      X1, X12, X13
+	VSUBSD      X13, X11, X14
+
+	UCOMISD 272(SP), X12
+	JCC     litD
+	UCOMISD 280(SP), X12
+	JLS     litD
+	UCOMISD 256(SP), X14
+	JHI     litD
+	UCOMISD 264(SP), X14
+	JCS     litD
+
+	CVTTSD2SQ X12, AX
+	ADDQ      288(SP), AX
+	MOVQ      208(SP), DX
+	MOVL      AX, (DX)(BX*4)
+	VADDSD    X13, X5, X10 // raD
+	VMULSD    X14, X14, X14
+	VADDSD    X14, X9, X9
+	JMP       storeD
+
+litD:
+	MOVQ   240(SP), DX
+	MOVQ   248(SP), AX
+	VMOVSD X10, (DX)(AX*8)
+	INCQ   248(SP)
+	MOVQ   208(SP), DX
+	MOVL   $0, (DX)(BX*4)
+
+storeD:
+	MOVQ   200(SP), DX
+	VMOVSD X10, (DX)(BX*8)
+
+	INCQ BX
+	CMPQ BX, CX
+	JGE  done
+
+	// predL = plL[k+1]+upL[k+1]+raL-puL[k+1]-plL[k]-upL[k]+puL[k]
+	// (BX is k+1 here; -8 displacements reach the k column, and raL
+	// reloads from the recon slot stored above)
+	MOVQ   32(SP), SI
+	MOVQ   24(SP), DI
+	MOVQ   40(SP), AX
+	MOVQ   8(SP), DX
+	VMOVSD (SI)(BX*8), X2
+	VADDSD (DI)(BX*8), X2, X2
+	VADDSD -8(DX)(BX*8), X2, X2
+	VSUBSD (AX)(BX*8), X2, X2
+	VSUBSD -8(SI)(BX*8), X2, X2
+	VSUBSD -8(DI)(BX*8), X2, X2
+	VADDSD -8(AX)(BX*8), X2, X2
+
+	MOVQ   96(SP), SI
+	MOVQ   88(SP), DI
+	MOVQ   104(SP), AX
+	MOVQ   72(SP), DX
+	VMOVSD (SI)(BX*8), X3
+	VADDSD (DI)(BX*8), X3, X3
+	VADDSD -8(DX)(BX*8), X3, X3
+	VSUBSD (AX)(BX*8), X3, X3
+	VSUBSD -8(SI)(BX*8), X3, X3
+	VSUBSD -8(DI)(BX*8), X3, X3
+	VADDSD -8(AX)(BX*8), X3, X3
+
+	MOVQ   160(SP), SI
+	MOVQ   152(SP), DI
+	MOVQ   168(SP), AX
+	MOVQ   136(SP), DX
+	VMOVSD (SI)(BX*8), X4
+	VADDSD (DI)(BX*8), X4, X4
+	VADDSD -8(DX)(BX*8), X4, X4
+	VSUBSD (AX)(BX*8), X4, X4
+	VSUBSD -8(SI)(BX*8), X4, X4
+	VSUBSD -8(DI)(BX*8), X4, X4
+	VADDSD -8(AX)(BX*8), X4, X4
+
+	MOVQ   224(SP), SI
+	MOVQ   216(SP), DI
+	MOVQ   232(SP), AX
+	MOVQ   200(SP), DX
+	VMOVSD (SI)(BX*8), X5
+	VADDSD (DI)(BX*8), X5, X5
+	VADDSD -8(DX)(BX*8), X5, X5
+	VSUBSD (AX)(BX*8), X5, X5
+	VSUBSD -8(SI)(BX*8), X5, X5
+	VSUBSD -8(DI)(BX*8), X5, X5
+	VADDSD -8(AX)(BX*8), X5, X5
+
+	JMP loop
+
+done:
+	MOVQ   a+8(FP), AX
+	VMOVSD X6, 168(AX)
+	MOVQ   56(SP), DX
+	MOVQ   DX, 152(AX)
+	MOVQ   b+16(FP), AX
+	VMOVSD X7, 168(AX)
+	MOVQ   120(SP), DX
+	MOVQ   DX, 152(AX)
+	MOVQ   c+24(FP), AX
+	VMOVSD X8, 168(AX)
+	MOVQ   184(SP), DX
+	MOVQ   DX, 152(AX)
+	MOVQ   d+32(FP), AX
+	VMOVSD X9, 168(AX)
+	MOVQ   248(SP), DX
+	MOVQ   DX, 152(AX)
+	RET

@@ -1,0 +1,235 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Struct offsets (asserted by TestAsmStructOffsets):
+//   RRRow: Out+0 Codes+24 Up+48 Pl+72 Pu+96 Lits ptr+120 len+128
+
+// func reconRowAsm(q *Quant, a *RRRow)
+//
+// Transcription of reconRowGeneric: code 0 consumes the next literal,
+// any other code reconstructs pred + float64(c-radius)*delta with the
+// prediction chained strictly left to right through the previous output
+// (kept in X1 across iterations instead of re-loading out[k-1]).
+TEXT ·reconRowAsm(SB), NOSPLIT, $0-16
+	MOVQ   q+0(FP), AX
+	VMOVSD 8(AX), X0 // delta
+	MOVQ   32(AX), DX // radius
+
+	MOVQ a+8(FP), AX
+	MOVQ 0(AX), R8    // Out
+	MOVQ 8(AX), CX    // n
+	MOVQ 24(AX), SI   // Codes
+	MOVQ 48(AX), R10  // Up
+	MOVQ 72(AX), R11  // Pl
+	MOVQ 96(AX), R12  // Pu
+	MOVQ 120(AX), R13 // Lits
+	XORQ R15, R15     // literal cursor
+
+	TESTQ CX, CX
+	JZ    done
+
+	// k = 0: out[0] = pl[0] + up[0] - pu[0] + float64(c-radius)*delta
+	MOVLQSX (SI), AX
+	TESTQ AX, AX
+	JZ    lit0
+	SUBQ  DX, AX
+	CVTSQ2SD AX, X2
+	VMULSD   X0, X2, X2
+	VMOVSD   (R11), X1
+	VADDSD   (R10), X1, X1
+	VSUBSD   (R12), X1, X1
+	VADDSD   X2, X1, X1
+	JMP      store0
+
+lit0:
+	VMOVSD (R13), X1
+	INCQ   R15
+
+store0:
+	VMOVSD X1, (R8)
+	MOVQ   $1, BX
+
+loop:
+	CMPQ  BX, CX
+	JGE   done
+	MOVLQSX (SI)(BX*4), AX
+	TESTQ AX, AX
+	JZ    lit
+
+	SUBQ     DX, AX
+	CVTSQ2SD AX, X2
+	VMULSD   X0, X2, X2
+
+	// pred = pl[k]+up[k]+out[k-1]-pu[k]-pl[k-1]-up[k-1]+pu[k-1]
+	VMOVSD (R11)(BX*8), X3
+	VADDSD (R10)(BX*8), X3, X3
+	VADDSD X1, X3, X3
+	VSUBSD (R12)(BX*8), X3, X3
+	VSUBSD -8(R11)(BX*8), X3, X3
+	VSUBSD -8(R10)(BX*8), X3, X3
+	VADDSD -8(R12)(BX*8), X3, X3
+	VADDSD X2, X3, X1 // out[k] = pred + cf; becomes out[k-1]
+	VMOVSD X1, (R8)(BX*8)
+	INCQ   BX
+	JMP    loop
+
+lit:
+	VMOVSD (R13)(R15*8), X1
+	INCQ   R15
+	VMOVSD X1, (R8)(BX*8)
+	INCQ   BX
+	JMP    loop
+
+done:
+	RET
+
+// func reconRows2Asm(q *Quant, a, b *RRRow)
+//
+// Lane A then lane B per iteration, each lane reconRowAsm's sequence,
+// so the two serial prediction chains overlap in the out-of-order
+// window. Cold operands (pu row B, literal bases and cursors) live in
+// the frame.
+//
+// Frame: 0 puB, 8 litsA, 16 litsB, 24 liA, 32 liB.
+TEXT ·reconRows2Asm(SB), NOSPLIT, $48-24
+	MOVQ   q+0(FP), AX
+	VMOVSD 8(AX), X0 // delta
+	MOVQ   32(AX), DX // radius
+
+	MOVQ a+8(FP), AX
+	MOVQ 0(AX), R8   // outA
+	MOVQ 8(AX), CX   // n
+	MOVQ 24(AX), SI  // codesA
+	MOVQ 48(AX), R10 // upA
+	MOVQ 72(AX), R12 // plA
+	MOVQ 96(AX), R15 // puA
+	MOVQ 120(AX), BX
+	MOVQ BX, 8(SP)   // litsA
+	MOVQ $0, 24(SP)  // liA
+
+	MOVQ b+16(FP), AX
+	MOVQ 0(AX), R9   // outB
+	MOVQ 24(AX), DI  // codesB
+	MOVQ 48(AX), R11 // upB
+	MOVQ 72(AX), R13 // plB
+	MOVQ 96(AX), BX
+	MOVQ BX, 0(SP)   // puB
+	MOVQ 120(AX), BX
+	MOVQ BX, 16(SP)  // litsB
+	MOVQ $0, 32(SP)  // liB
+
+	TESTQ CX, CX
+	JZ    done
+
+	// k = 0, lane A
+	MOVLQSX (SI), AX
+	TESTQ AX, AX
+	JZ    lit0A
+	SUBQ  DX, AX
+	CVTSQ2SD AX, X3
+	VMULSD   X0, X3, X3
+	VMOVSD   (R12), X1
+	VADDSD   (R10), X1, X1
+	VSUBSD   (R15), X1, X1
+	VADDSD   X3, X1, X1
+	JMP      store0A
+
+lit0A:
+	MOVQ   8(SP), AX
+	VMOVSD (AX), X1
+	INCQ   24(SP)
+
+store0A:
+	VMOVSD X1, (R8)
+
+	// k = 0, lane B
+	MOVLQSX (DI), AX
+	TESTQ AX, AX
+	JZ    lit0B
+	SUBQ  DX, AX
+	CVTSQ2SD AX, X3
+	VMULSD   X0, X3, X3
+	MOVQ     0(SP), AX
+	VMOVSD   (R13), X2
+	VADDSD   (R11), X2, X2
+	VSUBSD   (AX), X2, X2
+	VADDSD   X3, X2, X2
+	JMP      store0B
+
+lit0B:
+	MOVQ   16(SP), AX
+	VMOVSD (AX), X2
+	INCQ   32(SP)
+
+store0B:
+	VMOVSD X2, (R9)
+	MOVQ   $1, BX
+
+loop:
+	CMPQ BX, CX
+	JGE  done
+
+	// lane A
+	MOVLQSX (SI)(BX*4), AX
+	TESTQ AX, AX
+	JZ    litA
+
+	SUBQ     DX, AX
+	CVTSQ2SD AX, X3
+	VMULSD   X0, X3, X3
+	VMOVSD   (R12)(BX*8), X4
+	VADDSD   (R10)(BX*8), X4, X4
+	VADDSD   X1, X4, X4
+	VSUBSD   (R15)(BX*8), X4, X4
+	VSUBSD   -8(R12)(BX*8), X4, X4
+	VSUBSD   -8(R10)(BX*8), X4, X4
+	VADDSD   -8(R15)(BX*8), X4, X4
+	VADDSD   X3, X4, X1
+	VMOVSD   X1, (R8)(BX*8)
+	JMP      laneB
+
+litA:
+	MOVQ   8(SP), AX
+	MOVQ   24(SP), DX
+	VMOVSD (AX)(DX*8), X1
+	INCQ   24(SP)
+	MOVQ   q+0(FP), AX
+	MOVQ   32(AX), DX // restore radius
+	VMOVSD X1, (R8)(BX*8)
+
+laneB:
+	MOVLQSX (DI)(BX*4), AX
+	TESTQ AX, AX
+	JZ    litB
+
+	SUBQ     DX, AX
+	CVTSQ2SD AX, X3
+	VMULSD   X0, X3, X3
+	MOVQ     0(SP), AX
+	VMOVSD   (R13)(BX*8), X4
+	VADDSD   (R11)(BX*8), X4, X4
+	VADDSD   X2, X4, X4
+	VSUBSD   (AX)(BX*8), X4, X4
+	VSUBSD   -8(R13)(BX*8), X4, X4
+	VSUBSD   -8(R11)(BX*8), X4, X4
+	VADDSD   -8(AX)(BX*8), X4, X4
+	VADDSD   X3, X4, X2
+	VMOVSD   X2, (R9)(BX*8)
+	JMP      next
+
+litB:
+	MOVQ   16(SP), AX
+	MOVQ   32(SP), DX
+	VMOVSD (AX)(DX*8), X2
+	INCQ   32(SP)
+	MOVQ   q+0(FP), AX
+	MOVQ   32(AX), DX // restore radius
+	VMOVSD X2, (R9)(BX*8)
+
+next:
+	INCQ BX
+	JMP  loop
+
+done:
+	RET

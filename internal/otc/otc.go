@@ -488,12 +488,13 @@ func compressChunk(ctx context.Context, data []float64, dims []int, opt Options,
 	var cst codec.ChunkStats
 	blocks := blockGrid(dims, blockEdge(opt))
 	type blockOut struct {
-		codes    []int
+		codes    []int32
 		literals []float64
 	}
 	outs := make([]blockOut, len(blocks))
-	err := parallel.ForEachCtx(ctx, len(blocks), opt.Workers, func(bi int) error {
+	err := parallel.ForEachWorkerCtx(ctx, len(blocks), opt.Workers, func(w, bi int) error {
 		br := blocks[bi]
+		sc := sc.Shard(w)
 		buf := sc.Floats(br.n)
 		gatherBlock(data, dims, br, buf)
 		sizes := br.size[:len(dims)]
@@ -501,7 +502,7 @@ func compressChunk(ctx context.Context, data []float64, dims []int, opt Options,
 			sc.PutFloats(buf)
 			return err
 		}
-		codes := make([]int, len(buf))
+		codes := make([]int32, len(buf))
 		var literals []float64
 		for i, c := range buf {
 			code, ok := q.Quantize(c)
@@ -510,7 +511,7 @@ func compressChunk(ctx context.Context, data []float64, dims []int, opt Options,
 				codes[i] = 0
 				continue
 			}
-			codes[i] = code
+			codes[i] = int32(code)
 		}
 		sc.PutFloats(buf)
 		outs[bi] = blockOut{codes: codes, literals: literals}
@@ -520,7 +521,7 @@ func compressChunk(ctx context.Context, data []float64, dims []int, opt Options,
 		return nil, cst, err
 	}
 
-	var codes []int
+	var codes []int32
 	var literals []float64
 	for _, o := range outs {
 		codes = append(codes, o.codes...)
@@ -607,7 +608,7 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc 
 	if err != nil {
 		return err
 	}
-	defer sc.PutInts(codes)
+	defer sc.PutInt32s(codes)
 	defer sc.PutFloats(literals)
 	dims := h.ChunkDims(ci)
 	if len(codes) != len(dst) {
@@ -642,8 +643,9 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc 
 		return fmt.Errorf("otc: literal count mismatch (%d vs %d)", lit, len(literals))
 	}
 
-	return parallel.ForEach(len(blocks), 0, func(bi int) error {
+	return parallel.ForEachWorkerCtx(context.Background(), len(blocks), 0, func(w, bi int) error {
 		br := blocks[bi]
+		sc := sc.Shard(w)
 		buf := sc.Floats(br.n)
 		defer sc.PutFloats(buf)
 		li := litOff[bi]
@@ -657,7 +659,7 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc 
 				li++
 				continue
 			}
-			buf[i] = q.Reconstruct(c)
+			buf[i] = q.Reconstruct(int(c))
 		}
 		sizes := br.size[:len(dims)]
 		if err := inverseBlock(buf, sizes, tr); err != nil {
@@ -674,7 +676,7 @@ func decompressChunk(payload []byte, h *codec.Header, ci int, dst []float64, sc 
 // sc (nil = fresh allocations); the returned payload shares no storage
 // with the scratch pools. level routes through Scratch.AppendDeflate
 // (0 = internal back-end, nonzero = stdlib escape hatch).
-func encodePayload(codes []int, literals []float64, blockSize int, tr Transform, level int, sc *codec.Scratch) ([]byte, error) {
+func encodePayload(codes []int32, literals []float64, blockSize int, tr Transform, level int, sc *codec.Scratch) ([]byte, error) {
 	raw := sc.Bytes(len(codes)/2 + len(literals)*8 + 64)
 	raw = append(raw, byte(tr))
 	raw = binary.AppendUvarint(raw, uint64(blockSize))
@@ -710,7 +712,7 @@ func encodePayload(codes []int, literals []float64, blockSize int, tr Transform,
 // buffer, the Huffman decode tables, and the returned codes and literals
 // slices all come from sc (nil = fresh allocations); the caller owns the
 // returned slices and should PutInts/PutFloats them when done.
-func decodePayload(payload []byte, sc *codec.Scratch) (codes []int, literals []float64, blockSize int, tr Transform, err error) {
+func decodePayload(payload []byte, sc *codec.Scratch) (codes []int32, literals []float64, blockSize int, tr Transform, err error) {
 	fr := sc.FlateReader(bytes.NewReader(payload))
 	buf := sc.Buffer()
 	defer sc.PutBuffer(buf)
@@ -746,13 +748,13 @@ func decodePayload(payload []byte, sc *codec.Scratch) (codes []int, literals []f
 		return nil, nil, 0, 0, fmt.Errorf("otc: %d codes cannot fit in %d payload bytes", npoints, len(raw))
 	}
 	hd := sc.HuffDecode()
-	codes, consumed, err := huffman.DecodeInto(sc.Ints(int(npoints))[:0], raw, hd)
+	codes, consumed, err := huffman.DecodeInto(sc.Int32s(int(npoints))[:0], raw, hd)
 	sc.PutHuffDecode(hd)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
 	if uint64(len(codes)) != npoints {
-		sc.PutInts(codes)
+		sc.PutInt32s(codes)
 		return nil, nil, 0, 0, fmt.Errorf("otc: decoded %d codes, want %d", len(codes), npoints)
 	}
 	raw = raw[consumed:]
@@ -762,7 +764,7 @@ func decodePayload(payload []byte, sc *codec.Scratch) (codes []int, literals []f
 	}
 	raw = raw[k:]
 	if uint64(len(raw)) < nlit*8 {
-		sc.PutInts(codes)
+		sc.PutInt32s(codes)
 		return nil, nil, 0, 0, fmt.Errorf("otc: literal stream truncated")
 	}
 	literals = sc.Floats(int(nlit))

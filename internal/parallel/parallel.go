@@ -30,6 +30,15 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // of work per worker and ForEachCtx returns ctx.Err(). Iterations already
 // in flight run to completion; none are abandoned half-done.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorkerCtx is ForEachCtx with the worker slot exposed: fn
+// receives (worker, i) where worker is the index of the goroutine
+// running the iteration, in [0, min(workers, n)). Worker slots are
+// stable for the duration of the call, so callers can key per-worker
+// state (scratch shards, accumulators) on the slot without locking.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -50,7 +59,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -78,19 +87,19 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				if err := ctx.Err(); err != nil {
 					record(err)
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					record(err)
 					return
 				}
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	return firstErr

@@ -31,10 +31,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"fixedpsnr/internal/codec"
 	"fixedpsnr/internal/field"
 	"fixedpsnr/internal/huffman"
+	"fixedpsnr/internal/kernels"
 	"fixedpsnr/internal/parallel"
 	"fixedpsnr/internal/quantizer"
 )
@@ -107,11 +109,14 @@ func CompressCtx(ctx context.Context, f *field.Field, opt Options, sc *codec.Scr
 
 	payloads := make([][]byte, len(spans))
 	chunks := make([]codec.ChunkInfo, len(spans))
-	err := parallel.ForEachCtx(ctx, len(spans), opt.Workers, func(c int) error {
+	// Each worker slot compresses from its own scratch shard: chunk
+	// buffers recycled by a worker come back to the same worker, so the
+	// pools never shuttle multi-megabyte buffers between cores.
+	err := parallel.ForEachWorkerCtx(ctx, len(spans), opt.Workers, func(w, c int) error {
 		lo, hi := spans[c][0], spans[c][1]
 		sub := f.Data[lo*inner : hi*inner]
 		subDims := append([]int{hi - lo}, f.Dims[1:]...)
-		payload, cst, err := compressChunk(sub, subDims, f.Precision, copt, sc)
+		payload, cst, err := compressChunk(sub, subDims, f.Precision, copt, sc.Shard(w))
 		if err != nil {
 			return fmt.Errorf("sz: chunk %d: %w", c, err)
 		}
@@ -163,12 +168,23 @@ func compressChunk(data []float64, dims []int, prec field.Precision, opt Options
 	if err != nil {
 		return nil, cst, err
 	}
-	codes := sc.Ints(len(data))
+	codes := sc.Int32s(len(data))
 	recon := sc.Floats(len(data))
-	literals, sumSq, min, max := compressCore(data, dims, q, codes, recon)
+	literals, sumSq := compressCore(data, dims, q, codes, recon)
 	sc.PutFloats(recon)
+	// Chunk value bounds come from a dedicated vector-wide scan rather
+	// than accumulators threaded through the (serial, latency-bound)
+	// prediction loop: the scan is memory-bound at sixteen lanes while
+	// two more accumulators per row would cost registers the grouped
+	// kernels need, and the chunk is still cache-resident from the
+	// prediction pass. NaNs are skipped; the all-NaN/empty sentinel maps
+	// to NaN/NaN as ValueBounds-style callers expect.
+	min, max := kernels.MinMax(data)
+	if min > max {
+		min, max = math.NaN(), math.NaN()
+	}
 	payload, err := encodeChunk(codes, literals, prec, opt.Capacity, opt.Level, sc)
-	sc.PutInts(codes)
+	sc.PutInt32s(codes)
 	if err != nil {
 		return nil, cst, err
 	}
@@ -231,14 +247,14 @@ func DecompressScratch(data []byte, sc *codec.Scratch) (*field.Field, *Header, e
 
 	out := field.New(h.Name, h.Precision, h.Dims...)
 	inner := h.InnerPoints()
-	err = parallel.ForEach(len(h.Chunks), 0, func(c int) error {
+	err = parallel.ForEachWorkerCtx(context.Background(), len(h.Chunks), 0, func(w, c int) error {
 		payload, err := codec.ChunkPayload(data, h, c)
 		if err != nil {
 			return err
 		}
 		lo := h.Chunks[c].RowStart
 		hi := lo + h.Chunks[c].Rows
-		return decompressChunk(payload, h, c, out.Data[lo*inner:hi*inner], sc)
+		return decompressChunk(payload, h, c, out.Data[lo*inner:hi*inner], sc.Shard(w))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -260,12 +276,12 @@ func decompressChunk(payload []byte, h *Header, c int, dst []float64, sc *codec.
 		return fmt.Errorf("sz: chunk %d: %w", c, err)
 	}
 	if len(codes) != len(dst) {
-		sc.PutInts(codes)
+		sc.PutInt32s(codes)
 		sc.PutFloats(literals)
 		return fmt.Errorf("sz: chunk %d has %d codes, want %d", c, len(codes), len(dst))
 	}
 	err = decompressCore(dst, codes, literals, h.ChunkDims(c), q)
-	sc.PutInts(codes)
+	sc.PutInt32s(codes)
 	sc.PutFloats(literals)
 	return err
 }
@@ -274,14 +290,13 @@ func decompressChunk(payload []byte, h *Header, c int, dst []float64, sc *codec.
 // caller-supplied codes buffer (one code per point; 0 marks a literal)
 // and using recon as the reconstructed-value working buffer (both must
 // have length len(data); prior contents are ignored and overwritten). It
-// returns the literal values in scan order, the exact sum of squared
+// returns the literal values in scan order and the exact sum of squared
 // reconstruction errors over the slab (non-finite pointwise errors
-// excluded), and the slab's value bounds (NaNs skipped; NaN/NaN when
-// every value is NaN) — measured here because this pass already streams
-// the data, so a separate bounds scan would cost a full trip through
-// memory.
-func compressCore(data []float64, dims []int, q *quantizer.Quantizer, codes []int, recon []float64) (literals []float64, sumSq, min, max float64) {
-	st := coreState{min: math.Inf(1), max: math.Inf(-1)}
+// excluded). Value bounds are not measured here — kernels.MinMax scans
+// them vector-wide far faster than accumulators threaded through this
+// serial loop.
+func compressCore(data []float64, dims []int, q *quantizer.Quantizer, codes []int32, recon []float64) (literals []float64, sumSq float64) {
+	var st coreState
 	switch len(dims) {
 	case 1:
 		compress1D(data, codes, recon, &st, q)
@@ -292,45 +307,30 @@ func compressCore(data []float64, dims []int, q *quantizer.Quantizer, codes []in
 	default:
 		panic("sz: unsupported rank")
 	}
-	if st.min > st.max { // all NaN or empty
-		st.min, st.max = math.NaN(), math.NaN()
-	}
-	return st.literals, st.sumSq, st.min, st.max
+	return st.literals, st.sumSq
 }
 
-// coreState accumulates the slab statistics inside the prediction loop
-// itself. The loop is latency-bound on the serial recon dependency, so
-// the extra adds and compares hide under it — measuring here saves the
-// second full trip through data and recon that a separate
-// sumSq/ValueBounds pass costs.
+// coreState accumulates the slab's literals and Σe² across the
+// per-rank prediction loops.
 type coreState struct {
 	literals []float64
 	sumSq    float64
-	min, max float64
 }
 
 // quantizeStep quantizes one point against its prediction, accumulating
-// the point's squared reconstruction error and value bounds. Literals
-// reconstruct exactly (error zero), and NaN values skip the bounds
-// because every comparison against them is false — matching what a
-// post-pass over data/recon would measure.
-func quantizeStep(v, pred float64, q *quantizer.Quantizer, st *coreState) (code int, recon float64) {
-	if v < st.min {
-		st.min = v
-	}
-	if v > st.max {
-		st.max = v
-	}
-	code, rec, err, ok := q.QuantizeRecon(v - pred)
+// the point's squared reconstruction error. Literals reconstruct
+// exactly (error zero).
+func quantizeStep(v, pred float64, q *quantizer.Quantizer, st *coreState) (code int32, recon float64) {
+	c, rec, err, ok := q.QuantizeRecon(v - pred)
 	if !ok {
 		st.literals = append(st.literals, v)
 		return 0, v
 	}
 	st.sumSq += err * err
-	return code, pred + rec
+	return int32(c), pred + rec
 }
 
-func compress1D(data []float64, codes []int, recon []float64, st *coreState, q *quantizer.Quantizer) {
+func compress1D(data []float64, codes []int32, recon []float64, st *coreState, q *quantizer.Quantizer) {
 	prev := 0.0
 	for i, v := range data {
 		codes[i], recon[i] = quantizeStep(v, prev, q, st)
@@ -343,7 +343,7 @@ func compress1D(data []float64, codes []int, recon []float64, st *coreState, q *
 // their terms drop out); interior points read the full three-point
 // stencil from re-sliced current/upper rows, which lets the compiler
 // eliminate the per-point bounds checks the flat-index form pays.
-func compress2D(data []float64, dims []int, codes []int, recon []float64, st *coreState, q *quantizer.Quantizer) {
+func compress2D(data []float64, dims []int, codes []int32, recon []float64, st *coreState, q *quantizer.Quantizer) {
 	rows, cols := dims[0], dims[1]
 	drow := data[0:cols:cols]
 	rrow := recon[0:cols:cols]
@@ -366,113 +366,226 @@ func compress2D(data []float64, dims []int, codes []int, recon []float64, st *co
 	}
 }
 
-// compress3D runs the 3-D Lorenzo predictor row by row. Rows with all
-// three preceding neighbor rows present (i > 0 and j > 0 — the vast
-// majority) take a fast path reading the seven-point stencil from four
-// re-sliced rows with no per-point existence or bounds checks; boundary
-// rows keep the generic guarded stencil.
-//
-// The fast path hand-inlines quantizer.QuantizeRecon (the call is past
-// the inlining budget) and keeps the slab statistics in locals: stores
-// to rrow could alias *st as far as the compiler knows, so accumulating
-// through the pointer would reload every field each point.
-func compress3D(data []float64, dims []int, codes []int, recon []float64, st *coreState, q *quantizer.Quantizer) {
-	d0, d1, d2 := dims[0], dims[1], dims[2]
-	plane := d1 * d2
-	invDelta, delta := q.InvDelta(), q.Delta()
-	eb, radius := q.ErrorBound(), q.Radius()
-	radiusF := float64(radius)
-	smin, smax, ssum := st.min, st.max, st.sumSq
-	lits := st.literals
-	for i := 0; i < d0; i++ {
-		for j := 0; j < d1; j++ {
-			base := i*plane + j*d2
-			if i > 0 && j > 0 {
-				drow := data[base : base+d2 : base+d2]
-				rrow := recon[base : base+d2 : base+d2]
-				crow := codes[base : base+d2 : base+d2]
-				up := recon[base-d2 : base : base]                   // (i, j-1, ·)
-				pl := recon[base-plane : base-plane+d2]              // (i-1, j, ·)
-				pu := recon[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
-				pred := pl[0] + up[0] - pu[0]
-				for k := 0; k < d2; k++ {
-					v := drow[k]
-					if v < smin {
-						smin = v
-					}
-					if v > smax {
-						smax = v
-					}
-					// Keep in sync with quantizer.QuantizeRecon.
-					diff := v - pred
-					idx := math.FMA(diff, invDelta, quantizer.RoundMagic) - quantizer.RoundMagic
-					rec := idx * delta
-					e := diff - rec
-					if idx < radiusF && idx > -radiusF && e <= eb && e >= -eb {
-						crow[k] = int(idx) + radius
-						rrow[k] = pred + rec
-						ssum += e * e
-					} else {
-						lits = append(lits, v)
-						crow[k] = 0
-						rrow[k] = v
-					}
-					if k+1 < d2 {
-						pred = pl[k+1] + up[k+1] + rrow[k] - pu[k+1] - pl[k] - up[k] + pu[k]
-					}
-				}
-				continue
-			}
-			for k := 0; k < d2; k++ {
-				idx := base + k
-				var x100, x010, x001, x110, x101, x011, x111 float64
-				if i > 0 {
-					x100 = recon[idx-plane]
-				}
-				if j > 0 {
-					x010 = recon[idx-d2]
-				}
-				if k > 0 {
-					x001 = recon[idx-1]
-				}
-				if i > 0 && j > 0 {
-					x110 = recon[idx-plane-d2]
-				}
-				if i > 0 && k > 0 {
-					x101 = recon[idx-plane-1]
-				}
-				if j > 0 && k > 0 {
-					x011 = recon[idx-d2-1]
-				}
-				if i > 0 && j > 0 && k > 0 {
-					x111 = recon[idx-plane-d2-1]
-				}
-				pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
-				v := data[idx]
-				if v < smin {
-					smin = v
-				}
-				if v > smax {
-					smax = v
-				}
-				code, rec, e, ok := q.QuantizeRecon(v - pred)
-				if ok {
-					codes[idx] = code
-					recon[idx] = pred + rec
-					ssum += e * e
-				} else {
-					lits = append(lits, v)
-					codes[idx] = 0
-					recon[idx] = v
-				}
-			}
+// wfScratch pools the wavefront scheduler's bookkeeping — the per-row
+// literal segment table and arena on the encode side, the per-row
+// literal offsets on the decode side, and the kernels' per-row literal
+// spill buffers. It is deliberately separate from codec.Scratch: these
+// buffers are orders of magnitude smaller than the codes/recon slabs
+// sharing those pools, and mixing sizes in one sync.Pool evicts the
+// big buffers (a small buffer landing in the per-P private slot misses
+// the next big request and both get reallocated).
+type wfScratch struct {
+	seg   []int
+	offs  []int
+	arena []float64
+	lit   [4][]float64
+}
+
+var wfPool = sync.Pool{New: func() any { return new(wfScratch) }}
+
+// kernelQuant mirrors q's constants for the internal/kernels fused row
+// kernels.
+func kernelQuant(q *quantizer.Quantizer) kernels.Quant {
+	return kernels.Quant{
+		InvDelta: q.InvDelta(),
+		Delta:    q.Delta(),
+		EB:       q.ErrorBound(),
+		RadiusF:  float64(q.Radius()),
+		Radius:   int64(q.Radius()),
+	}
+}
+
+// wavefront3D iterates the interior rows (i > 0 and j > 0) of a d0×d1
+// row grid in anti-diagonal order: all rows with i+j == d are mutually
+// independent under the Lorenzo dependency (row (i,j) reads only rows
+// (i,j−1), (i−1,j), (i−1,j−1), all on earlier diagonals), so the
+// schedule hands them out in the widest groups available — quads,
+// then a pair, then a leftover single — and each callback may process
+// its rows concurrently-in-one-loop. Border rows (i == 0 or j == 0)
+// are not visited; they must be processed before this runs.
+func wavefront3D(d0, d1 int, quad func(i1, j1, i2, j2, i3, j3, i4, j4 int), pair func(i1, j1, i2, j2 int), single func(i, j int)) {
+	for d := 2; d <= (d0-1)+(d1-1); d++ {
+		iLo := 1
+		if lo := d - (d1 - 1); lo > 1 {
+			iLo = lo
+		}
+		iHi := d - 1
+		if iHi > d0-1 {
+			iHi = d0 - 1
+		}
+		i := iLo
+		for ; i+3 <= iHi; i += 4 {
+			quad(i, d-i, i+1, d-i-1, i+2, d-i-2, i+3, d-i-3)
+		}
+		if i+1 <= iHi {
+			pair(i, d-i, i+1, d-i-1)
+			i += 2
+		}
+		if i <= iHi {
+			single(i, d-i)
 		}
 	}
-	st.min, st.max, st.sumSq, st.literals = smin, smax, ssum, lits
+}
+
+// borderRow3D compresses one border row (i == 0 or j == 0) with the
+// generic guarded seven-point stencil, appending its literals to arena
+// and threading the Σe² accumulator through by value so it stays in a
+// register across the row.
+func borderRow3D(data, recon []float64, codes []int32, i, j, d2, plane int, q *quantizer.Quantizer, arena []float64, ssum float64) ([]float64, float64) {
+	base := i*plane + j*d2
+	for k := 0; k < d2; k++ {
+		idx := base + k
+		var x100, x010, x001, x110, x101, x011, x111 float64
+		if i > 0 {
+			x100 = recon[idx-plane]
+		}
+		if j > 0 {
+			x010 = recon[idx-d2]
+		}
+		if k > 0 {
+			x001 = recon[idx-1]
+		}
+		if i > 0 && j > 0 {
+			x110 = recon[idx-plane-d2]
+		}
+		if i > 0 && k > 0 {
+			x101 = recon[idx-plane-1]
+		}
+		if j > 0 && k > 0 {
+			x011 = recon[idx-d2-1]
+		}
+		if i > 0 && j > 0 && k > 0 {
+			x111 = recon[idx-plane-d2-1]
+		}
+		pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
+		v := data[idx]
+		code, rec, e, ok := q.QuantizeRecon(v - pred)
+		if ok {
+			codes[idx] = int32(code)
+			recon[idx] = pred + rec
+			ssum += e * e
+		} else {
+			arena = append(arena, v)
+			codes[idx] = 0
+			recon[idx] = v
+		}
+	}
+	return arena, ssum
+}
+
+// compress3D runs the 3-D Lorenzo predictor in wavefront order. Border
+// rows (plane i = 0, then column j = 0) depend only on each other and
+// are processed first with the generic guarded stencil; every interior
+// row depends only on rows from earlier anti-diagonals, so rows sharing
+// a diagonal are mutually independent and go to the fused
+// predict+quantize kernels in groups — up to four serial recon
+// dependency chains interleaved in one loop
+// (kernels.PredictQuantizeRows4), which is what lifts the throughput
+// of this latency-bound loop. The per-point arithmetic is exactly the
+// historical scan-order loop's (see kernels.PredictQuantizeRow), so
+// codes, reconstructions, and literals are unchanged; only the
+// accumulation order of Σe² differs (per-row partial sums merged in
+// schedule order), which can move the recorded chunk MSE by ulps.
+//
+// Literals are collected into a processing-order arena with per-row
+// segments and re-concatenated in scan (row-major) order at the end,
+// so the emitted literal stream is byte-identical to scan-order
+// processing and the stream format is unchanged.
+func compress3D(data []float64, dims []int, codes []int32, recon []float64, st *coreState, q *quantizer.Quantizer) {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	if d0 == 0 || d1 == 0 || d2 == 0 {
+		return
+	}
+	plane := d1 * d2
+	nrows := d0 * d1
+	wf := wfPool.Get().(*wfScratch)
+	// Per-row literal segments in the arena: seg[2r] = start,
+	// seg[2r+1] = length. Every row is visited exactly once, so no
+	// clearing is needed.
+	if cap(wf.seg) < 2*nrows {
+		wf.seg = make([]int, 2*nrows)
+	}
+	seg := wf.seg[:2*nrows]
+	arena := wf.arena[:0]
+	ssum := st.sumSq
+
+	for j := 0; j < d1; j++ {
+		start := len(arena)
+		arena, ssum = borderRow3D(data, recon, codes, 0, j, d2, plane, q, arena, ssum)
+		seg[2*j], seg[2*j+1] = start, len(arena)-start
+	}
+	for i := 1; i < d0; i++ {
+		start := len(arena)
+		arena, ssum = borderRow3D(data, recon, codes, i, 0, d2, plane, q, arena, ssum)
+		r := i * d1
+		seg[2*r], seg[2*r+1] = start, len(arena)-start
+	}
+
+	qk := kernelQuant(q)
+	for l := range wf.lit {
+		if cap(wf.lit[l]) < d2 {
+			wf.lit[l] = make([]float64, d2)
+		}
+	}
+	var rows [4]kernels.PQRow
+	setRow := func(row *kernels.PQRow, i, j int, lit []float64) {
+		base := i*plane + j*d2
+		row.Data = data[base : base+d2 : base+d2]
+		row.Recon = recon[base : base+d2 : base+d2]
+		row.Codes = codes[base : base+d2 : base+d2]
+		row.Up = recon[base-d2 : base : base]                   // (i, j-1, ·)
+		row.Pl = recon[base-plane : base-plane+d2]              // (i-1, j, ·)
+		row.Pu = recon[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
+		row.Lits = lit[:0]
+		row.SumSq = 0
+	}
+	flush := func(row *kernels.PQRow, i, j int) {
+		r := i*d1 + j
+		start := len(arena)
+		arena = append(arena, row.Lits...)
+		seg[2*r], seg[2*r+1] = start, len(row.Lits)
+		ssum += row.SumSq
+	}
+	wavefront3D(d0, d1,
+		func(i1, j1, i2, j2, i3, j3, i4, j4 int) {
+			setRow(&rows[0], i1, j1, wf.lit[0])
+			setRow(&rows[1], i2, j2, wf.lit[1])
+			setRow(&rows[2], i3, j3, wf.lit[2])
+			setRow(&rows[3], i4, j4, wf.lit[3])
+			kernels.PredictQuantizeRows4(&qk, &rows[0], &rows[1], &rows[2], &rows[3])
+			flush(&rows[0], i1, j1)
+			flush(&rows[1], i2, j2)
+			flush(&rows[2], i3, j3)
+			flush(&rows[3], i4, j4)
+		},
+		func(i1, j1, i2, j2 int) {
+			setRow(&rows[0], i1, j1, wf.lit[0])
+			setRow(&rows[1], i2, j2, wf.lit[1])
+			kernels.PredictQuantizeRows2(&qk, &rows[0], &rows[1])
+			flush(&rows[0], i1, j1)
+			flush(&rows[1], i2, j2)
+		},
+		func(i, j int) {
+			setRow(&rows[0], i, j, wf.lit[0])
+			kernels.PredictQuantizeRow(&qk, &rows[0])
+			flush(&rows[0], i, j)
+		})
+
+	if len(arena) > 0 {
+		lits := st.literals
+		for r := 0; r < nrows; r++ {
+			s, l := seg[2*r], seg[2*r+1]
+			lits = append(lits, arena[s:s+l]...)
+		}
+		st.literals = lits
+	}
+	wf.arena = arena
+	wfPool.Put(wf)
+	st.sumSq = ssum
 }
 
 // decompressCore reconstructs one slab in place into out.
-func decompressCore(out []float64, codes []int, literals []float64, dims []int, q *quantizer.Quantizer) error {
+func decompressCore(out []float64, codes []int32, literals []float64, dims []int, q *quantizer.Quantizer) error {
 	li := 0
 	nextLiteral := func() (float64, error) {
 		if li >= len(literals) {
@@ -493,7 +606,7 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 				}
 				out[i] = v
 			} else {
-				out[i] = prev + q.Reconstruct(c)
+				out[i] = prev + q.Reconstruct(int(c))
 			}
 			prev = out[i]
 		}
@@ -512,7 +625,7 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 				}
 				cur[j] = v
 			} else {
-				cur[j] = prev + q.Reconstruct(c)
+				cur[j] = prev + q.Reconstruct(int(c))
 			}
 			prev = cur[j]
 		}
@@ -528,7 +641,7 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 				}
 				cur[0] = v
 			} else {
-				cur[0] = up[0] + q.Reconstruct(c)
+				cur[0] = up[0] + q.Reconstruct(int(c))
 			}
 			for j := 1; j < cols; j++ {
 				c := crow[j]
@@ -540,92 +653,148 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 					cur[j] = v
 					continue
 				}
-				cur[j] = cur[j-1] + up[j] - up[j-1] + q.Reconstruct(c)
+				cur[j] = cur[j-1] + up[j] - up[j-1] + q.Reconstruct(int(c))
 			}
 		}
 	case 3:
-		// Rows with all preceding neighbor rows present (i > 0 and j > 0)
-		// take the same re-sliced seven-point fast path as compress3D;
-		// boundary rows keep the generic guarded stencil.
-		d0, d1, d2 := dims[0], dims[1], dims[2]
-		plane := d1 * d2
-		for i := 0; i < d0; i++ {
-			for j := 0; j < d1; j++ {
-				base := i*plane + j*d2
-				if i > 0 && j > 0 {
-					cur := out[base : base+d2 : base+d2]
-					crow := codes[base : base+d2 : base+d2]
-					up := out[base-d2 : base : base]                   // (i, j-1, ·)
-					pl := out[base-plane : base-plane+d2]              // (i-1, j, ·)
-					pu := out[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
-					if c := crow[0]; c == 0 {
-						v, err := nextLiteral()
-						if err != nil {
-							return err
-						}
-						cur[0] = v
-					} else {
-						cur[0] = pl[0] + up[0] - pu[0] + q.Reconstruct(c)
-					}
-					for k := 1; k < d2; k++ {
-						c := crow[k]
-						if c == 0 {
-							v, err := nextLiteral()
-							if err != nil {
-								return err
-							}
-							cur[k] = v
-							continue
-						}
-						pred := pl[k] + up[k] + cur[k-1] - pu[k] - pl[k-1] - up[k-1] + pu[k-1]
-						cur[k] = pred + q.Reconstruct(c)
-					}
-					continue
-				}
-				for k := 0; k < d2; k++ {
-					idx := base + k
-					c := codes[idx]
-					if c == 0 {
-						v, err := nextLiteral()
-						if err != nil {
-							return err
-						}
-						out[idx] = v
-						continue
-					}
-					var x100, x010, x001, x110, x101, x011, x111 float64
-					if i > 0 {
-						x100 = out[idx-plane]
-					}
-					if j > 0 {
-						x010 = out[idx-d2]
-					}
-					if k > 0 {
-						x001 = out[idx-1]
-					}
-					if i > 0 && j > 0 {
-						x110 = out[idx-plane-d2]
-					}
-					if i > 0 && k > 0 {
-						x101 = out[idx-plane-1]
-					}
-					if j > 0 && k > 0 {
-						x011 = out[idx-d2-1]
-					}
-					if i > 0 && j > 0 && k > 0 {
-						x111 = out[idx-plane-d2-1]
-					}
-					pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
-					out[idx] = pred + q.Reconstruct(c)
-				}
-			}
-		}
+		// The 3-D path reconstructs in the same wavefront order as
+		// compress3D, pairing independent anti-diagonal rows into the
+		// interleaved reconstruction kernels; literal positions are
+		// recovered by a per-row zero-count pre-pass, since the literal
+		// stream is stored in scan (row-major) order.
+		return decompress3D(out, codes, literals, dims, q)
 	default:
 		return fmt.Errorf("sz: unsupported rank %d", len(dims))
 	}
 	if li != len(literals) {
 		return fmt.Errorf("sz: %d literals left over", len(literals)-li)
 	}
+	return nil
+}
+
+// decompress3D reconstructs a 3-D slab in wavefront order: border rows
+// (plane i = 0, then column j = 0) with the generic guarded stencil,
+// then interior anti-diagonals through the grouped reconstruction
+// kernels (kernels.ReconstructRows4/Rows2), whose interleaved loops
+// overlap the rows' serial prediction chains. The literal stream is
+// stored in scan order, so a counting pre-pass over the codes gives
+// every row its exact literal segment and rows can then run in any
+// dependency-respecting order.
+func decompress3D(out []float64, codes []int32, literals []float64, dims []int, q *quantizer.Quantizer) error {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	if d0 == 0 || d1 == 0 || d2 == 0 {
+		if len(literals) != 0 {
+			return fmt.Errorf("sz: %d literals left over", len(literals))
+		}
+		return nil
+	}
+	plane := d1 * d2
+	nrows := d0 * d1
+	wf := wfPool.Get().(*wfScratch)
+	if cap(wf.offs) < nrows+1 {
+		wf.offs = make([]int, nrows+1)
+	}
+	offs := wf.offs[:nrows+1]
+	total := 0
+	for r := 0; r < nrows; r++ {
+		offs[r] = total
+		base := r * d2
+		z := 0
+		for _, c := range codes[base : base+d2] {
+			if c == 0 {
+				z++
+			}
+		}
+		total += z
+	}
+	offs[nrows] = total
+	if total > len(literals) {
+		wfPool.Put(wf)
+		return fmt.Errorf("sz: literal stream exhausted")
+	}
+	if total < len(literals) {
+		wfPool.Put(wf)
+		return fmt.Errorf("sz: %d literals left over", len(literals)-total)
+	}
+	rowLits := func(i, j int) []float64 {
+		r := i*d1 + j
+		return literals[offs[r]:offs[r+1]:offs[r+1]]
+	}
+
+	border := func(i, j int) {
+		lits := rowLits(i, j)
+		li := 0
+		base := i*plane + j*d2
+		for k := 0; k < d2; k++ {
+			idx := base + k
+			c := codes[idx]
+			if c == 0 {
+				out[idx] = lits[li]
+				li++
+				continue
+			}
+			var x100, x010, x001, x110, x101, x011, x111 float64
+			if i > 0 {
+				x100 = out[idx-plane]
+			}
+			if j > 0 {
+				x010 = out[idx-d2]
+			}
+			if k > 0 {
+				x001 = out[idx-1]
+			}
+			if i > 0 && j > 0 {
+				x110 = out[idx-plane-d2]
+			}
+			if i > 0 && k > 0 {
+				x101 = out[idx-plane-1]
+			}
+			if j > 0 && k > 0 {
+				x011 = out[idx-d2-1]
+			}
+			if i > 0 && j > 0 && k > 0 {
+				x111 = out[idx-plane-d2-1]
+			}
+			pred := x100 + x010 + x001 - x110 - x101 - x011 + x111
+			out[idx] = pred + q.Reconstruct(int(c))
+		}
+	}
+	for j := 0; j < d1; j++ {
+		border(0, j)
+	}
+	for i := 1; i < d0; i++ {
+		border(i, 0)
+	}
+
+	qk := kernelQuant(q)
+	var rows [4]kernels.RRRow
+	setRow := func(row *kernels.RRRow, i, j int) {
+		base := i*plane + j*d2
+		row.Out = out[base : base+d2 : base+d2]
+		row.Codes = codes[base : base+d2 : base+d2]
+		row.Up = out[base-d2 : base : base]                   // (i, j-1, ·)
+		row.Pl = out[base-plane : base-plane+d2]              // (i-1, j, ·)
+		row.Pu = out[base-plane-d2 : base-plane : base-plane] // (i-1, j-1, ·)
+		row.Lits = rowLits(i, j)
+	}
+	wavefront3D(d0, d1,
+		func(i1, j1, i2, j2, i3, j3, i4, j4 int) {
+			setRow(&rows[0], i1, j1)
+			setRow(&rows[1], i2, j2)
+			setRow(&rows[2], i3, j3)
+			setRow(&rows[3], i4, j4)
+			kernels.ReconstructRows4(&qk, &rows[0], &rows[1], &rows[2], &rows[3])
+		},
+		func(i1, j1, i2, j2 int) {
+			setRow(&rows[0], i1, j1)
+			setRow(&rows[1], i2, j2)
+			kernels.ReconstructRows2(&qk, &rows[0], &rows[1])
+		},
+		func(i, j int) {
+			setRow(&rows[0], i, j)
+			kernels.ReconstructRow(&qk, &rows[0])
+		})
+	wfPool.Put(wf)
 	return nil
 }
 
@@ -637,7 +806,7 @@ func decompressCore(out []float64, codes []int, literals []float64, dims []int, 
 // the stdlib writer (see Scratch.AppendDeflate). capacity is the
 // quantizer capacity that produced codes (every code is < capacity by
 // construction), which lets the Huffman coder skip its validation pass.
-func encodeChunk(codes []int, literals []float64, prec field.Precision, capacity, level int, sc *codec.Scratch) ([]byte, error) {
+func encodeChunk(codes []int32, literals []float64, prec field.Precision, capacity, level int, sc *codec.Scratch) ([]byte, error) {
 	raw := sc.Bytes(len(codes)/2 + len(literals)*8 + 64)
 	raw = binary.AppendUvarint(raw, uint64(len(codes)))
 	hs := sc.Huffman()
@@ -668,7 +837,7 @@ func encodeChunk(codes []int, literals []float64, prec field.Precision, capacity
 // buffer, the Huffman decode tables, and the returned codes and literals
 // slices all come from sc (nil = fresh allocations); the caller owns the
 // returned slices and should PutInts/PutFloats them when done.
-func decodeChunk(payload []byte, prec field.Precision, sc *codec.Scratch) (codes []int, literals []float64, err error) {
+func decodeChunk(payload []byte, prec field.Precision, sc *codec.Scratch) (codes []int32, literals []float64, err error) {
 	fr := sc.FlateReader(bytes.NewReader(payload))
 	buf := sc.Buffer()
 	defer sc.PutBuffer(buf)
@@ -693,24 +862,24 @@ func decodeChunk(payload []byte, prec field.Precision, sc *codec.Scratch) (codes
 		return nil, nil, fmt.Errorf("sz: %d codes cannot fit in %d payload bytes", npoints, len(rest))
 	}
 	hd := sc.HuffDecode()
-	codes, consumed, err := huffman.DecodeInto(sc.Ints(int(npoints))[:0], rest, hd)
+	codes, consumed, err := huffman.DecodeInto(sc.Int32s(int(npoints))[:0], rest, hd)
 	sc.PutHuffDecode(hd)
 	if err != nil {
 		return nil, nil, err
 	}
 	if uint64(len(codes)) != npoints {
-		sc.PutInts(codes)
+		sc.PutInt32s(codes)
 		return nil, nil, fmt.Errorf("sz: decoded %d codes, header says %d", len(codes), npoints)
 	}
 	rest = rest[consumed:]
 	nlit, rest, err := readUvarint(rest)
 	if err != nil {
-		sc.PutInts(codes)
+		sc.PutInt32s(codes)
 		return nil, nil, err
 	}
 	literals, err = readLiterals(rest, int(nlit), prec, sc)
 	if err != nil {
-		sc.PutInts(codes)
+		sc.PutInt32s(codes)
 		return nil, nil, err
 	}
 	return codes, literals, nil

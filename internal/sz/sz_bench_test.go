@@ -32,7 +32,7 @@ func BenchmarkCompressCore3D(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	codes := make([]int, f.Len())
+	codes := make([]int32, f.Len())
 	recon := make([]float64, f.Len())
 	b.SetBytes(int64(f.Len() * 8))
 	b.ResetTimer()
@@ -44,9 +44,9 @@ func BenchmarkCompressCore3D(b *testing.B) {
 func BenchmarkDecompressCore3D(b *testing.B) {
 	f := benchField3D(b)
 	q, _ := quantizer.New(1e-4, quantizer.DefaultCapacity)
-	codes := make([]int, f.Len())
+	codes := make([]int32, f.Len())
 	recon := make([]float64, f.Len())
-	literals, _, _, _ := compressCore(f.Data, f.Dims, q, codes, recon)
+	literals, _ := compressCore(f.Data, f.Dims, q, codes, recon)
 	out := make([]float64, f.Len())
 	b.SetBytes(int64(f.Len() * 8))
 	b.ResetTimer()

@@ -227,9 +227,9 @@ func TestEquationOneIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	codes := make([]int, f.Len())
+	codes := make([]int32, f.Len())
 	work := make([]float64, f.Len())
-	literals, _, _, _ := compressCore(f.Data, f.Dims, q, codes, work)
+	literals, _ := compressCore(f.Data, f.Dims, q, codes, work)
 
 	recon := make([]float64, f.Len())
 	if err := decompressCore(recon, codes, literals, f.Dims, q); err != nil {
@@ -259,7 +259,7 @@ func TestEquationOneIdentity(t *testing.T) {
 			xpeRecon = literals[li] - pred
 			li++
 		} else {
-			xpeRecon = q.Reconstruct(codes[idx])
+			xpeRecon = q.Reconstruct(int(codes[idx]))
 		}
 		lhs := f.Data[idx] - recon[idx]
 		rhs := xpe - xpeRecon
@@ -274,9 +274,9 @@ func TestTheoremOneMSEEquality(t *testing.T) {
 	f := randomField(t, "thm1", 0.08, 35, 28)
 	eb := 1e-3
 	q, _ := quantizer.New(eb, 4096)
-	codes := make([]int, f.Len())
+	codes := make([]int32, f.Len())
 	work := make([]float64, f.Len())
-	literals, _, _, _ := compressCore(f.Data, f.Dims, q, codes, work)
+	literals, _ := compressCore(f.Data, f.Dims, q, codes, work)
 	recon := make([]float64, f.Len())
 	if err := decompressCore(recon, codes, literals, f.Dims, q); err != nil {
 		t.Fatal(err)
@@ -313,7 +313,7 @@ func TestTheoremOneMSEEquality(t *testing.T) {
 			xpeR = literals[li] - pred
 			li++
 		} else {
-			xpeR = q.Reconstruct(codes[idx])
+			xpeR = q.Reconstruct(int(codes[idx]))
 		}
 		qmse += (xpe - xpeR) * (xpe - xpeR)
 	}

@@ -1,0 +1,63 @@
+package fixedpsnr
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fixedpsnr/internal/parallel"
+)
+
+func TestBatchWorkers(t *testing.T) {
+	cases := []struct {
+		budget, nfields, want int
+	}{
+		{8, 1, 8}, // single-field batch gets the whole budget
+		{8, 2, 4}, // even split
+		{8, 3, 2}, // floor division
+		{2, 5, 1}, // more fields than workers: min one each
+		{16, 16, 1},
+	}
+	for _, c := range cases {
+		if got := batchWorkers(c.budget, c.nfields); got != c.want {
+			t.Errorf("batchWorkers(%d, %d) = %d, want %d", c.budget, c.nfields, got, c.want)
+		}
+	}
+	// Non-positive budget resolves to all CPUs before the split.
+	if got, want := batchWorkers(0, 1), parallel.DefaultWorkers(); got != want {
+		t.Errorf("batchWorkers(0, 1) = %d, want DefaultWorkers() = %d", got, want)
+	}
+}
+
+// TestEncodeBatchSingleFieldParallel pins the core-starvation fix: a
+// single-field batch must encode with the session's full worker budget,
+// not one worker. With no explicit chunk geometry the in-memory tiling
+// is derived from the per-field worker count, so the batch stream only
+// matches the plain Encode stream (same 4-worker session) if the batch
+// path really ran with >1 worker — the old Workers=1 pinning produced a
+// single-chunk stream here and fails the comparison.
+func TestEncodeBatchSingleFieldParallel(t *testing.T) {
+	f := NewField("solo", Float64, 64, 48)
+	for i := range f.Data {
+		f.Data[i] = math.Sin(0.05*float64(i)) + 0.2*math.Cos(0.31*float64(i%97))
+	}
+	enc, err := NewEncoder(
+		WithMode(ModePSNR), WithTargetPSNR(70), WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, _, err := enc.Encode(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, _, err := enc.EncodeBatch(ctx, []*Field{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(streams[0]) != string(want) {
+		t.Fatalf("single-field batch stream (%d bytes) differs from 4-worker Encode stream (%d bytes): batch is not using the full worker budget",
+			len(streams[0]), len(want))
+	}
+}
