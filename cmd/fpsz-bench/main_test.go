@@ -168,4 +168,13 @@ func TestCheckScaling(t *testing.T) {
 	if err := checkScaling(nil, 1.0); err == nil {
 		t.Fatal("want error with no throughput datapoints")
 	}
+	// A missing op must fail, not silently pass on the ops that exist:
+	// encode-only results once satisfied the check with decode scaling
+	// unmeasured.
+	if err := checkScaling(throughputRecords(gb[:2]), 2.4); err == nil {
+		t.Fatal("want error with decode datapoints missing")
+	}
+	if err := checkScaling(throughputRecords(gb[2:]), 2.4); err == nil {
+		t.Fatal("want error with encode datapoints missing")
+	}
 }

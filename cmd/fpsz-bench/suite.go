@@ -87,13 +87,20 @@ func checkThroughput(recs []ThroughputRecord) error {
 // (a lock on the scratch pools, a single-threaded stage) without
 // slowing the single-core numbers.
 func checkScaling(recs []ThroughputRecord, factor float64) error {
-	if len(recs) == 0 {
-		return fmt.Errorf("scaling: no throughput datapoints (need go-bench results with 1-core and all-core runs)")
-	}
+	// Both ops must be present: a go-bench run that dropped the decode
+	// benchmarks used to sail through this loop with only the encode
+	// datapoint, leaving decode scaling unguarded.
+	seen := make(map[string]bool, len(recs))
 	for _, r := range recs {
+		seen[r.Op] = true
 		if !(r.Scaling >= factor) {
 			return fmt.Errorf("scaling: %s all-core/1-core factor %.2f below required %.2f (1-core %.2f MB/s, all-cores %.2f MB/s on %d cores)",
 				r.Op, r.Scaling, factor, r.OneCoreMBps, r.AllCoresMBps, r.Cores)
+		}
+	}
+	for _, op := range []string{"encode", "decode"} {
+		if !seen[op] {
+			return fmt.Errorf("scaling: no %s throughput datapoint (need 1-core and all-core go-bench runs for both ops)", op)
 		}
 	}
 	return nil

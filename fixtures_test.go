@@ -72,6 +72,10 @@ func fixtureConfigs() map[string]fixedpsnr.Options {
 // produces: refactors of the steering stack (per-region targets, group
 // tables) must leave plain streams untouched, so new code is compared
 // byte for byte against fixtures committed from the previous release.
+// The current (four-lane payload) fixtures live under
+// testdata/streams/lanes4; the files directly under testdata/streams are
+// the frozen legacy single-stream fixtures TestLegacyStreamFixtures
+// guards and -update never rewrites.
 func TestStreamFixtures(t *testing.T) {
 	f := fixtureField("fixture", fixedpsnr.Float32, 64, 64, 16)
 	for name, opt := range fixtureConfigs() {
@@ -80,7 +84,7 @@ func TestStreamFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			path := filepath.Join("testdata", "streams", name+".fpsz")
+			path := filepath.Join("testdata", "streams", "lanes4", name+".fpsz")
 			if *updateFixtures {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
@@ -106,6 +110,58 @@ func TestStreamFixtures(t *testing.T) {
 			}
 			if d := fixedpsnr.CompareFields(f, g); !(d.PSNR > 40) {
 				t.Fatalf("fixture round-trip PSNR %.2f dB", d.PSNR)
+			}
+		})
+	}
+}
+
+// TestLegacyStreamFixtures is the backward-compatibility guard for the
+// pre-lane payload format: the streams directly under testdata/streams
+// were committed before the four-lane payload existed and are frozen —
+// -update deliberately does not rewrite them. Each must keep decoding
+// through the legacy dispatch path, and its reconstruction must be
+// bit-identical to decoding a current-format encode of the same input:
+// the lane refactor changed only the entropy-stage serialization, never
+// the codes or literals, so the two decodes must agree on every float.
+func TestLegacyStreamFixtures(t *testing.T) {
+	f := fixtureField("fixture", fixedpsnr.Float32, 64, 64, 16)
+	for name, opt := range fixtureConfigs() {
+		t.Run(name, func(t *testing.T) {
+			legacy, err := os.ReadFile(filepath.Join("testdata", "streams", name+".fpsz"))
+			if err != nil {
+				t.Fatalf("missing frozen legacy fixture: %v", err)
+			}
+			got, _, err := fixedpsnr.Decompress(legacy)
+			if err != nil {
+				t.Fatalf("legacy stream no longer decodes: %v", err)
+			}
+			if opt.Mode == fixedpsnr.ModeRatio {
+				// Fixed-ratio steering converges on the achieved
+				// compressed size, which the payload format changes, so
+				// the legacy stream's error bound legitimately differs
+				// from a current encode's. Guard decode fidelity instead
+				// of bit-equality.
+				if d := fixedpsnr.CompareFields(f, got); !(d.PSNR > 40) {
+					t.Fatalf("legacy fixture round-trip PSNR %.2f dB", d.PSNR)
+				}
+				return
+			}
+			blob, _, err := fixedpsnr.Compress(f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := fixedpsnr.Decompress(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Data) != len(want.Data) {
+				t.Fatalf("legacy decode has %d points, current %d", len(got.Data), len(want.Data))
+			}
+			for i := range got.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("legacy decode diverges from current-format decode at point %d: %x vs %x",
+						i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+				}
 			}
 		})
 	}

@@ -148,24 +148,27 @@ func (r *Reader) Reset(buf []byte) {
 }
 
 // refill tops the staging window up to ≥ 57 valid bits (or to the end of
-// the stream), loading 8 bytes in one aligned read when possible.
+// the stream), loading 8 bytes in one aligned read when possible. The
+// fast path is deliberately branch- and loop-free so refill inlines into
+// the packed decode loops (and into Refill4): OR a full 8-byte load
+// under the valid bits, then account exactly the whole bytes that fit.
+// The unaccounted low bits are the true next bits of the stream, so
+// re-ORing them on a later refill is idempotent — which also makes wn==0
+// just the degenerate OR into an all-shifted-out window (and nets the
+// full 64 bits).
 func (r *Reader) refill() {
 	if r.pos+8 <= len(r.buf) {
-		if r.wn == 0 {
-			r.w = binary.BigEndian.Uint64(r.buf[r.pos:])
-			r.wn = 64
-			r.pos += 8
-			return
-		}
-		// Branchless top-up: OR a full 8-byte load under the valid bits,
-		// then account only the whole bytes that fit. The unaccounted low
-		// bits are the true next bits of the stream, so re-ORing them on a
-		// later refill is idempotent.
+		k := (64 - r.wn) >> 3
 		r.w |= binary.BigEndian.Uint64(r.buf[r.pos:]) >> r.wn
-		r.pos += int((63 - r.wn) >> 3)
-		r.wn |= 56
+		r.pos += int(k)
+		r.wn += k << 3
 		return
 	}
+	r.refillTail()
+}
+
+// refillTail is the end-of-stream byte-at-a-time refill.
+func (r *Reader) refillTail() {
 	for r.wn <= 56 && r.pos < len(r.buf) {
 		r.w |= uint64(r.buf[r.pos]) << (56 - r.wn)
 		r.wn += 8
@@ -232,6 +235,20 @@ func (r *Reader) Window() uint64 { return r.w }
 func (r *Reader) Skip(width uint) {
 	r.w <<= width
 	r.wn -= width
+}
+
+// Refill4 tops up four readers' staging windows in one fused call — the
+// multi-stream decode loops (huffman.DecodeLanes4Into) keep four
+// independent lane readers in flight and refill them together once per
+// round, so the four memory loads issue back to back instead of being
+// interleaved with each lane's symbol resolution. Each window ends up
+// with ≥ 57 valid bits or the remainder of its lane's stream, exactly as
+// four Refill calls would leave them.
+func Refill4(a, b, c, d *Reader) {
+	a.refill()
+	b.refill()
+	c.refill()
+	d.refill()
 }
 
 // ReadBit reads a single bit.

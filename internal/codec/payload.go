@@ -1,0 +1,45 @@
+package codec
+
+// Chunk payload version framing, shared by the SZ and transform
+// pipelines.
+//
+// Legacy chunk payloads (every stream before the four-lane format) are
+// bare DEFLATE streams: their first byte encodes BFINAL and BTYPE in its
+// low three bits, and the only invalid combination is BTYPE = 3
+// (reserved, RFC 1951 §3.2.3). A first byte of 0x07 — BFINAL=1,
+// BTYPE=3 — therefore can never begin a valid legacy payload, which
+// makes it a safe in-band version marker: decoders dispatch on it with
+// no header bump or stream-level flag, and legacy payloads keep decoding
+// through the pre-lane path byte for byte.
+const (
+	// PayloadMarker introduces a versioned chunk payload:
+	// payload[0] == PayloadMarker, payload[1] == the version byte.
+	PayloadMarker = 0x07
+
+	// PayloadVersionLanes4 is the four-lane interleaved Huffman payload:
+	// the quantization codes are split into 4 interleaved lanes sharing
+	// one canonical code table (huffman.EncodeLanes4), framed by a
+	// codes-encoding flag and a byte length, and usually stored raw —
+	// Huffman output on noisy chunks is within a fraction of a percent of
+	// incompressible, so DEFLATE over it bought ~0.1% ratio for a
+	// dominant share of decode time. The literal section always stays
+	// DEFLATE-compressed.
+	PayloadVersionLanes4 = 1
+)
+
+// Codes-section encodings inside a versioned payload. Raw is the fast
+// path; Deflate survives for smooth chunks, where the Huffman body is
+// long runs of one pattern and DEFLATE still collapses it — the regime
+// fixed-ratio steering at high targets depends on.
+const (
+	PayloadCodesRaw     = 0
+	PayloadCodesDeflate = 1
+)
+
+// CodesDeflateWins reports whether a deflated codes section earns its
+// decode-time cost over storing rawLen bytes directly: it must save more
+// than 1/16th (6.25%). Typical noisy chunks deflate by ~0.1% and stay
+// raw; run-dominated smooth chunks deflate by 90%+ and opt in.
+func CodesDeflateWins(rawLen, compLen int) bool {
+	return compLen < rawLen-rawLen/16
+}
